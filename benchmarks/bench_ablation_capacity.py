@@ -1,0 +1,83 @@
+"""Ablation A11: capacity-scaling projection.
+
+The paper validates on 16kb.  Project each scheme's Monte-Carlo margin
+distribution (Gaussian tail) to product capacities: how large an array can
+each scheme serve before the first failing bit is expected?
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.analysis.scaling import project_scaling
+from repro.array.montecarlo import run_margin_monte_carlo
+from repro.array.testchip import TESTCHIP_VARIATION
+from repro.array.yield_analysis import analyze_margins
+from repro.device.variation import CellPopulation
+from repro.units import format_si
+
+
+def capacity_projection(calibration, bits=32768, seed=17):
+    population = CellPopulation.sample(
+        bits,
+        TESTCHIP_VARIATION,
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=np.random.default_rng(seed),
+    )
+    report = analyze_margins(
+        run_margin_monte_carlo(
+            population,
+            beta_destructive=calibration.beta_destructive,
+            beta_nondestructive=calibration.beta_nondestructive,
+            include_sa_offset=False,
+        )
+    )
+    return {
+        name: project_scaling(report[name])
+        for name in ("conventional", "destructive", "nondestructive")
+    }
+
+
+def _capacity_label(bits: float) -> str:
+    if bits >= 2**60:
+        return "effectively unbounded"
+    if bits >= 2**30:
+        return f"{bits / 2**30:.1f} Gb"
+    if bits >= 2**20:
+        return f"{bits / 2**20:.1f} Mb"
+    return f"{bits / 2**10:.1f} kb"
+
+
+def test_ablation_capacity(benchmark, calibration, report):
+    projections = benchmark(capacity_projection, calibration)
+
+    report("Ablation A11 — capacity projection from 32k-bit Monte Carlo "
+           "(Gaussian tail, 8 mV window)")
+    rows = []
+    for name in ("conventional", "destructive", "nondestructive"):
+        projection = projections[name]
+        rows.append(
+            [
+                name,
+                f"{projection.bit_fail_probability:.2e}",
+                f"{projection.expected_fails_per_megabit:.3g}",
+                _capacity_label(projection.clean_capacity_bits),
+            ]
+        )
+    report(format_table(
+        ["scheme", "P(bit fails)", "fails per Mb", "clean capacity"], rows
+    ))
+    report()
+    report("At the paper's variation level the nondestructive scheme covers")
+    report("the 16kb chip with headroom but needs ECC/repair (A8) well before")
+    report("gigabit capacities; the destructive scheme's 10x margin carries")
+    report("it much further — the non-volatility/latency win has a scaling")
+    report("price the paper's §VI 'increase I_max' future work addresses.")
+
+    conventional = projections["conventional"]
+    destructive = projections["destructive"]
+    nondestructive = projections["nondestructive"]
+    assert destructive.clean_capacity_bits > nondestructive.clean_capacity_bits
+    assert nondestructive.clean_capacity_bits > conventional.clean_capacity_bits
+    assert nondestructive.clean_capacity_bits > 16384  # covers the paper chip

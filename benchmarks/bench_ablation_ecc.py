@@ -1,0 +1,80 @@
+"""Ablation A8: SECDED ECC as the architectural companion of the
+low-margin nondestructive scheme.
+
+The nondestructive margin (~12 mV) sits only 1.5× above the 8 mV window,
+so scaled-up variation leaves a tail of marginal bits.  A (72, 64) SECDED
+word tolerates one such bit — measure the word-yield recovery per scheme.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.array.montecarlo import run_margin_monte_carlo
+from repro.array.testchip import TESTCHIP_VARIATION
+from repro.device.variation import CellPopulation
+
+
+def ecc_experiment(calibration, scales, words=256, seed=9):
+    from repro.ecc.yield_model import ecc_yield_report
+
+    results = []
+    for scale in scales:
+        rng = np.random.default_rng(seed)
+        population = CellPopulation.sample(
+            words * 72,
+            TESTCHIP_VARIATION.scaled(float(scale)),
+            params=calibration.params,
+            rolloff_high=calibration.rolloff_high(),
+            rolloff_low=calibration.rolloff_low(),
+            rng=rng,
+        )
+        mc = run_margin_monte_carlo(
+            population,
+            beta_destructive=calibration.beta_destructive,
+            beta_nondestructive=calibration.beta_nondestructive,
+            include_sa_offset=False,
+        )
+        results.append((float(scale), ecc_yield_report(mc, word_cells=72)))
+    return results
+
+
+def test_ablation_ecc(benchmark, calibration, report):
+    scales = np.array([1.0, 1.5, 2.0])
+    results = benchmark(ecc_experiment, calibration, scales)
+
+    report("Ablation A8 — (72, 64) SECDED word yield, nondestructive scheme")
+    rows = []
+    for scale, ecc in results:
+        rows.append(
+            [
+                f"{scale:.1f}x",
+                f"{ecc.raw_word_fail['nondestructive']:7.2%}",
+                f"{ecc.secded_word_fail['nondestructive']:7.2%}",
+                f"{ecc.raw_word_fail['conventional']:7.2%}",
+                f"{ecc.secded_word_fail['conventional']:7.2%}",
+            ]
+        )
+    report(format_table(
+        [
+            "variation",
+            "nondes raw",
+            "nondes SECDED",
+            "conv raw",
+            "conv SECDED",
+        ],
+        rows,
+    ))
+    report()
+    report("SECDED extends the nondestructive scheme's usable variation range")
+    report("by roughly half a scaling step; it cannot rescue conventional")
+    report("sensing, whose multi-bit word failures overwhelm single-error")
+    report("correction.")
+
+    nominal = results[0][1]
+    stressed = results[1][1]
+    # At nominal variation everything already passes.
+    assert nominal.raw_word_fail["nondestructive"] <= 0.01
+    # At 1.5x, SECDED recovers the nondestructive word yield by > 5x...
+    assert stressed.improvement("nondestructive") > 5.0
+    # ...while conventional sensing stays broken even with ECC.
+    assert stressed.secded_word_fail["conventional"] > 0.5

@@ -1,0 +1,74 @@
+"""Ablation A1: sense margin and robustness vs the maximum read current.
+
+The paper's future-work lever: "The sense margin and the robustness of
+nondestructive self-reference scheme can be improved by increasing the
+maximum allowable read current I_max."
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.cell import Cell1T1J
+from repro.core.optimize import optimize_beta_nondestructive
+from repro.core.robustness import rtr_shift_window_nondestructive
+from repro.device.mtj import MTJDevice
+from repro.device.switching import SwitchingModel
+from repro.device.transistor import FixedResistanceTransistor
+
+
+def imax_sweep(calibration, currents):
+    """Optimize the nondestructive scheme at each I_max and collect the
+    margin/robustness trajectory."""
+    params = calibration.params
+    switching = SwitchingModel(params)
+    results = []
+    for i_max in currents:
+        scale = i_max / params.i_read_max
+        resized = params.replace(
+            i_read_max=float(i_max),
+            dr_high_max=min(params.dr_high_max * scale, 0.9 * params.r_high),
+            dr_low_max=min(params.dr_low_max * scale, 0.9 * params.r_low),
+        )
+        cell = Cell1T1J(
+            MTJDevice(resized, calibration.rolloff_high(), calibration.rolloff_low()),
+            FixedResistanceTransistor(917.0),
+        )
+        optimum = optimize_beta_nondestructive(cell, float(i_max), alpha=0.5)
+        window = rtr_shift_window_nondestructive(cell, float(i_max), optimum.beta, 0.5)
+        disturb = switching.read_disturb_probability(float(i_max), 15e-9)
+        results.append((float(i_max), optimum, window, disturb))
+    return results
+
+
+def test_ablation_imax(benchmark, calibration, report):
+    currents = np.array([100e-6, 150e-6, 200e-6, 250e-6, 300e-6])
+    results = benchmark(imax_sweep, calibration, currents)
+
+    report("Ablation A1 — nondestructive margin & robustness vs I_max")
+    rows = []
+    for i_max, optimum, window, disturb in results:
+        rows.append(
+            [
+                f"{i_max * 1e6:.0f} µA",
+                f"{i_max / calibration.params.i_c0:.0%}",
+                f"{optimum.beta:.3f}",
+                f"{optimum.max_sense_margin * 1e3:6.2f} mV",
+                f"±{window[1]:.0f} Ω",
+                f"{disturb:.1e}",
+            ]
+        )
+    report(format_table(
+        ["I_max", "of I_c0", "β*", "max margin", "ΔR_TR window", "P(disturb/read)"],
+        rows,
+    ))
+    report()
+    report("Margin and ΔR_TR window grow monotonically with I_max; the read")
+    report("disturb probability stays negligible up to the paper's 40% of I_c0.")
+
+    margins = [optimum.max_sense_margin for _, optimum, _, _ in results]
+    windows = [window[1] for _, _, window, _ in results]
+    assert all(b > a for a, b in zip(margins, margins[1:]))
+    assert all(b > a for a, b in zip(windows, windows[1:]))
+    # At the paper's operating point (200 µA = 40% I_c0), disturb is nil.
+    paper_point = results[2]
+    assert paper_point[3] < 1e-9

@@ -1,0 +1,66 @@
+"""Ablation A5: sensitivity of the nondestructive scheme to the roll-off
+curve shape.
+
+The scheme's whole margin comes from the high-state roll-off between the
+two read currents, so the curve's *shape* (not just its endpoint) sets the
+achievable margin.  Sweep the power-law exponent and report the optimum.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.core.cell import Cell1T1J
+from repro.core.optimize import optimize_beta_destructive, optimize_beta_nondestructive
+from repro.device.mtj import MTJDevice, MTJParams
+from repro.device.rolloff import PowerLawRollOff
+from repro.device.transistor import FixedResistanceTransistor
+
+
+def shape_sweep(exponents):
+    results = []
+    for exponent in exponents:
+        params = MTJParams(dr_low_max=10.0)
+        cell = Cell1T1J(
+            MTJDevice(params, PowerLawRollOff(float(exponent)), PowerLawRollOff(1.0)),
+            FixedResistanceTransistor(917.0),
+        )
+        nondes = optimize_beta_nondestructive(cell, 200e-6, alpha=0.5)
+        dest = optimize_beta_destructive(cell, 200e-6)
+        results.append((float(exponent), nondes, dest))
+    return results
+
+
+def test_ablation_rolloff_shape(benchmark, report):
+    exponents = np.array([0.5, 0.75, 1.0, 1.5, 2.0, 3.0])
+    results = benchmark(shape_sweep, exponents)
+
+    report("Ablation A5 — margin vs high-state roll-off shape (ΔR_Hmax fixed at 600 Ω)")
+    rows = []
+    for exponent, nondes, dest in results:
+        rows.append(
+            [
+                f"{exponent:.2f}",
+                f"{nondes.beta:.3f}",
+                f"{nondes.max_sense_margin * 1e3:6.2f} mV",
+                f"{dest.beta:.3f}",
+                f"{dest.max_sense_margin * 1e3:6.2f} mV",
+            ]
+        )
+    report(format_table(
+        ["exponent p", "β* nondes", "margin nondes", "β* destr", "margin destr"],
+        rows,
+    ))
+    report()
+    report("Concave (p<1) roll-off front-loads the resistance drop and")
+    report("*reduces* the roll-off difference between the two reads, hurting")
+    report("the nondestructive margin; convex (p>1) shapes help it.  The")
+    report("destructive margin, referenced to an erased cell, barely cares.")
+
+    nondes_margins = [n.max_sense_margin for _, n, _ in results]
+    dest_margins = [d.max_sense_margin for _, _, d in results]
+    # Nondestructive margin grows with the exponent...
+    assert all(b > a for a, b in zip(nondes_margins, nondes_margins[1:]))
+    # ...while the destructive one moves far less (relative spread).
+    nondes_spread = (max(nondes_margins) - min(nondes_margins)) / np.mean(nondes_margins)
+    dest_spread = (max(dest_margins) - min(dest_margins)) / np.mean(dest_margins)
+    assert nondes_spread > 2 * dest_spread

@@ -1,0 +1,46 @@
+"""Ablation A13: production test flow — trim + repair + SECDED shipping
+yield vs process variation.
+
+Composes the paper's test-stage β trim with standard redundancy repair and
+ECC screening into the full manufacturing flow, and sweeps variation to
+find where the nondestructive scheme's product yield collapses.
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.array.testflow import TestFlowConfig, yield_curve
+
+
+def test_ablation_testflow(benchmark, report):
+    config = TestFlowConfig(rows=64, columns=64, spare_rows=2, spare_columns=2)
+    records = benchmark(
+        yield_curve, [1.0, 1.5, 2.0, 2.5, 3.0], 6, config
+    )
+
+    report("Ablation A13 — shipping yield of the nondestructive scheme "
+           "(trim + 2+2 spares + SECDED, 4k-bit dies)")
+    rows = []
+    for record in records:
+        rows.append(
+            [
+                f"{record['scale']:.1f}x",
+                f"{record['yield']:.0%}",
+                f"{record['mean_fails']:.1f}",
+                f"{record['mean_spares']:.1f}",
+            ]
+        )
+    report(format_table(
+        ["variation", "shipping yield", "fails/die (post-trim)", "spares used/die"],
+        rows,
+    ))
+    report()
+    report("The production stack (paper's β trim + redundancy + SECDED)")
+    report("holds 100% shipping yield to ~2x the test-chip variation, then")
+    report("collapses as multi-fail words overwhelm single-error correction —")
+    report("the manufacturing envelope of the nondestructive scheme.")
+
+    yields = [record["yield"] for record in records]
+    assert yields[0] == 1.0                   # nominal variation ships clean
+    assert yields == sorted(yields, reverse=True)  # monotone decline
+    assert yields[-1] < 0.5                   # 3x variation is out of reach

@@ -1,0 +1,59 @@
+"""Ablation A6: fail rate of every scheme vs process-variation scale.
+
+Extends the paper's single-point 16kb measurement into a scaling curve:
+how much more variation can each scheme absorb before yield collapses?
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.array.testchip import TESTCHIP_VARIATION, TestChip, run_testchip_experiment
+
+
+def variation_sweep(scales, rows=64, columns=64):
+    results = []
+    for scale in scales:
+        chip = TestChip(
+            rows=rows, columns=columns,
+            variation=TESTCHIP_VARIATION.scaled(float(scale)),
+        )
+        outcome = run_testchip_experiment(chip, rng=np.random.default_rng(11))
+        results.append((float(scale), outcome))
+    return results
+
+
+def test_ablation_variation_scaling(benchmark, report):
+    scales = np.array([0.5, 1.0, 1.5, 2.0, 3.0, 4.0])
+    results = benchmark(variation_sweep, scales)
+
+    report("Ablation A6 — fail rate vs variation scale (4k-bit chips, 8 mV window)")
+    rows = []
+    for scale, outcome in results:
+        rows.append(
+            [
+                f"{scale:.1f}x",
+                f"{outcome.report['conventional'].fail_fraction:7.2%}",
+                f"{outcome.report['destructive'].fail_fraction:7.2%}",
+                f"{outcome.report['nondestructive'].fail_fraction:7.2%}",
+            ]
+        )
+    report(format_table(
+        ["variation", "conventional", "destructive", "nondestructive"], rows
+    ))
+    report()
+    report("Conventional yield collapses first (shared reference + additive")
+    report("offset); the destructive scheme holds longest (its 76 mV margin")
+    report("scales with the bit); the nondestructive scheme sits between,")
+    report("limited by its 12 mV design margin against the fixed 8 mV window.")
+
+    conventional = [o.report["conventional"].fail_fraction for _, o in results]
+    destructive = [o.report["destructive"].fail_fraction for _, o in results]
+    nondestructive = [o.report["nondestructive"].fail_fraction for _, o in results]
+    # Monotone degradation for conventional; destructive stays best.
+    assert conventional[-1] > conventional[1] > conventional[0]
+    assert all(d <= c for d, c in zip(destructive, conventional))
+    assert all(d <= n for d, n in zip(destructive, nondestructive))
+    # At the paper's nominal point the ordering of Fig. 11 holds.
+    nominal = results[1][1]
+    assert nominal.report["destructive"].fail_fraction == 0.0
+    assert nominal.report["nondestructive"].fail_fraction <= 0.001

@@ -1,0 +1,34 @@
+"""Paper §V power claim: removing the erase and write-back pulses
+"dramatically" reduces per-read energy."""
+
+from repro.analysis.report import format_table
+from repro.timing.energy import read_energy_comparison
+from repro.units import format_si
+
+
+def test_energy_comparison(benchmark, paper_cell, calibration, report):
+    destructive, nondestructive, ratio = benchmark(
+        read_energy_comparison,
+        paper_cell,
+        200e-6,
+        calibration.beta_destructive,
+        calibration.beta_nondestructive,
+    )
+
+    report("Paper §V — read-energy comparison")
+    rows = []
+    for breakdown in (destructive, nondestructive):
+        for name, energy in breakdown.per_phase.items():
+            if energy > 0:
+                rows.append([breakdown.scheme, name, format_si(energy, "J")])
+        rows.append([breakdown.scheme, "TOTAL", format_si(breakdown.total, "J")])
+    report(format_table(["scheme", "phase", "energy"], rows))
+    report()
+    report(f"write pulses account for "
+           f"{destructive.write_energy / destructive.total:.0%} of the "
+           f"destructive read energy")
+    report(f"energy ratio destructive / nondestructive: {ratio:.1f}x")
+
+    assert ratio > 5.0
+    assert destructive.write_energy > 0.8 * destructive.total
+    assert nondestructive.write_energy == 0.0

@@ -1,0 +1,51 @@
+"""Paper Fig. 10: transient simulation of the nondestructive read ("the
+whole read operation can complete in about 15ns")."""
+
+import pytest
+
+from repro.analysis.report import render_series
+from repro.core.margins import nondestructive_margins
+from repro.timing.waveforms import simulate_nondestructive_read
+
+
+def test_fig10_transient(benchmark, calibration, report):
+    def run():
+        cell = calibration.cell(917.0)
+        cell.write(1)
+        return simulate_nondestructive_read(
+            cell, beta=calibration.beta_nondestructive
+        )
+
+    waveforms = benchmark(run)
+
+    report("Paper Fig. 10 — simulated read transient (stored '1')")
+    report(render_series(
+        waveforms.times * 1e9,
+        {
+            "V_BL [mV]": waveforms.v_bl * 1e3,
+            "V_C1 [mV]": waveforms.v_c1 * 1e3,
+            "V_BO [mV]": waveforms.v_bo * 1e3,
+        },
+        x_label="t [ns]",
+        max_rows=14,
+    ))
+    report(f"sensed bit: {waveforms.sensed_bit}; "
+           f"sense differential {waveforms.sense_differential * 1e3:.2f} mV; "
+           f"read completes in {waveforms.total_duration * 1e9:.1f} ns "
+           f"(paper: 'about 15ns')")
+
+    # Both stored values must sense correctly, and the differential must
+    # match the analytic margin.
+    assert waveforms.sensed_bit == 1
+    assert waveforms.total_duration < 20e-9
+    cell = calibration.cell(917.0)
+    analytic = nondestructive_margins(
+        cell, 200e-6, calibration.beta_nondestructive, alpha=0.5
+    ).sm1
+    assert waveforms.sense_differential == pytest.approx(analytic, rel=0.05)
+
+    cell.write(0)
+    zero = simulate_nondestructive_read(cell, beta=calibration.beta_nondestructive)
+    report(f"stored '0' control run: sensed {zero.sensed_bit}, "
+           f"differential {zero.sense_differential * 1e3:.2f} mV")
+    assert zero.sensed_bit == 0

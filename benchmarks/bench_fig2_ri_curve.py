@@ -1,0 +1,40 @@
+"""Paper Fig. 2: the measured R–I sweep of the MgO MTJ.
+
+Regenerates both static resistance branches and the full hysteresis loop
+from the calibrated device, and checks the figure's defining feature: the
+high-state roll-off is far steeper than the low-state one.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig2_ri_curve
+from repro.analysis.report import render_series
+
+
+def test_fig2_ri_curve(benchmark, calibration, report):
+    device = calibration.device()
+    series = benchmark(fig2_ri_curve, device)
+
+    report("Paper Fig. 2 — R–I characteristics (calibrated device)")
+    report(render_series(
+        series.currents * 1e6,
+        {"R_high [Ω]": series.r_high, "R_low [Ω]": series.r_low},
+        x_label="I [µA]",
+    ))
+    drop_high = series.r_high[0] - series.r_high[-1]
+    drop_low = series.r_low[0] - series.r_low[-1]
+    report(f"high-state roll-off at I_max: {drop_high:.0f} Ω (paper: 600 Ω)")
+    report(f"low-state roll-off at I_max:  {drop_low:.0f} Ω (paper: ~0)")
+    report(f"TMR collapse 0→I_max: {series.tmr_collapse:.1%}")
+    switch_currents = [
+        series.hysteresis.currents[i] for i in series.hysteresis.switch_points
+    ]
+    report(f"hysteresis switch currents: "
+           + ", ".join(f"{c * 1e6:+.0f} µA" for c in switch_currents)
+           + " (paper: ~±500 µA)")
+
+    # Shape checks of the reproduction.
+    assert drop_high == 600.0
+    assert drop_high > 3 * drop_low
+    assert np.all(np.diff(series.r_high) < 0)
+    assert all(abs(abs(c) - 500e-6) < 100e-6 for c in switch_currents)

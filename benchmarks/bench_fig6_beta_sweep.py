@@ -1,0 +1,41 @@
+"""Paper Fig. 6: sense margin vs read-current ratio β for both schemes,
+with the valid-β windows."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import fig6_beta_sweep
+from repro.analysis.report import render_series
+
+
+def test_fig6_beta_sweep(benchmark, paper_cell, calibration, report):
+    series = benchmark(fig6_beta_sweep, paper_cell)
+
+    report("Paper Fig. 6 — sense margin vs β = I_R2/I_R1 (mV)")
+    report(render_series(
+        series.betas,
+        {
+            "SM0-Con": series.sm0_destructive,
+            "SM1-Con": series.sm1_destructive,
+            "SM0-Nondes": series.sm0_nondestructive,
+            "SM1-Nondes": series.sm1_nondestructive,
+        },
+        x_label="β",
+        y_scale=1e3,
+    ))
+    report(f"valid β (destructive):    ({series.window_destructive[0]:.3f}, "
+           f"{series.window_destructive[1]:.3f})  [paper: ~1 .. (unreadable)]")
+    report(f"valid β (nondestructive): ({series.window_nondestructive[0]:.3f}, "
+           f"{series.window_nondestructive[1]:.3f})  [paper min: 2]")
+    report(f"crossing (destructive optimum):    β = "
+           f"{series.crossing_destructive():.3f}  [paper: 1.22]")
+    report(f"crossing (nondestructive optimum): β = "
+           f"{series.crossing_nondestructive():.3f}  [paper: 2.13]")
+
+    assert series.crossing_destructive() == pytest.approx(1.22, abs=0.03)
+    assert series.crossing_nondestructive() == pytest.approx(2.13, abs=0.02)
+    assert series.window_nondestructive[0] == pytest.approx(2.0, abs=0.02)
+    # The destructive margins dominate the nondestructive ones at optimum.
+    assert np.max(np.minimum(series.sm0_destructive, series.sm1_destructive)) > 4 * np.max(
+        np.minimum(series.sm0_nondestructive, series.sm1_nondestructive)
+    )

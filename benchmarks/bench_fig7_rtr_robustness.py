@@ -1,0 +1,40 @@
+"""Paper Fig. 7: sense margin vs NMOS-transistor resistance shift ΔR_TR and
+the allowable windows (±468 Ω destructive, ±130 Ω nondestructive)."""
+
+import pytest
+
+from repro.analysis.figures import fig7_rtr_sweep
+from repro.analysis.report import render_series
+
+
+def test_fig7_rtr_robustness(benchmark, paper_cell, calibration, report):
+    series = benchmark(
+        fig7_rtr_sweep,
+        paper_cell,
+        calibration.beta_destructive,
+        calibration.beta_nondestructive,
+    )
+
+    report("Paper Fig. 7 — sense margin vs ΔR_TR (mV)")
+    report(render_series(
+        series.shifts,
+        {
+            "SM0-Con": series.sm0_destructive,
+            "SM1-Con": series.sm1_destructive,
+            "SM0-Nondes": series.sm0_nondestructive,
+            "SM1-Nondes": series.sm1_nondestructive,
+        },
+        x_label="ΔR_TR [Ω]",
+        y_scale=1e3,
+    ))
+    report(f"allowable ΔR_TR (destructive):    "
+           f"{series.window_destructive[0]:+.0f} .. "
+           f"{series.window_destructive[1]:+.0f} Ω  [paper: ±468 Ω]")
+    report(f"allowable ΔR_TR (nondestructive): "
+           f"{series.window_nondestructive[0]:+.0f} .. "
+           f"{series.window_nondestructive[1]:+.0f} Ω  [paper: ±130 Ω]")
+
+    assert series.window_destructive[1] == pytest.approx(468.0, rel=0.05)
+    assert series.window_nondestructive[1] == pytest.approx(130.0, rel=0.05)
+    # The paper's qualitative finding: the nondestructive window is tighter.
+    assert series.window_nondestructive[1] < series.window_destructive[1] / 3

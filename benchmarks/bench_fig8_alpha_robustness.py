@@ -1,0 +1,26 @@
+"""Paper Fig. 8: nondestructive sense margin vs divider-ratio variation Δα
+and the allowable window (−5.71% .. +4.13%)."""
+
+import pytest
+
+from repro.analysis.figures import fig8_alpha_sweep
+from repro.analysis.report import render_series
+
+
+def test_fig8_alpha_robustness(benchmark, paper_cell, calibration, report):
+    series = benchmark(fig8_alpha_sweep, paper_cell, calibration.beta_nondestructive)
+
+    report("Paper Fig. 8 — nondestructive margin vs Δα (mV)")
+    report(render_series(
+        series.deviations * 100.0,
+        {"SM0-Nondes": series.sm0, "SM1-Nondes": series.sm1},
+        x_label="Δα [%]",
+        y_scale=1e3,
+    ))
+    report(f"allowable Δα: {series.window[0]:+.2%} .. {series.window[1]:+.2%}  "
+           f"[paper: -5.71% .. +4.13%]")
+
+    assert series.window[1] == pytest.approx(0.0413, abs=0.006)
+    assert series.window[0] == pytest.approx(-0.0571, abs=0.006)
+    # The asymmetry direction (|min| > max) is the paper's signature.
+    assert abs(series.window[0]) > series.window[1]

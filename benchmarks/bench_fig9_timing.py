@@ -1,0 +1,48 @@
+"""Paper Fig. 9: the control-signal timing diagram of the nondestructive
+read (SLT1 / SLT2 / SenEn / Data_latch)."""
+
+from repro.analysis.report import format_table
+from repro.timing.latency import nondestructive_read_latency
+
+
+def test_fig9_timing(benchmark, paper_cell, calibration, report):
+    breakdown = benchmark(
+        nondestructive_read_latency, paper_cell, 200e-6,
+        calibration.beta_nondestructive,
+    )
+    schedule = breakdown.schedule
+
+    report("Paper Fig. 9 — nondestructive read timing diagram")
+    rows = []
+    for phase in schedule.phases:
+        asserted = [name for name, level in phase.signals.items() if level]
+        rows.append(
+            [
+                phase.name,
+                f"{schedule.start_of(phase.name) * 1e9:5.2f}",
+                f"{schedule.end_of(phase.name) * 1e9:5.2f}",
+                f"{phase.read_current * 1e6:.1f}" if phase.read_current else "-",
+                ", ".join(asserted) or "-",
+            ]
+        )
+    report(format_table(
+        ["phase", "start [ns]", "end [ns]", "I_read [µA]", "signals"], rows
+    ))
+    report()
+    for signal in ("WL", "SLT1", "SLT2", "SenEn", "Data_latch"):
+        intervals = schedule.signal_intervals(signal)
+        pretty = ", ".join(f"{a * 1e9:.2f}–{b * 1e9:.2f} ns" for a, b in intervals)
+        report(f"  {signal:<11}: {pretty}")
+    report()
+    report(f"total read latency: {breakdown.total * 1e9:.1f} ns "
+           f"(paper: 'about 15ns')")
+
+    # Fig. 9 structure: SLT1 strictly precedes SLT2; SenEn inside SLT2;
+    # latch last; no write phases at all.
+    slt1 = schedule.signal_intervals("SLT1")
+    slt2 = schedule.signal_intervals("SLT2")
+    assert slt1[0][1] <= slt2[0][0]
+    sen = schedule.signal_intervals("SenEn")[0]
+    assert slt2[0][0] <= sen[0] and sen[1] <= slt2[0][1]
+    assert all(phase.write_current == 0.0 for phase in schedule.phases)
+    assert breakdown.total < 20e-9

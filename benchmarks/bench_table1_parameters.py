@@ -1,0 +1,24 @@
+"""Paper Table I: electrical parameters and optimized operating points of
+both self-reference schemes."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table1_rows
+from repro.calibration.table1 import derive_table1
+
+
+def test_table1_parameters(benchmark, report):
+    table = benchmark(derive_table1)
+
+    report("Paper Table I — electrical parameters of MTJ and NMOS transistor")
+    report(format_table(["quantity", "reproduced", "paper"], table1_rows(table)))
+    report()
+    report(f"calibration residual norm: {table.calibration.residual_norm:.3f} "
+           "(scaled units; see repro.calibration.fit)")
+
+    # The reproduced operating points must land on the paper's.
+    assert table.destructive.beta == pytest.approx(1.22, abs=0.03)
+    assert table.destructive.max_sense_margin == pytest.approx(76.6e-3, rel=0.01)
+    assert table.nondestructive.beta == pytest.approx(2.13, abs=0.02)
+    assert table.nondestructive.max_sense_margin == pytest.approx(12.1e-3, rel=0.01)

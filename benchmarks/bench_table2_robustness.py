@@ -1,0 +1,30 @@
+"""Paper Table II: robustness summary of both self-reference schemes."""
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.analysis.tables import table2_rows
+from repro.core.robustness import robustness_summary
+
+
+def test_table2_robustness(benchmark, paper_cell, calibration, report):
+    summaries = benchmark(
+        robustness_summary,
+        paper_cell,
+        200e-6,
+        calibration.beta_destructive,
+        calibration.beta_nondestructive,
+    )
+    destructive, nondestructive = summaries
+
+    report("Paper Table II — robustness of the two self-reference schemes")
+    report(format_table(
+        ["quantity", "reproduced", "paper"], table2_rows(summaries=summaries)
+    ))
+
+    assert destructive.rtr_window[1] == pytest.approx(468.0, rel=0.05)
+    assert nondestructive.rtr_window[1] == pytest.approx(130.0, rel=0.05)
+    assert nondestructive.beta_window[0] == pytest.approx(2.0, abs=0.02)
+    assert nondestructive.alpha_window[1] == pytest.approx(0.0413, abs=0.006)
+    assert nondestructive.alpha_window[0] == pytest.approx(-0.0571, abs=0.006)
+    assert destructive.alpha_window is None  # "N/A" rows

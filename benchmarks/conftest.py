@@ -1,0 +1,47 @@
+"""Benchmark-harness fixtures and result reporting.
+
+Every benchmark regenerates one of the paper's tables or figures: the
+timed kernel is the computation, and the printed/reported rows are the
+same rows or series the paper publishes.  Reports are also written to
+``benchmarks/results/<name>.txt`` so they survive pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.calibration import calibrate, calibrated_cell
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    """The paper-fitted device calibration (cached by the library)."""
+    return calibrate()
+
+
+@pytest.fixture
+def paper_cell():
+    """A fresh calibrated 1T1J cell."""
+    return calibrated_cell()
+
+
+@pytest.fixture
+def report(request):
+    """Collect report lines; print them and persist to results/ at teardown."""
+    lines: list = []
+
+    def add(text: str = "") -> None:
+        lines.append(str(text))
+
+    yield add
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = request.node.name.replace("/", "_")
+    body = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(body)
+    # Also echo to stdout (visible with -s or on failure).
+    print("\n" + body)

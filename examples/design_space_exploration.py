@@ -1,0 +1,97 @@
+"""Design-space exploration for the nondestructive scheme.
+
+Sweeps the two design knobs the paper discusses —
+
+* the divider ratio α (the paper picks 0.5 for symmetry), and
+* the maximum read current I_max (the paper's future-work lever:
+  "The sense margin and the robustness ... can be improved by increasing
+  the maximum allowable read current")
+
+— and reports the optimal β, the max sense margin and the robustness
+windows at each point.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.calibration import calibrate, calibrated_cell
+from repro.core.optimize import optimize_beta_nondestructive
+from repro.core.robustness import alpha_deviation_window, rtr_shift_window_nondestructive
+from repro.device.mtj import MTJDevice
+from repro.device.switching import SwitchingModel
+from repro.core.cell import Cell1T1J
+from repro.units import format_si
+
+
+def sweep_alpha() -> None:
+    print("=== α sweep at I_max = 200 µA (ablation A3) ===\n")
+    cell = calibrated_cell()
+    rows = []
+    for alpha in (0.35, 0.40, 0.45, 0.50, 0.55, 0.60):
+        opt = optimize_beta_nondestructive(cell, 200e-6, alpha=alpha)
+        rtr = rtr_shift_window_nondestructive(cell, 200e-6, opt.beta, alpha)
+        dalpha = alpha_deviation_window(cell, 200e-6, opt.beta, alpha)
+        rows.append(
+            [
+                f"{alpha:.2f}",
+                f"{opt.beta:.3f}",
+                format_si(opt.max_sense_margin, "V"),
+                f"±{rtr[1]:.0f} Ω",
+                f"{dalpha[0]:+.2%}/{dalpha[1]:+.2%}",
+            ]
+        )
+    print(format_table(["α", "optimal β", "max margin", "ΔR_TR window", "Δα window"], rows))
+    print("\nThe margin is nearly α-independent (β compensates), which is why")
+    print("the paper freely picks the symmetric, variation-tolerant α = 0.5.\n")
+
+
+def sweep_imax() -> None:
+    print("=== I_max sweep (paper's future-work lever, ablation A1) ===\n")
+    calibration = calibrate()
+    params = calibration.params
+    switching = SwitchingModel(params)
+    rows = []
+    for i_max in np.array([100e-6, 150e-6, 200e-6, 250e-6, 300e-6]):
+        # The roll-off anchors move with I_max: re-anchor the device so that
+        # the same physical curve is exercised further (or less far) up.
+        scale = i_max / params.i_read_max
+        resized = params.replace(
+            i_read_max=float(i_max),
+            dr_high_max=min(params.dr_high_max * scale, 0.95 * params.r_high),
+            dr_low_max=min(params.dr_low_max * scale, 0.95 * params.r_low),
+        )
+        cell = Cell1T1J(
+            MTJDevice(resized, calibration.rolloff_high(), calibration.rolloff_low()),
+        )
+        opt = optimize_beta_nondestructive(cell, float(i_max), alpha=0.5)
+        rtr = rtr_shift_window_nondestructive(cell, float(i_max), opt.beta, 0.5)
+        disturb = switching.read_disturb_probability(float(i_max), 15e-9)
+        rows.append(
+            [
+                format_si(float(i_max), "A"),
+                f"{i_max / params.i_c0:.0%}",
+                f"{opt.beta:.3f}",
+                format_si(opt.max_sense_margin, "V"),
+                f"±{rtr[1]:.0f} Ω",
+                f"{disturb:.1e}",
+            ]
+        )
+    print(
+        format_table(
+            ["I_max", "of I_c", "optimal β", "max margin", "ΔR_TR window", "P(disturb)"],
+            rows,
+        )
+    )
+    print("\nLarger I_max widens both the margin and the robustness windows —")
+    print("at the cost of approaching the switching current (read disturb).")
+
+
+def main() -> None:
+    sweep_alpha()
+    sweep_imax()
+
+
+if __name__ == "__main__":
+    main()

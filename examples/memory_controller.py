@@ -1,0 +1,86 @@
+"""A miniature "memory controller" scenario: SECDED-protected STT-RAM.
+
+Composes the full stack the library provides: a variation-affected cell
+array, the nondestructive sensing scheme, the (72, 64) SECDED layer with
+scrubbing, and an injected stuck-bit fault — demonstrating how the paper's
+scheme and ECC cooperate in a deployable memory.
+
+Run:  python examples/memory_controller.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.array.array import STTRAMArray
+from repro.calibration import calibrate
+from repro.core.nondestructive import NondestructiveSelfReference
+from repro.device.variation import CellPopulation, VariationModel
+from repro.ecc.array import EccArray
+from repro.ecc.hamming import DecodeStatus
+
+
+def main() -> None:
+    rng = np.random.default_rng(12)
+    calibration = calibrate()
+
+    # A 64-word (4608-cell) array with realistic variation.
+    population = CellPopulation.sample(
+        64 * 72,
+        VariationModel(sigma_alpha_frac=0.001, sigma_beta_frac=0.001),
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=rng,
+    )
+    memory = EccArray(STTRAMArray(population), data_bits=64)
+    scheme = NondestructiveSelfReference(beta=calibration.beta_nondestructive)
+
+    print(f"memory: {memory.size_words} words x 64 bits "
+          f"({memory.codec.codeword_bits}-cell SECDED codewords, "
+          f"{memory.codec.overhead:.0%} overhead)\n")
+
+    # Store a message.
+    message = b"Nondestructive self-reference STT-RAM sensing (DATE 2010) reproduced."
+    padded = message + b"\x00" * (-len(message) % 8)
+    words = [
+        int.from_bytes(padded[i:i + 8], "little") for i in range(0, len(padded), 8)
+    ]
+    for address, word in enumerate(words):
+        memory.write_word(address, word)
+    print(f"stored {len(words)} words ({len(message)} bytes)")
+
+    # Sabotage: a cosmic-ray / stuck-bit fault in word 3.
+    fault_word, fault_cell = 3, 17
+    memory.array._states[fault_word * 72 + fault_cell] ^= 1
+    print(f"injected a stuck-bit fault: word {fault_word}, cell {fault_cell}\n")
+
+    # Read everything back through the nondestructive scheme.
+    recovered = bytearray()
+    rows = []
+    for address in range(len(words)):
+        result = memory.read_word(address, scheme, rng)
+        recovered += int(result.value).to_bytes(8, "little")
+        if result.status is not DecodeStatus.CLEAN:
+            rows.append(
+                [str(address), result.status.value, str(result.corrected_position)]
+            )
+    print(format_table(["word", "decode status", "corrected cell"], rows or [["-", "all clean", "-"]]))
+    text = recovered[: len(message)].decode()
+    print(f"\nrecovered message: {text!r}")
+    assert text == message.decode()
+
+    # Scrub pass rewrites the corrected word so the fault does not pair up
+    # with a second error later.
+    corrections = memory.scrub(scheme, rng)
+    print(f"scrub pass applied {corrections} correction(s)")
+    stats = memory.statistics
+    print(f"lifetime decode stats: "
+          f"clean={stats[DecodeStatus.CLEAN]}, "
+          f"corrected={stats[DecodeStatus.CORRECTED]}, "
+          f"uncorrectable={stats[DecodeStatus.DETECTED]}")
+    print("\nEvery read used zero write pulses; the stored data was touched")
+    print("only by the explicit scrub rewrite.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Production view: shipping yield and memory-controller capacity.
+
+Two array-level consequences of adopting the nondestructive scheme:
+
+1. the manufacturing test flow (the paper's β trim + spare repair + SECDED
+   screen) and its shipping yield as process variation scales;
+2. the request-rate capacity of a 4-bank macro under Poisson read traffic,
+   where the scheme's latency advantage over the destructive prior art
+   compounds through queueing.
+
+Run:  python examples/production_yield.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.array.scheduler import simulate_read_queue
+from repro.array.testflow import TestFlowConfig, yield_curve
+from repro.calibration import calibrate, calibrated_cell
+from repro.timing.latency import latency_comparison
+
+
+def shipping_yield() -> None:
+    print("=== Shipping yield: trim + 2+2 spares + SECDED (4k-bit dies) ===\n")
+    records = yield_curve(
+        [1.0, 1.5, 2.0, 2.5],
+        dies_per_point=6,
+        config=TestFlowConfig(rows=64, columns=64),
+    )
+    rows = [
+        [
+            f"{r['scale']:.1f}x",
+            f"{r['yield']:.0%}",
+            f"{r['mean_fails']:.1f}",
+            f"{r['mean_spares']:.1f}",
+        ]
+        for r in records
+    ]
+    print(format_table(
+        ["variation", "yield", "fails/die", "spares/die"], rows
+    ))
+    print()
+
+
+def controller_capacity() -> None:
+    print("=== Memory-controller capacity (4 banks, Poisson reads) ===\n")
+    calibration = calibrate()
+    destructive, nondestructive, _ = latency_comparison(
+        calibrated_cell(),
+        beta_destructive=calibration.beta_destructive,
+        beta_nondestructive=calibration.beta_nondestructive,
+    )
+    rows = []
+    for rate in (0.5e8, 1.0e8, 2.0e8):
+        row = [f"{rate / 1e6:.0f} Mreq/s"]
+        for breakdown in (destructive, nondestructive):
+            offered = rate * breakdown.total / 4
+            if offered >= 0.95:
+                row.append("SATURATED")
+            else:
+                result = simulate_read_queue(
+                    breakdown.total, rate, banks=4, requests=4096,
+                    rng=np.random.default_rng(5),
+                )
+                row.append(f"{result.mean_latency * 1e9:.1f} ns")
+        rows.append(row)
+    print(format_table(
+        ["request rate", "destructive mean latency", "nondestructive mean latency"],
+        rows,
+    ))
+    print("\nEliminating the write pulses keeps the banks free: the same")
+    print("macro serves >2x the request rate before saturating.")
+
+
+def main() -> None:
+    shipping_yield()
+    controller_capacity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Write-pulse dynamics: from macrospin LLG trajectories to the rate model.
+
+The destructive scheme's erase/write-back pulses are real magnetization-
+switching events.  This example integrates the Landau–Lifshitz–Gilbert
+equation for the free-layer macrospin, shows switching trajectories at
+several overdrives, extracts the switching-time-vs-current curve, and
+compares it with the Sun-model scaling the rate-based
+:class:`~repro.device.switching.SwitchingModel` assumes.
+
+Run:  python examples/write_dynamics.py
+"""
+
+import math
+
+import numpy as np
+
+from repro.analysis.report import format_table, render_series
+from repro.calibration import calibrate
+from repro.device.llg import MacrospinLLG
+from repro.device.switching import SwitchingModel
+
+
+def trajectories() -> None:
+    print("=== LLG magnetization trajectories (m_z vs time) ===\n")
+    llg = MacrospinLLG()
+    series = {}
+    reference_times = None
+    for overdrive in (0.8, 1.3, 2.0):
+        trajectory = llg.integrate(overdrive, duration=15e-9)
+        series[f"I={overdrive:.1f}·Ic"] = trajectory.mz
+        reference_times = trajectory.times
+    print(render_series(
+        reference_times * 1e9, series, x_label="t [ns]", max_rows=12
+    ))
+    print("\nBelow I_c the spin precesses and relaxes back (no switch);")
+    print("above it the spin spirals over the equator and reverses.\n")
+
+
+def switching_curve() -> None:
+    print("=== Switching time vs overdrive: LLG vs rate model ===\n")
+    llg = MacrospinLLG()
+    calibration = calibrate()
+    rate_model = SwitchingModel(calibration.params)
+    rows = []
+    for overdrive in (1.2, 1.5, 2.0, 3.0):
+        t_llg = llg.switching_time(overdrive, max_duration=80e-9)
+        current = overdrive * calibration.params.i_c0
+        # Rate model: pulse width at which switching probability hits 50%.
+        lo, hi = 0.1e-9, 200e-9
+        for _ in range(48):
+            mid = math.sqrt(lo * hi)
+            if rate_model.switch_probability(current, mid) < 0.5:
+                lo = mid
+            else:
+                hi = mid
+        rows.append(
+            [
+                f"{overdrive:.1f}x",
+                f"{t_llg * 1e9:6.2f} ns",
+                f"{(overdrive - 1.0) * t_llg * 1e9:5.2f}",
+                f"{hi * 1e9:6.3f} ns",
+            ]
+        )
+    print(format_table(
+        ["overdrive", "t_sw (LLG)", "(I/Ic-1)·t_sw", "t_50% (rate model)"],
+        rows,
+    ))
+    print("\nThe LLG switching time follows the Sun scaling")
+    print("t_sw ∝ 1/(I/I_c − 1) — the product column is nearly constant —")
+    print("which is the regime the rate model's precessional branch encodes")
+    print("(the rate model is calibrated to pulse success probability, so")
+    print("its 50% threshold sits earlier than the full LLG reversal; both")
+    print("agree that sub-critical pulses never switch).  The paper's 4 ns")
+    print("write pulse therefore needs the ~1.5-2x overdrive the destructive")
+    print("scheme's driver provides.")
+
+
+def main() -> None:
+    trajectories()
+    switching_curve()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""repro — full reproduction of *"A Nondestructive Self-Reference Scheme for
+Spin-Transfer Torque Random Access Memory (STT-RAM)"* (Chen et al.,
+DATE 2010).
+
+The library models the complete stack the paper evaluates:
+
+* :mod:`repro.device` — MgO MTJ with state-dependent resistance roll-off,
+  spin-torque switching, NMOS access transistor, process variation;
+* :mod:`repro.circuit` — MNA DC/transient solver, bit line, sampling
+  capacitors, voltage divider, auto-zero sense amplifier;
+* :mod:`repro.core` — the three sensing schemes (conventional, destructive
+  self-reference, **nondestructive self-reference** — the contribution),
+  read-current-ratio optimization and robustness analysis;
+* :mod:`repro.array` — Monte-Carlo populations, yield analysis, the 16kb
+  test-chip experiment;
+* :mod:`repro.timing` — latency, waveforms, energy and power-failure
+  reliability;
+* :mod:`repro.calibration` — device fit to the paper's published numbers;
+* :mod:`repro.analysis` — series/table generators for every paper figure
+  and table.
+
+Quickstart::
+
+    from repro import calibrated_cell, NondestructiveSelfReference
+    cell = calibrated_cell()
+    cell.write(1)
+    scheme = NondestructiveSelfReference(beta=2.13)
+    result = scheme.read(cell)
+    assert result.bit == 1 and not result.data_destroyed
+"""
+
+from repro.calibration import calibrate, calibrated_cell, calibrated_device, PAPER_TARGETS
+from repro.core import (
+    Cell1T1J,
+    ConventionalSensing,
+    DestructiveSelfReference,
+    NondestructiveSelfReference,
+    ReadResult,
+    SensingScheme,
+    optimize_beta_destructive,
+    optimize_beta_nondestructive,
+    robustness_summary,
+)
+from repro.device import (
+    MTJDevice,
+    MTJParams,
+    MTJState,
+    SwitchingModel,
+    VariationModel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "calibrate",
+    "calibrated_cell",
+    "calibrated_device",
+    "PAPER_TARGETS",
+    "Cell1T1J",
+    "SensingScheme",
+    "ReadResult",
+    "ConventionalSensing",
+    "DestructiveSelfReference",
+    "NondestructiveSelfReference",
+    "optimize_beta_destructive",
+    "optimize_beta_nondestructive",
+    "robustness_summary",
+    "MTJDevice",
+    "MTJParams",
+    "MTJState",
+    "SwitchingModel",
+    "VariationModel",
+]

@@ -1,0 +1,48 @@
+"""Series and table generators for every figure and table in the paper,
+plus plain-text report rendering used by the benchmark harness."""
+
+from repro.analysis.figures import (
+    Fig2Series,
+    Fig6Series,
+    Fig7Series,
+    Fig8Series,
+    fig2_ri_curve,
+    fig6_beta_sweep,
+    fig7_rtr_sweep,
+    fig8_alpha_sweep,
+)
+from repro.analysis.corners import TemperatureCorner, temperature_corner_sweep
+from repro.analysis.ber import ReadErrorBudget, read_error_budget
+from repro.analysis.sensitivity import SensitivityEntry, margin_sensitivities
+from repro.analysis.scaling import ScalingProjection, project_fail_fraction, project_scaling
+from repro.analysis.export import export_all_figures, write_series_csv
+from repro.analysis.scatter import ascii_scatter
+from repro.analysis.report import format_table, render_series
+from repro.analysis.tables import table1_rows, table2_rows
+
+__all__ = [
+    "TemperatureCorner",
+    "temperature_corner_sweep",
+    "ascii_scatter",
+    "export_all_figures",
+    "write_series_csv",
+    "ReadErrorBudget",
+    "read_error_budget",
+    "SensitivityEntry",
+    "margin_sensitivities",
+    "ScalingProjection",
+    "project_fail_fraction",
+    "project_scaling",
+    "Fig2Series",
+    "fig2_ri_curve",
+    "Fig6Series",
+    "fig6_beta_sweep",
+    "Fig7Series",
+    "fig7_rtr_sweep",
+    "Fig8Series",
+    "fig8_alpha_sweep",
+    "table1_rows",
+    "table2_rows",
+    "format_table",
+    "render_series",
+]

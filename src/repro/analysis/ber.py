@@ -1,0 +1,105 @@
+"""End-to-end read bit-error-rate model.
+
+Combines every error source the library models into one per-read BER per
+scheme:
+
+* **margin failures** — bits whose process-variation margin falls below
+  zero always misread (from the Monte-Carlo margin distribution);
+* **metastability** — bits whose margin is positive but inside the latch's
+  resolution window resolve randomly (½ error);
+* **electronic noise** — Gaussian noise can flip a comparison whose margin
+  exceeds the window (usually negligible; included for completeness);
+* **write errors** (destructive scheme only) — each read's erase and
+  write-back pulses can fail, silently corrupting the *stored* value.
+
+The result is the full error budget a memory architect would quote.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.array.montecarlo import MonteCarloMargins
+from repro.circuit.noise import NoiseBudget
+from repro.device.switching import SwitchingModel
+from repro.errors import ConfigurationError
+
+__all__ = ["ReadErrorBudget", "read_error_budget"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadErrorBudget:
+    """Per-read error probabilities of one scheme."""
+
+    scheme: str
+    margin_failure: float    #: P(margin <= 0): deterministic misread
+    metastability: float     #: P(0 < margin < window) x 1/2
+    noise_flip: float        #: noise-induced flip of an otherwise-good bit
+    write_error: float       #: per-read storage corruption (writes)
+
+    @property
+    def sensing_ber(self) -> float:
+        """Total probability the *returned* value is wrong."""
+        return min(self.margin_failure + self.metastability + self.noise_flip, 1.0)
+
+    @property
+    def total_per_read(self) -> float:
+        """Sensing BER plus storage corruption per read."""
+        return min(self.sensing_ber + self.write_error, 1.0)
+
+
+def read_error_budget(
+    monte_carlo: MonteCarloMargins,
+    resolution_window: float = 8.0e-3,
+    noise: NoiseBudget = None,
+    switching: SwitchingModel = None,
+    write_overdrive: float = 1.5,
+) -> Dict[str, ReadErrorBudget]:
+    """Assemble the error budget of every scheme from a Monte-Carlo run.
+
+    ``noise`` defaults to the standard budget evaluated per bit against its
+    own margin; ``switching`` (needed for the destructive write term)
+    defaults to the population's nominal parameters.
+    """
+    if resolution_window < 0.0:
+        raise ConfigurationError("resolution_window must be non-negative")
+    if switching is None:
+        switching = SwitchingModel(monte_carlo.population.nominal)
+    wer = switching.write_error_rate(
+        write_overdrive * monte_carlo.population.nominal.i_c0
+    )
+    per_read_write_error = 1.0 - (1.0 - wer) ** 2
+
+    noise_sigma = (
+        noise.total_noise if noise is not None else NoiseBudget(margin=1.0).total_noise
+    )
+
+    budgets: Dict[str, ReadErrorBudget] = {}
+    for name, margins in monte_carlo.schemes.items():
+        binding = margins.min_margin
+        margin_failure = float(np.mean(binding <= 0.0))
+        inside_window = float(
+            np.mean((binding > 0.0) & (binding < resolution_window))
+        )
+        # Metastable comparisons resolve to a random rail.
+        metastability = 0.5 * inside_window
+        # Noise flip of bits clearing the window: Gaussian tail at each
+        # bit's own margin.
+        good = binding >= resolution_window
+        if good.any():
+            z = binding[good] / noise_sigma
+            noise_flip = float(np.mean(norm.sf(z)) * np.mean(good))
+        else:
+            noise_flip = 0.0
+        budgets[name] = ReadErrorBudget(
+            scheme=name,
+            margin_failure=margin_failure,
+            metastability=metastability,
+            noise_flip=noise_flip,
+            write_error=per_read_write_error if name == "destructive" else 0.0,
+        )
+    return budgets

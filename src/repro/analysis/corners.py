@@ -1,0 +1,89 @@
+"""Corner analysis: operating margins across temperature and variation.
+
+The paper measures at room temperature; a deployable part must hold its
+margins over the industrial range.  This module re-derives each scheme's
+optimal operating point on the temperature-derated device (TMR collapses
+with T, shrinking every margin) and produces the margin/robustness map a
+designer would sign off against.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence
+
+from repro.core.cell import Cell1T1J
+from repro.core.optimize import (
+    BetaOptimum,
+    optimize_beta_destructive,
+    optimize_beta_nondestructive,
+)
+from repro.core.robustness import rtr_shift_window_nondestructive
+from repro.device.mtj import MTJDevice, MTJParams
+from repro.device.rolloff import RollOffModel
+from repro.device.thermal import ThermalModel, derate_params
+from repro.device.transistor import FixedResistanceTransistor
+from repro.errors import ConfigurationError
+
+__all__ = ["TemperatureCorner", "temperature_corner_sweep"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TemperatureCorner:
+    """One row of the temperature margin map."""
+
+    temperature: float                 #: [K]
+    tmr: float                         #: derated TMR ratio
+    destructive: BetaOptimum           #: re-optimized destructive point
+    nondestructive: BetaOptimum        #: re-optimized nondestructive point
+    rtr_window_nondestructive: float   #: |ΔR_TR| window at the hot point [Ω]
+
+    @property
+    def nondestructive_margin_ok(self) -> bool:
+        """Does the re-optimized nondestructive margin clear 8 mV?"""
+        return self.nondestructive.max_sense_margin > 8.0e-3
+
+
+def temperature_corner_sweep(
+    params: MTJParams,
+    rolloff_high: RollOffModel,
+    rolloff_low: RollOffModel,
+    temperatures: Sequence[float] = (250.0, 300.0, 330.0, 360.0, 390.0),
+    thermal: Optional[ThermalModel] = None,
+    r_transistor: float = 917.0,
+    i_read2: float = 200e-6,
+    alpha: float = 0.5,
+) -> List[TemperatureCorner]:
+    """Re-optimize both schemes at each temperature corner.
+
+    The roll-off *shape* is kept (first-order) while the magnitudes derate
+    with the TMR; the transistor resistance is held (its tempco is small
+    compared to the TMR collapse and would only shift both margins
+    together).
+    """
+    if not temperatures:
+        raise ConfigurationError("need at least one temperature")
+    if thermal is None:
+        thermal = ThermalModel()
+    corners: List[TemperatureCorner] = []
+    for temperature in temperatures:
+        derated = derate_params(params, float(temperature), thermal)
+        cell = Cell1T1J(
+            MTJDevice(derated, rolloff_high, rolloff_low),
+            FixedResistanceTransistor(r_transistor),
+        )
+        destructive = optimize_beta_destructive(cell, i_read2)
+        nondestructive = optimize_beta_nondestructive(cell, i_read2, alpha=alpha)
+        window = rtr_shift_window_nondestructive(
+            cell, i_read2, nondestructive.beta, alpha
+        )
+        corners.append(
+            TemperatureCorner(
+                temperature=float(temperature),
+                tmr=derated.tmr,
+                destructive=destructive,
+                nondestructive=nondestructive,
+                rtr_window_nondestructive=window[1],
+            )
+        )
+    return corners

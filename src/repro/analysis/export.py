@@ -1,0 +1,124 @@
+"""CSV export of every figure series.
+
+Downstream users who want to re-plot the paper's figures in their own
+tooling get machine-readable series: one CSV per figure, written by
+:func:`export_all_figures` (also exposed as ``python -m repro export``).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["write_series_csv", "export_all_figures"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_series_csv(
+    path: PathLike,
+    x_label: str,
+    x_values: Sequence[float],
+    series: Dict[str, Sequence[float]],
+) -> pathlib.Path:
+    """Write one x column plus named y columns to ``path``."""
+    x = np.asarray(x_values, dtype=float)
+    columns = {name: np.asarray(values, dtype=float) for name, values in series.items()}
+    for name, values in columns.items():
+        if values.shape != x.shape:
+            raise ConfigurationError(
+                f"series {name!r} length {values.shape} != x length {x.shape}"
+            )
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label, *columns.keys()])
+        for index in range(x.size):
+            writer.writerow(
+                [repr(float(x[index]))]
+                + [repr(float(values[index])) for values in columns.values()]
+            )
+    return target
+
+
+def export_all_figures(directory: PathLike) -> List[pathlib.Path]:
+    """Regenerate every figure series and write one CSV per figure.
+
+    Returns the written paths.  Fig. 11 exports the per-bit (SM0, SM1)
+    scatter of all three schemes.
+    """
+    from repro.analysis.figures import (
+        fig2_ri_curve,
+        fig6_beta_sweep,
+        fig7_rtr_sweep,
+        fig8_alpha_sweep,
+    )
+    from repro.array.testchip import run_testchip_experiment
+    from repro.calibration import calibrate, calibrated_cell, calibrated_device
+
+    directory = pathlib.Path(directory)
+    calibration = calibrate()
+    cell = calibrated_cell()
+    written: List[pathlib.Path] = []
+
+    fig2 = fig2_ri_curve(calibrated_device())
+    written.append(write_series_csv(
+        directory / "fig2_ri_curve.csv",
+        "current_A",
+        fig2.currents,
+        {"r_high_ohm": fig2.r_high, "r_low_ohm": fig2.r_low},
+    ))
+
+    fig6 = fig6_beta_sweep(cell)
+    written.append(write_series_csv(
+        directory / "fig6_beta_sweep.csv",
+        "beta",
+        fig6.betas,
+        {
+            "sm0_destructive_V": fig6.sm0_destructive,
+            "sm1_destructive_V": fig6.sm1_destructive,
+            "sm0_nondestructive_V": fig6.sm0_nondestructive,
+            "sm1_nondestructive_V": fig6.sm1_nondestructive,
+        },
+    ))
+
+    fig7 = fig7_rtr_sweep(
+        cell, calibration.beta_destructive, calibration.beta_nondestructive
+    )
+    written.append(write_series_csv(
+        directory / "fig7_rtr_sweep.csv",
+        "delta_rtr_ohm",
+        fig7.shifts,
+        {
+            "sm0_destructive_V": fig7.sm0_destructive,
+            "sm1_destructive_V": fig7.sm1_destructive,
+            "sm0_nondestructive_V": fig7.sm0_nondestructive,
+            "sm1_nondestructive_V": fig7.sm1_nondestructive,
+        },
+    ))
+
+    fig8 = fig8_alpha_sweep(cell, calibration.beta_nondestructive)
+    written.append(write_series_csv(
+        directory / "fig8_alpha_sweep.csv",
+        "alpha_deviation_frac",
+        fig8.deviations,
+        {"sm0_V": fig8.sm0, "sm1_V": fig8.sm1},
+    ))
+
+    testchip = run_testchip_experiment()
+    for scheme in ("conventional", "destructive", "nondestructive"):
+        sm0, sm1 = testchip.scatter(scheme)
+        written.append(write_series_csv(
+            directory / f"fig11_{scheme}_scatter.csv",
+            "bit_index",
+            np.arange(sm0.size, dtype=float),
+            {"sm0_V": sm0, "sm1_V": sm1},
+        ))
+
+    return written

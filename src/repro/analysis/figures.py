@@ -1,0 +1,239 @@
+"""Figure-series generators.
+
+Each function returns the exact x/y series the corresponding paper figure
+plots, so a benchmark (or a notebook) can print or plot them directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.cell import Cell1T1J
+from repro.core.margins import destructive_margins, nondestructive_margins
+from repro.core.robustness import (
+    alpha_deviation_window,
+    rtr_shift_window_destructive,
+    rtr_shift_window_nondestructive,
+    valid_beta_window_destructive,
+    valid_beta_window_nondestructive,
+)
+from repro.device.mtj import MTJDevice
+from repro.device.ri_curve import RISweep, hysteresis_sweep, static_ri_curve
+
+__all__ = [
+    "Fig2Series",
+    "fig2_ri_curve",
+    "Fig6Series",
+    "fig6_beta_sweep",
+    "Fig7Series",
+    "fig7_rtr_sweep",
+    "Fig8Series",
+    "fig8_alpha_sweep",
+]
+
+
+# ----------------------------------------------------------------------
+# Fig. 2: measured R–I curve
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Fig2Series:
+    """Static branches plus the full hysteresis loop of paper Fig. 2."""
+
+    currents: np.ndarray       #: read currents of the static branches [A]
+    r_high: np.ndarray         #: anti-parallel branch [Ω]
+    r_low: np.ndarray          #: parallel branch [Ω]
+    hysteresis: RISweep        #: full loop incl. switching events
+
+    @property
+    def tmr_collapse(self) -> float:
+        """Fractional TMR loss from zero current to ``i_read_max``."""
+        tmr_zero = (self.r_high[0] - self.r_low[0]) / self.r_low[0]
+        tmr_max = (self.r_high[-1] - self.r_low[-1]) / self.r_low[-1]
+        return 1.0 - tmr_max / tmr_zero
+
+
+def fig2_ri_curve(device: MTJDevice, points: int = 64) -> Fig2Series:
+    """R–I characteristics of the (calibrated) device, as in paper Fig. 2."""
+    currents, r_high, r_low = static_ri_curve(
+        device, np.linspace(0.0, device.params.i_read_max, points)
+    )
+    return Fig2Series(
+        currents=currents,
+        r_high=r_high,
+        r_low=r_low,
+        hysteresis=hysteresis_sweep(device),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: sense margin vs read-current ratio β
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Fig6Series:
+    """SM0/SM1 of both schemes over a β sweep, plus the valid windows."""
+
+    betas: np.ndarray
+    sm0_destructive: np.ndarray
+    sm1_destructive: np.ndarray
+    sm0_nondestructive: np.ndarray
+    sm1_nondestructive: np.ndarray
+    window_destructive: Tuple[float, float]
+    window_nondestructive: Tuple[float, float]
+
+    def crossing_destructive(self) -> float:
+        """β where the destructive margins cross (the optimum)."""
+        return _crossing(self.betas, self.sm1_destructive - self.sm0_destructive)
+
+    def crossing_nondestructive(self) -> float:
+        """β where the nondestructive margins cross (the optimum)."""
+        return _crossing(self.betas, self.sm1_nondestructive - self.sm0_nondestructive)
+
+
+def _crossing(x: np.ndarray, diff: np.ndarray) -> float:
+    sign_change = np.nonzero(np.diff(np.signbit(diff)))[0]
+    if sign_change.size == 0:
+        raise ValueError("series do not cross on the sweep range")
+    i = int(sign_change[0])
+    # Linear interpolation of the zero crossing.
+    x0, x1, d0, d1 = x[i], x[i + 1], diff[i], diff[i + 1]
+    return float(x0 - d0 * (x1 - x0) / (d1 - d0))
+
+
+def fig6_beta_sweep(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    alpha: float = 0.5,
+    betas: Optional[np.ndarray] = None,
+) -> Fig6Series:
+    """Margins of both self-reference schemes vs β (paper Fig. 6)."""
+    if betas is None:
+        betas = np.linspace(1.02, 3.0, 100)
+    sm0_d = np.array([destructive_margins(cell, i_read2, b).sm0 for b in betas])
+    sm1_d = np.array([destructive_margins(cell, i_read2, b).sm1 for b in betas])
+    sm0_n = np.array(
+        [nondestructive_margins(cell, i_read2, b, alpha=alpha).sm0 for b in betas]
+    )
+    sm1_n = np.array(
+        [nondestructive_margins(cell, i_read2, b, alpha=alpha).sm1 for b in betas]
+    )
+    return Fig6Series(
+        betas=betas,
+        sm0_destructive=sm0_d,
+        sm1_destructive=sm1_d,
+        sm0_nondestructive=sm0_n,
+        sm1_nondestructive=sm1_n,
+        window_destructive=valid_beta_window_destructive(cell, i_read2),
+        window_nondestructive=valid_beta_window_nondestructive(cell, i_read2, alpha),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 7: sense margin vs transistor-resistance shift ΔR_TR
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Fig7Series:
+    """SM0/SM1 of both schemes vs ΔR_TR at their design β."""
+
+    shifts: np.ndarray
+    sm0_destructive: np.ndarray
+    sm1_destructive: np.ndarray
+    sm0_nondestructive: np.ndarray
+    sm1_nondestructive: np.ndarray
+    window_destructive: Tuple[float, float]
+    window_nondestructive: Tuple[float, float]
+
+
+def fig7_rtr_sweep(
+    cell: Cell1T1J,
+    beta_destructive: float,
+    beta_nondestructive: float,
+    i_read2: float = 200e-6,
+    alpha: float = 0.5,
+    shifts: Optional[np.ndarray] = None,
+) -> Fig7Series:
+    """Margins vs first-read transistor shift (paper Fig. 7)."""
+    if shifts is None:
+        shifts = np.linspace(-600.0, 600.0, 121)
+    sm0_d = np.array(
+        [destructive_margins(cell, i_read2, beta_destructive, rtr_shift=s).sm0 for s in shifts]
+    )
+    sm1_d = np.array(
+        [destructive_margins(cell, i_read2, beta_destructive, rtr_shift=s).sm1 for s in shifts]
+    )
+    sm0_n = np.array(
+        [
+            nondestructive_margins(
+                cell, i_read2, beta_nondestructive, alpha=alpha, rtr_shift=s
+            ).sm0
+            for s in shifts
+        ]
+    )
+    sm1_n = np.array(
+        [
+            nondestructive_margins(
+                cell, i_read2, beta_nondestructive, alpha=alpha, rtr_shift=s
+            ).sm1
+            for s in shifts
+        ]
+    )
+    return Fig7Series(
+        shifts=shifts,
+        sm0_destructive=sm0_d,
+        sm1_destructive=sm1_d,
+        sm0_nondestructive=sm0_n,
+        sm1_nondestructive=sm1_n,
+        window_destructive=rtr_shift_window_destructive(cell, i_read2, beta_destructive),
+        window_nondestructive=rtr_shift_window_nondestructive(
+            cell, i_read2, beta_nondestructive, alpha
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Fig. 8: sense margin vs divider-ratio variation Δα
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class Fig8Series:
+    """Nondestructive SM0/SM1 vs fractional divider-ratio deviation."""
+
+    deviations: np.ndarray  #: fractional Δα values
+    sm0: np.ndarray
+    sm1: np.ndarray
+    window: Tuple[float, float]
+
+
+def fig8_alpha_sweep(
+    cell: Cell1T1J,
+    beta: float,
+    i_read2: float = 200e-6,
+    alpha: float = 0.5,
+    deviations: Optional[np.ndarray] = None,
+) -> Fig8Series:
+    """Nondestructive margins vs Δα (paper Fig. 8)."""
+    if deviations is None:
+        deviations = np.linspace(-0.08, 0.05, 131)
+    sm0 = np.array(
+        [
+            nondestructive_margins(
+                cell, i_read2, beta, alpha=alpha, alpha_deviation=d
+            ).sm0
+            for d in deviations
+        ]
+    )
+    sm1 = np.array(
+        [
+            nondestructive_margins(
+                cell, i_read2, beta, alpha=alpha, alpha_deviation=d
+            ).sm1
+            for d in deviations
+        ]
+    )
+    return Fig8Series(
+        deviations=deviations,
+        sm0=sm0,
+        sm1=sm1,
+        window=alpha_deviation_window(cell, i_read2, beta, alpha),
+    )

@@ -1,0 +1,53 @@
+"""Plain-text rendering helpers for the benchmark harness.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "render_series"]
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[str]]) -> str:
+    """Render an ASCII table with column alignment."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    separator = "-+-".join("-" * w for w in widths)
+    parts = [line(headers), separator]
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def render_series(
+    x: np.ndarray,
+    series: dict,
+    x_label: str,
+    y_scale: float = 1.0,
+    max_rows: int = 16,
+) -> str:
+    """Render named y-series against x as a compact table (downsampled to at
+    most ``max_rows`` evenly spaced points)."""
+    x = np.asarray(x)
+    count = len(x)
+    step = max(1, count // max_rows)
+    indices = list(range(0, count, step))
+    if indices[-1] != count - 1:
+        indices.append(count - 1)
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for index in indices:
+        row = [f"{x[index]:.4g}"]
+        for values in series.values():
+            row.append(f"{np.asarray(values)[index] * y_scale:.4g}")
+        rows.append(row)
+    return format_table(headers, rows)

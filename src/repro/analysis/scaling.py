@@ -1,0 +1,68 @@
+"""Capacity-scaling projections from Monte-Carlo margin statistics.
+
+The paper's chip is 16kb; a product is gigabits.  Assuming the binding
+margin is approximately Gaussian across bits (verified to hold in the bulk
+by the Monte-Carlo runs), project each scheme's fail counts to arbitrary
+array sizes and find the capacity at which the first uncorrectable bit is
+expected — the honest way to compare the schemes' scalability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from scipy.stats import norm
+
+from repro.array.yield_analysis import MarginStatistics
+from repro.errors import ConfigurationError
+
+__all__ = ["ScalingProjection", "project_fail_fraction", "project_scaling"]
+
+
+def project_fail_fraction(
+    mean_margin: float, std_margin: float, required_margin: float
+) -> float:
+    """Gaussian-tail estimate of the per-bit fail probability."""
+    if std_margin < 0.0:
+        raise ConfigurationError("std_margin must be non-negative")
+    if std_margin == 0.0:
+        return 0.0 if mean_margin > required_margin else 1.0
+    z = (mean_margin - required_margin) / std_margin
+    return float(norm.sf(z))
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalingProjection:
+    """Projected behaviour of one scheme at scale."""
+
+    scheme: str
+    bit_fail_probability: float
+    expected_fails_per_megabit: float
+    expected_fails_per_gigabit: float
+    clean_capacity_bits: float  #: capacity with < 1 expected failing bit
+
+    @property
+    def supports_gigabit_without_repair(self) -> bool:
+        """Whether a 1 Gb array is expected to have zero failing bits."""
+        return self.clean_capacity_bits >= 2**30
+
+
+def project_scaling(
+    statistics: MarginStatistics, required_margin: float = 8.0e-3
+) -> ScalingProjection:
+    """Project a measured margin distribution to product capacities."""
+    p_bit = project_fail_fraction(
+        statistics.mean_margin, statistics.std_margin, required_margin
+    )
+    if p_bit <= 0.0:
+        clean_capacity = math.inf
+    else:
+        clean_capacity = 1.0 / p_bit
+    return ScalingProjection(
+        scheme=statistics.scheme,
+        bit_fail_probability=p_bit,
+        expected_fails_per_megabit=p_bit * 2**20,
+        expected_fails_per_gigabit=p_bit * 2**30,
+        clean_capacity_bits=clean_capacity,
+    )

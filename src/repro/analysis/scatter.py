@@ -1,0 +1,94 @@
+"""ASCII density scatter plots — a terminal rendering of paper Fig. 11.
+
+Maps per-bit (SM0, SM1) points onto a character grid, with density shading
+and the pass/fail boundary marked, so the benchmark output visually
+resembles the paper's scatter figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ascii_scatter"]
+
+_SHADES = " .:+*#@"
+
+
+def ascii_scatter(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 56,
+    height: int = 20,
+    x_label: str = "SM0 [mV]",
+    y_label: str = "SM1 [mV]",
+    scale: float = 1e3,
+    boundary: Optional[float] = None,
+    x_range: Optional[Tuple[float, float]] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render points as a density map.
+
+    ``boundary`` (in the same units as x/y, before ``scale``) draws the
+    pass/fail threshold as ``|``/``-`` lines — the paper's Fig. 11 split.
+    """
+    x = np.asarray(x, dtype=float) * scale
+    y = np.asarray(y, dtype=float) * scale
+    if x.shape != y.shape or x.ndim != 1 or x.size == 0:
+        raise ConfigurationError("x and y must be equal-length non-empty 1-D arrays")
+    if width < 8 or height < 4:
+        raise ConfigurationError("grid too small to render")
+
+    x_lo, x_hi = x_range if x_range else (float(x.min()), float(x.max()))
+    y_lo, y_hi = y_range if y_range else (float(y.min()), float(y.max()))
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    # Pad 5% so edge points stay inside.
+    x_pad = 0.05 * (x_hi - x_lo)
+    y_pad = 0.05 * (y_hi - y_lo)
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    columns = np.clip(((x - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((y - y_lo) / (y_hi - y_lo) * (height - 1)).astype(int), 0, height - 1)
+    density = np.zeros((height, width), dtype=int)
+    np.add.at(density, (rows, columns), 1)
+
+    peak = density.max()
+    grid: List[List[str]] = []
+    for row in range(height - 1, -1, -1):  # y grows upward
+        line = []
+        for column in range(width):
+            count = density[row, column]
+            if count == 0:
+                line.append(" ")
+            else:
+                shade = 1 + int((len(_SHADES) - 2) * np.log1p(count) / np.log1p(peak))
+                line.append(_SHADES[min(shade, len(_SHADES) - 1)])
+        grid.append(line)
+
+    if boundary is not None:
+        b = boundary * scale
+        if x_lo < b < x_hi:
+            column = int((b - x_lo) / (x_hi - x_lo) * (width - 1))
+            for line in grid:
+                if line[column] == " ":
+                    line[column] = "|"
+        if y_lo < b < y_hi:
+            row_index = int((b - y_lo) / (y_hi - y_lo) * (height - 1))
+            line = grid[height - 1 - row_index]
+            for column in range(width):
+                if line[column] == " ":
+                    line[column] = "-"
+
+    rendered = []
+    rendered.append(f"  {y_label} ^   ({y_lo:.1f} .. {y_hi:.1f})")
+    for line in grid:
+        rendered.append("  |" + "".join(line))
+    rendered.append("  +" + "-" * width + f"> {x_label}  ({x_lo:.1f} .. {x_hi:.1f})")
+    return "\n".join(rendered)

@@ -1,0 +1,124 @@
+"""First-order sensitivity analysis of the sense margins.
+
+For each design/device parameter ``x``, computes the normalized sensitivity
+
+    S_x = (∂SM/∂x) · (x / SM)
+
+of each scheme's binding margin by central differences — the designer's
+map of *which* variations matter.  The paper's robustness section studies
+three knobs (β, ΔR_TR, Δα); this generalizes to every model parameter and
+ranks them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+from repro.core.cell import Cell1T1J
+from repro.core.margins import destructive_margins, nondestructive_margins
+from repro.device.mtj import MTJDevice
+from repro.device.transistor import FixedResistanceTransistor
+from repro.errors import ConfigurationError
+
+__all__ = ["SensitivityEntry", "margin_sensitivities"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SensitivityEntry:
+    """Normalized sensitivity of one scheme's margin to one parameter."""
+
+    parameter: str
+    scheme: str
+    sensitivity: float  #: dimensionless (% margin change per % parameter change)
+
+    @property
+    def magnitude(self) -> float:
+        """Absolute sensitivity (for ranking)."""
+        return abs(self.sensitivity)
+
+
+def _rebuild_cell(cell: Cell1T1J, parameter: str, factor: float) -> Cell1T1J:
+    """A copy of ``cell`` with one parameter scaled by ``factor``."""
+    params = cell.mtj.params
+    r_tr = float(cell.transistor.resistance(0.0))
+    changes = {}
+    if parameter == "r_low":
+        changes["r_low"] = params.r_low * factor
+    elif parameter == "r_high":
+        changes["r_high"] = params.r_high * factor
+    elif parameter == "dr_high_max":
+        changes["dr_high_max"] = params.dr_high_max * factor
+    elif parameter == "dr_low_max":
+        changes["dr_low_max"] = params.dr_low_max * factor
+    elif parameter == "r_transistor":
+        r_tr *= factor
+    else:
+        raise ConfigurationError(f"unknown parameter {parameter!r}")
+    mtj = MTJDevice(
+        params.replace(**changes) if changes else params,
+        cell.mtj.rolloff_high,
+        cell.mtj.rolloff_low,
+    )
+    return Cell1T1J(mtj, FixedResistanceTransistor(r_tr))
+
+
+_DEVICE_PARAMETERS = ("r_low", "r_high", "dr_high_max", "dr_low_max", "r_transistor")
+_OPERATING_PARAMETERS = ("beta", "alpha", "i_read2")
+
+
+def margin_sensitivities(
+    cell: Cell1T1J,
+    beta_destructive: float,
+    beta_nondestructive: float,
+    i_read2: float = 200e-6,
+    alpha: float = 0.5,
+    step: float = 0.01,
+    parameters: Optional[List[str]] = None,
+) -> List[SensitivityEntry]:
+    """Normalized margin sensitivities of both schemes, ranked by magnitude.
+
+    ``step`` is the fractional perturbation for the central difference.
+    """
+    if not 0.0 < step < 0.2:
+        raise ConfigurationError("step must be a small positive fraction")
+    if parameters is None:
+        parameters = list(_DEVICE_PARAMETERS) + list(_OPERATING_PARAMETERS)
+
+    def margin(scheme: str, parameter: str, factor: float) -> float:
+        beta = beta_destructive if scheme == "destructive" else beta_nondestructive
+        local_cell, local_beta, local_alpha, local_i2 = cell, beta, alpha, i_read2
+        if parameter in _DEVICE_PARAMETERS:
+            local_cell = _rebuild_cell(cell, parameter, factor)
+        elif parameter == "beta":
+            local_beta = beta * factor
+        elif parameter == "alpha":
+            local_alpha = alpha * factor
+        elif parameter == "i_read2":
+            local_i2 = i_read2 * factor
+        else:
+            raise ConfigurationError(f"unknown parameter {parameter!r}")
+        if scheme == "destructive":
+            return destructive_margins(local_cell, local_i2, local_beta).min_margin
+        return nondestructive_margins(
+            local_cell, local_i2, local_beta, alpha=local_alpha
+        ).min_margin
+
+    entries: List[SensitivityEntry] = []
+    for scheme in ("destructive", "nondestructive"):
+        base = margin(scheme, "r_low", 1.0)
+        if base <= 0.0:
+            raise ConfigurationError(f"{scheme}: non-positive base margin")
+        for parameter in parameters:
+            if parameter == "alpha" and scheme == "destructive":
+                continue  # the destructive scheme has no divider
+            up = margin(scheme, parameter, 1.0 + step)
+            down = margin(scheme, parameter, 1.0 - step)
+            sensitivity = (up - down) / (2.0 * step * base)
+            entries.append(
+                SensitivityEntry(
+                    parameter=parameter, scheme=scheme, sensitivity=sensitivity
+                )
+            )
+    entries.sort(key=lambda entry: entry.magnitude, reverse=True)
+    return entries

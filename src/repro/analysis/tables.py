@@ -1,0 +1,100 @@
+"""Row generators for the paper's Tables I and II.
+
+Each row is ``(quantity, reproduced value, paper value)`` so benchmarks can
+print a direct paper-vs-measured comparison (also recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.calibration.table1 import Table1, derive_table1
+from repro.calibration.targets import PAPER_TARGETS, PaperTargets
+from repro.core.robustness import RobustnessSummary, robustness_summary
+from repro.units import format_si
+
+__all__ = ["table1_rows", "table2_rows"]
+
+Row = Tuple[str, str, str]
+
+
+def table1_rows(
+    table: Optional[Table1] = None, targets: PaperTargets = PAPER_TARGETS
+) -> List[Row]:
+    """Paper Table I: device parameters and scheme operating points."""
+    if table is None:
+        table = derive_table1(targets)
+    rows: List[Row] = [
+        ("R_H (I→0)", format_si(table.r_high, "Ω"), format_si(targets.r_high, "Ω")),
+        ("R_L (I→0)", format_si(table.r_low, "Ω"), format_si(targets.r_low, "Ω")),
+        ("ΔR_Hmax", format_si(table.dr_high_max, "Ω"), format_si(targets.dr_high_max, "Ω")),
+        ("ΔR_Lmax", format_si(table.dr_low_max, "Ω"), "≈0 (unreadable in scan)"),
+        ("R_TR", format_si(table.r_transistor, "Ω"), format_si(targets.r_transistor, "Ω")),
+        ("I_max (I_R2)", format_si(table.i_read_max, "A"), format_si(targets.i_read_max, "A")),
+        ("TMR", f"{table.tmr:.1%}", f"{targets.tmr:.1%}"),
+    ]
+    d, n = table.destructive, table.nondestructive
+    rows += [
+        ("β (destructive)", f"{d.beta:.3f}", f"{targets.beta_destructive:.2f}"),
+        (
+            "max SM (destructive)",
+            format_si(d.max_sense_margin, "V"),
+            format_si(targets.margin_destructive, "V"),
+        ),
+        ("R_H1 (destructive)", format_si(d.r_high_1, "Ω"), "(unreadable in scan)"),
+        ("R_L1 (destructive)", format_si(d.r_low_1, "Ω"), "(unreadable in scan)"),
+        ("β (nondestructive)", f"{n.beta:.3f}", f"{targets.beta_nondestructive:.2f}"),
+        (
+            "max SM (nondestructive)",
+            format_si(n.max_sense_margin, "V"),
+            format_si(targets.margin_nondestructive, "V"),
+        ),
+        ("R_H1 (nondestructive)", format_si(n.r_high_1, "Ω"), "(unreadable in scan)"),
+        ("R_L1 (nondestructive)", format_si(n.r_low_1, "Ω"), "(unreadable in scan)"),
+    ]
+    return rows
+
+
+def table2_rows(
+    summaries: Optional[Tuple[RobustnessSummary, RobustnessSummary]] = None,
+    cell=None,
+    targets: PaperTargets = PAPER_TARGETS,
+) -> List[Row]:
+    """Paper Table II: robustness windows of the two self-reference schemes."""
+    if summaries is None:
+        if cell is None:
+            from repro.calibration.fit import calibrated_cell
+
+            cell = calibrated_cell(targets)
+        summaries = robustness_summary(cell, targets.i_read_max, alpha=targets.alpha)
+    destructive, nondestructive = summaries
+    rows: List[Row] = [
+        (
+            "Max./Min. β (destructive)",
+            f"{destructive.beta_window[1]:.3f} / {destructive.beta_window[0]:.3f}",
+            "(max unreadable) / ~1",
+        ),
+        (
+            "Max./Min. β (nondestructive)",
+            f"{nondestructive.beta_window[1]:.3f} / {nondestructive.beta_window[0]:.3f}",
+            f"(max unreadable) / {targets.beta_min_nondestructive:.0f}",
+        ),
+        (
+            "ΔR_TR window (destructive)",
+            f"{destructive.rtr_window[0]:+.0f} / {destructive.rtr_window[1]:+.0f} Ω",
+            f"±{targets.rtr_window_destructive:.0f} Ω",
+        ),
+        (
+            "ΔR_TR window (nondestructive)",
+            f"{nondestructive.rtr_window[0]:+.0f} / {nondestructive.rtr_window[1]:+.0f} Ω",
+            f"±{targets.rtr_window_nondestructive:.0f} Ω",
+        ),
+        ("Δα window (destructive)", "N/A", "N/A"),
+        (
+            "Δα window (nondestructive)",
+            f"{nondestructive.alpha_window[0]:+.2%} / {nondestructive.alpha_window[1]:+.2%}",
+            f"{targets.alpha_window_lower:+.2%} / {targets.alpha_window_upper:+.2%}",
+        ),
+    ]
+    return rows

@@ -1,0 +1,144 @@
+"""Behavioural STT-RAM array: store data, read it back through any scheme.
+
+Where the Monte-Carlo engine computes *margins* in closed form, this class
+actually performs reads and writes bit by bit (materializing each cell),
+which lets integration tests and examples exercise the full read pipeline —
+including the destructive scheme's erase/write-back side effects and
+injected power failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.array.montecarlo import run_margin_monte_carlo
+from repro.core.base import ReadResult, SensingScheme
+from repro.core.cell import Cell1T1J
+from repro.device.mtj import MTJState
+from repro.device.transistor import FixedResistanceTransistor
+from repro.device.variation import CellPopulation
+from repro.errors import ConfigurationError
+
+__all__ = ["STTRAMArray"]
+
+
+class STTRAMArray:
+    """A word-addressable array over a sampled cell population.
+
+    Parameters
+    ----------
+    population:
+        Per-bit electrical parameters (one array entry per cell).
+    word_width:
+        Bits per word; the array holds ``population.size // word_width``
+        words.
+    """
+
+    def __init__(self, population: CellPopulation, word_width: int = 8):
+        if word_width < 1:
+            raise ConfigurationError("word_width must be >= 1")
+        if population.size < word_width:
+            raise ConfigurationError("population smaller than one word")
+        self.population = population
+        self.word_width = word_width
+        self._cells: Dict[int, Cell1T1J] = {}
+        self._states = np.zeros(population.size, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def size_bits(self) -> int:
+        """Total number of cells."""
+        return self.population.size
+
+    @property
+    def size_words(self) -> int:
+        """Number of addressable words."""
+        return self.population.size // self.word_width
+
+    def _check_address(self, address: int) -> None:
+        if not 0 <= address < self.size_words:
+            raise IndexError(f"address {address} out of range [0, {self.size_words})")
+
+    def _cell(self, bit_index: int) -> Cell1T1J:
+        """Materialize (and cache) the cell for one bit, syncing its state."""
+        cell = self._cells.get(bit_index)
+        if cell is None:
+            mtj = self.population.device(bit_index)
+            transistor = FixedResistanceTransistor(float(self.population.r_tr[bit_index]))
+            cell = Cell1T1J(mtj, transistor)
+            self._cells[bit_index] = cell
+        cell.state = MTJState.from_bit(int(self._states[bit_index]))
+        return cell
+
+    # ------------------------------------------------------------------
+    # Data operations
+    # ------------------------------------------------------------------
+    def write_word(self, address: int, value: int) -> None:
+        """Store ``value`` (``word_width`` bits, LSB first) at ``address``."""
+        self._check_address(address)
+        if not 0 <= value < (1 << self.word_width):
+            raise ValueError(f"value {value} does not fit in {self.word_width} bits")
+        base = address * self.word_width
+        for offset in range(self.word_width):
+            self._states[base + offset] = (value >> offset) & 1
+
+    def read_word(
+        self,
+        address: int,
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        """Read the word at ``address`` through ``scheme``.
+
+        The scheme may mutate cell state (destructive reads); the array's
+        state tracks whatever the scheme leaves behind.  Metastable bits
+        resolve to 0.
+        """
+        self._check_address(address)
+        base = address * self.word_width
+        value = 0
+        for offset in range(self.word_width):
+            result = self.read_bit(base + offset, scheme, rng)
+            bit = result.bit if result.bit is not None else 0
+            value |= bit << offset
+        return value
+
+    def read_bit(
+        self,
+        bit_index: int,
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+    ) -> ReadResult:
+        """Read one cell through ``scheme`` and sync the array state."""
+        if not 0 <= bit_index < self.size_bits:
+            raise IndexError(f"bit {bit_index} out of range [0, {self.size_bits})")
+        cell = self._cell(bit_index)
+        result = scheme.read(cell, rng)
+        self._states[bit_index] = cell.stored_bit
+        return result
+
+    def stored_bits(self) -> np.ndarray:
+        """Ground-truth copy of all stored bits."""
+        return self._states.copy()
+
+    # ------------------------------------------------------------------
+    # Bulk analysis
+    # ------------------------------------------------------------------
+    def margin_survey(self, **monte_carlo_kwargs):
+        """Closed-form per-bit margins of all three schemes (delegates to
+        :func:`repro.array.montecarlo.run_margin_monte_carlo`)."""
+        return run_margin_monte_carlo(self.population, **monte_carlo_kwargs)
+
+    def failing_bits(
+        self,
+        scheme_name: str,
+        required_margin: float = 8.0e-3,
+        **monte_carlo_kwargs,
+    ) -> List[int]:
+        """Indices of bits the named scheme cannot read reliably."""
+        margins = self.margin_survey(**monte_carlo_kwargs)[scheme_name]
+        return list(np.nonzero(margins.fail_mask(required_margin))[0])

@@ -1,0 +1,132 @@
+"""Array organization: banks, decoders and read scheduling.
+
+Models the chip-level consequences of the scheme choice: a destructive
+self-reference read occupies its bank for the whole
+read–erase–read–write-back sequence (and its write pulses draw the write
+driver), so a multi-bank memory built on it sustains far less read
+bandwidth per watt than one built on the nondestructive scheme.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Tuple
+
+from repro.core.cell import Cell1T1J
+from repro.errors import ConfigurationError
+from repro.timing.energy import scheme_read_energy
+from repro.timing.latency import (
+    LatencyBreakdown,
+    TimingConfig,
+    destructive_read_latency,
+    nondestructive_read_latency,
+)
+
+__all__ = ["ArrayOrganization", "BankThroughput", "bank_throughput"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayOrganization:
+    """Physical organization of an STT-RAM macro.
+
+    Attributes
+    ----------
+    banks:
+        Independently-addressable banks (reads to different banks overlap).
+    rows / columns:
+        Cells per bank; ``columns`` sense amplifiers fire in parallel, so
+        one bank access reads a ``columns``-bit page.
+    """
+
+    banks: int = 4
+    rows: int = 128
+    columns: int = 128
+
+    def __post_init__(self) -> None:
+        if self.banks < 1 or self.rows < 1 or self.columns < 1:
+            raise ConfigurationError("organization dimensions must be >= 1")
+
+    @property
+    def bits(self) -> int:
+        """Total capacity [bits]."""
+        return self.banks * self.rows * self.columns
+
+    @property
+    def row_address_bits(self) -> int:
+        """Width of the row decoder input."""
+        return max(1, math.ceil(math.log2(self.rows)))
+
+    @property
+    def bank_address_bits(self) -> int:
+        """Width of the bank select."""
+        return max(1, math.ceil(math.log2(self.banks)))
+
+    def decode(self, address: int) -> Tuple[int, int]:
+        """Split a page address into (bank, row)."""
+        pages = self.banks * self.rows
+        if not 0 <= address < pages:
+            raise IndexError(f"page address {address} out of range [0, {pages})")
+        return address % self.banks, address // self.banks
+
+
+@dataclasses.dataclass(frozen=True)
+class BankThroughput:
+    """Sustained read characteristics of one organization + scheme."""
+
+    scheme: str
+    organization: ArrayOrganization
+    page_latency: float       #: one bank access [s]
+    page_bits: int            #: bits delivered per access
+    read_bandwidth: float     #: all banks streaming [bit/s]
+    read_power: float         #: array power at full streaming [W]
+    energy_per_bit: float     #: [J/bit]
+
+
+def bank_throughput(
+    cell: Cell1T1J,
+    organization: ArrayOrganization,
+    breakdown: LatencyBreakdown,
+) -> BankThroughput:
+    """Sustained read bandwidth and power for a given scheme's latency.
+
+    Each bank streams back-to-back page reads; ``banks`` of them overlap
+    perfectly (no shared-bus modelling — this is the array-core limit).
+    Energy scales with the ``columns`` cells sensed per access.
+    """
+    energy = scheme_read_energy(cell, breakdown)
+    page_latency = breakdown.total
+    page_bits = organization.columns
+    bandwidth = organization.banks * page_bits / page_latency
+    power = organization.banks * page_bits * energy.total / page_latency
+    return BankThroughput(
+        scheme=breakdown.scheme,
+        organization=organization,
+        page_latency=page_latency,
+        page_bits=page_bits,
+        read_bandwidth=bandwidth,
+        read_power=power,
+        energy_per_bit=energy.total,
+    )
+
+
+def throughput_comparison(
+    cell: Cell1T1J,
+    organization: ArrayOrganization = ArrayOrganization(),
+    i_read2: float = 200e-6,
+    beta_destructive: float = 1.22,
+    beta_nondestructive: float = 2.13,
+    config: TimingConfig = None,
+) -> Tuple[BankThroughput, BankThroughput]:
+    """(destructive, nondestructive) array-level read characteristics."""
+    destructive = bank_throughput(
+        cell,
+        organization,
+        destructive_read_latency(cell, i_read2, beta_destructive, config),
+    )
+    nondestructive = bank_throughput(
+        cell,
+        organization,
+        nondestructive_read_latency(cell, i_read2, beta_nondestructive, config),
+    )
+    return destructive, nondestructive

@@ -1,0 +1,132 @@
+"""Redundancy repair: spare rows/columns remapping failing bits.
+
+Production memories ship with spare rows and columns; post-test repair
+remaps the addresses containing failing bits.  Combined with the
+Monte-Carlo fail maps this quantifies how many spares each sensing scheme
+needs at a given variation level — the manufacturing-cost complement of
+the ECC analysis (A8).
+
+The allocator is the standard greedy must-repair algorithm: any row
+(column) with more failing bits than the remaining column (row) spares
+*must* take a row (column) spare; remaining isolated fails take whichever
+spare kind is left.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RepairPlan", "allocate_repair"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RepairPlan:
+    """Result of a spare allocation."""
+
+    rows: int
+    columns: int
+    spare_rows_used: List[int]
+    spare_columns_used: List[int]
+    unrepaired_fails: int
+
+    @property
+    def repaired(self) -> bool:
+        """True when every failing bit is covered by a spare."""
+        return self.unrepaired_fails == 0
+
+    @property
+    def spares_used(self) -> int:
+        """Total spares consumed."""
+        return len(self.spare_rows_used) + len(self.spare_columns_used)
+
+
+def allocate_repair(
+    fail_mask: np.ndarray,
+    rows: int,
+    columns: int,
+    spare_rows: int,
+    spare_columns: int,
+) -> RepairPlan:
+    """Greedy must-repair spare allocation over a row-major fail mask.
+
+    Parameters
+    ----------
+    fail_mask:
+        Boolean array of length ``rows * columns`` (row-major bit order).
+    spare_rows / spare_columns:
+        Available redundancy.
+    """
+    mask = np.asarray(fail_mask, dtype=bool)
+    if mask.size != rows * columns:
+        raise ConfigurationError(
+            f"fail mask of {mask.size} bits does not match {rows}x{columns}"
+        )
+    if spare_rows < 0 or spare_columns < 0:
+        raise ConfigurationError("spare counts must be non-negative")
+    grid = mask.reshape(rows, columns).copy()
+
+    used_rows: List[int] = []
+    used_columns: List[int] = []
+    remaining_rows = spare_rows
+    remaining_columns = spare_columns
+
+    # Must-repair passes: a line with more fails than the other dimension's
+    # remaining spares can only be fixed by replacing the line itself.
+    changed = True
+    while changed:
+        changed = False
+        row_fail_counts = grid.sum(axis=1)
+        for row in np.nonzero(row_fail_counts > remaining_columns)[0]:
+            if remaining_rows <= 0:
+                continue
+            if row_fail_counts[row] == 0:
+                continue
+            grid[row, :] = False
+            used_rows.append(int(row))
+            remaining_rows -= 1
+            changed = True
+        column_fail_counts = grid.sum(axis=0)
+        for column in np.nonzero(column_fail_counts > remaining_rows)[0]:
+            if remaining_columns <= 0:
+                continue
+            if column_fail_counts[column] == 0:
+                continue
+            grid[:, column] = False
+            used_columns.append(int(column))
+            remaining_columns -= 1
+            changed = True
+
+    # Sparse remainder: cover the heaviest lines first with whatever is left.
+    while grid.any() and (remaining_rows > 0 or remaining_columns > 0):
+        row_fail_counts = grid.sum(axis=1)
+        column_fail_counts = grid.sum(axis=0)
+        best_row = int(np.argmax(row_fail_counts))
+        best_column = int(np.argmax(column_fail_counts))
+        take_row = (
+            remaining_rows > 0
+            and (
+                remaining_columns == 0
+                or row_fail_counts[best_row] >= column_fail_counts[best_column]
+            )
+        )
+        if take_row:
+            grid[best_row, :] = False
+            used_rows.append(best_row)
+            remaining_rows -= 1
+        else:
+            grid[:, best_column] = False
+            used_columns.append(best_column)
+            remaining_columns -= 1
+
+    return RepairPlan(
+        rows=rows,
+        columns=columns,
+        spare_rows_used=sorted(used_rows),
+        spare_columns_used=sorted(used_columns),
+        unrepaired_fails=int(grid.sum()),
+    )

@@ -1,0 +1,90 @@
+"""Read-stress campaigns: silent-corruption accounting under repeated reads.
+
+The destructive scheme turns every read into two stochastic write pulses;
+with a marginal write driver its silent-corruption rate dwarfs any sensing
+error.  The nondestructive scheme issues no writes.  This module runs a
+behavioural stress campaign over an array and tallies the damage per
+scheme — the system-level version of ablation A10.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.array.array import STTRAMArray
+from repro.core.base import SensingScheme
+from repro.errors import ConfigurationError
+
+__all__ = ["StressReport", "run_read_stress"]
+
+
+@dataclasses.dataclass(frozen=True)
+class StressReport:
+    """Outcome of one read-stress campaign."""
+
+    scheme: str
+    reads: int
+    misreads: int            #: sensed value != stored-at-time-of-read
+    corruptions: int         #: stored value damaged by the read itself
+    final_data_intact: bool  #: array contents equal the original pattern
+
+    @property
+    def misread_rate(self) -> float:
+        """Fraction of reads returning the wrong value."""
+        return self.misreads / self.reads if self.reads else 0.0
+
+    @property
+    def corruption_rate(self) -> float:
+        """Fraction of reads that damaged the stored value."""
+        return self.corruptions / self.reads if self.reads else 0.0
+
+
+def run_read_stress(
+    array: STTRAMArray,
+    scheme: SensingScheme,
+    reads: int,
+    rng: Optional[np.random.Generator] = None,
+    pattern_seed: int = 1,
+) -> StressReport:
+    """Hammer the array with ``reads`` random single-bit reads.
+
+    The array is first filled with a random pattern; every read's sensed
+    value is checked against the expected bit, and the stored bit is
+    re-checked after the read (a destructive read that mis-writes-back, or
+    whose write pulse fails stochastically, shows up here).
+    """
+    if reads < 1:
+        raise ConfigurationError("reads must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    pattern_rng = np.random.default_rng(pattern_seed)
+    original = pattern_rng.integers(0, 2, array.size_bits).astype(np.uint8)
+    for index, bit in enumerate(original):
+        array._states[index] = bit
+
+    misreads = 0
+    corruptions = 0
+    expected = original.copy()
+    for _ in range(reads):
+        index = int(rng.integers(0, array.size_bits))
+        before = int(expected[index])
+        result = array.read_bit(index, scheme, rng)
+        if result.bit != before:
+            misreads += 1
+        after = int(array.stored_bits()[index])
+        if after != before:
+            corruptions += 1
+            expected[index] = after  # track the damage forward
+
+    final_intact = bool(np.array_equal(array.stored_bits(), original))
+    return StressReport(
+        scheme=scheme.name,
+        reads=reads,
+        misreads=misreads,
+        corruptions=corruptions,
+        final_data_intact=final_intact,
+    )

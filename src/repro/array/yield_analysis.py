@@ -1,0 +1,96 @@
+"""Yield and margin-distribution statistics.
+
+Turns raw per-bit margins into the quantities the paper reports: fail-bit
+fractions at the sense-amp window (Fig. 11's pass/fail split), margin
+distribution moments, and worst-case/percentile margins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+import numpy as np
+
+from repro.array.montecarlo import MonteCarloMargins, SchemeMargins
+from repro.errors import ConfigurationError
+
+__all__ = ["MarginStatistics", "YieldReport", "analyze_margins"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MarginStatistics:
+    """Distribution statistics of one scheme's per-bit binding margins."""
+
+    scheme: str
+    bits: int
+    fail_count: int
+    fail_fraction: float
+    yield_fraction: float
+    mean_margin: float
+    std_margin: float
+    min_margin: float
+    percentile_1: float  #: 1st-percentile binding margin [V]
+    mean_sm0: float
+    mean_sm1: float
+
+    @property
+    def sigma_margin(self) -> float:
+        """How many sigmas the mean margin sits above zero (∞ for a
+        variation-free population)."""
+        if self.std_margin == 0.0:
+            return float("inf")
+        return self.mean_margin / self.std_margin
+
+
+@dataclasses.dataclass(frozen=True)
+class YieldReport:
+    """Statistics of every scheme over one Monte-Carlo population."""
+
+    required_margin: float
+    statistics: Dict[str, MarginStatistics]
+
+    def __getitem__(self, scheme: str) -> MarginStatistics:
+        return self.statistics[scheme]
+
+    def best_scheme(self) -> str:
+        """Scheme with the highest yield (ties broken by mean margin)."""
+        return max(
+            self.statistics.values(),
+            key=lambda s: (s.yield_fraction, s.mean_margin),
+        ).scheme
+
+
+def _statistics(margins: SchemeMargins, required_margin: float) -> MarginStatistics:
+    binding = margins.min_margin
+    fails = int(np.count_nonzero(binding <= required_margin))
+    bits = binding.size
+    return MarginStatistics(
+        scheme=margins.scheme,
+        bits=bits,
+        fail_count=fails,
+        fail_fraction=fails / bits,
+        yield_fraction=1.0 - fails / bits,
+        mean_margin=float(np.mean(binding)),
+        std_margin=float(np.std(binding)),
+        min_margin=float(np.min(binding)),
+        percentile_1=float(np.percentile(binding, 1.0)),
+        mean_sm0=float(np.mean(margins.sm0)),
+        mean_sm1=float(np.mean(margins.sm1)),
+    )
+
+
+def analyze_margins(
+    monte_carlo: MonteCarloMargins, required_margin: float = 8.0e-3
+) -> YieldReport:
+    """Summarize a Monte-Carlo margin run at the given sense-amp window
+    (paper: 8 mV)."""
+    if required_margin < 0.0:
+        raise ConfigurationError("required_margin must be non-negative")
+    return YieldReport(
+        required_margin=required_margin,
+        statistics={
+            name: _statistics(margins, required_margin)
+            for name, margins in monte_carlo.schemes.items()
+        },
+    )

@@ -1,0 +1,105 @@
+"""Derivation of the paper's Table I from the calibrated device.
+
+Table I lists the electrical parameters of the typical device plus, for each
+self-reference scheme, the optimized operating point: first/second read
+currents, the state resistances at those currents, the roll-off between the
+two reads, the optimal β and the maximum sense margin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.calibration.fit import CalibrationResult, calibrate
+from repro.calibration.targets import PAPER_TARGETS, PaperTargets
+from repro.core.optimize import (
+    BetaOptimum,
+    optimize_beta_destructive,
+    optimize_beta_nondestructive,
+)
+from repro.device.mtj import MTJState
+
+__all__ = ["SchemeOperatingPoint", "Table1", "derive_table1"]
+
+
+@dataclasses.dataclass(frozen=True)
+class SchemeOperatingPoint:
+    """One scheme's half of Table I."""
+
+    scheme: str
+    beta: float
+    i_read1: float
+    i_read2: float
+    r_high_1: float   #: R_H at I_R1 [Ω]
+    r_low_1: float    #: R_L at I_R1 [Ω]
+    r_high_2: float   #: R_H at I_R2 [Ω]
+    r_low_2: float    #: R_L at I_R2 [Ω]
+    dr_high_12: float  #: R_H(I_R1) - R_H(I_R2): roll-off between reads [Ω]
+    dr_low_12: float   #: R_L(I_R1) - R_L(I_R2) [Ω]
+    max_sense_margin: float  #: balanced margin at the optimum [V]
+
+
+@dataclasses.dataclass(frozen=True)
+class Table1:
+    """The full reproduced Table I."""
+
+    r_high: float
+    r_low: float
+    dr_high_max: float
+    dr_low_max: float
+    r_transistor: float
+    i_read_max: float
+    tmr: float
+    destructive: SchemeOperatingPoint
+    nondestructive: SchemeOperatingPoint
+    calibration: CalibrationResult
+
+
+def _operating_point(scheme: str, cell, optimum: BetaOptimum) -> SchemeOperatingPoint:
+    mtj = cell.mtj
+    i1, i2 = optimum.i_read1, optimum.i_read2
+    r_high_1 = float(mtj.resistance(i1, MTJState.ANTIPARALLEL))
+    r_low_1 = float(mtj.resistance(i1, MTJState.PARALLEL))
+    r_high_2 = float(mtj.resistance(i2, MTJState.ANTIPARALLEL))
+    r_low_2 = float(mtj.resistance(i2, MTJState.PARALLEL))
+    return SchemeOperatingPoint(
+        scheme=scheme,
+        beta=optimum.beta,
+        i_read1=i1,
+        i_read2=i2,
+        r_high_1=r_high_1,
+        r_low_1=r_low_1,
+        r_high_2=r_high_2,
+        r_low_2=r_low_2,
+        dr_high_12=r_high_1 - r_high_2,
+        dr_low_12=r_low_1 - r_low_2,
+        max_sense_margin=optimum.max_sense_margin,
+    )
+
+
+def derive_table1(targets: Optional[PaperTargets] = None) -> Table1:
+    """Reproduce Table I from the calibrated device."""
+    if targets is None:
+        targets = PAPER_TARGETS
+    calibration = calibrate(targets)
+    cell = calibration.cell(targets.r_transistor)
+    destructive = optimize_beta_destructive(cell, targets.i_read_max)
+    nondestructive = optimize_beta_nondestructive(
+        cell, targets.i_read_max, alpha=targets.alpha
+    )
+    params = calibration.params
+    return Table1(
+        r_high=params.r_high,
+        r_low=params.r_low,
+        dr_high_max=params.dr_high_max,
+        dr_low_max=params.dr_low_max,
+        r_transistor=targets.r_transistor,
+        i_read_max=targets.i_read_max,
+        tmr=params.tmr,
+        destructive=_operating_point("destructive self-reference", cell, destructive),
+        nondestructive=_operating_point(
+            "nondestructive self-reference", cell, nondestructive
+        ),
+        calibration=calibration,
+    )

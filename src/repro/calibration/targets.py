@@ -1,0 +1,56 @@
+"""The paper's published numbers used as calibration targets and as the
+paper-vs-measured reference in EXPERIMENTS.md.
+
+Values follow the trailing-zero OCR recovery documented in DESIGN.md §2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["PaperTargets", "PAPER_TARGETS"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PaperTargets:
+    """Anchor values from the paper (Tables I–II and §V text)."""
+
+    # --- Table I: MTJ and transistor parameters -----------------------
+    r_high: float = 2500.0          #: R_H at ~zero read current [Ω]
+    r_low: float = 1220.0           #: R_L at ~zero read current [Ω]
+    dr_high_max: float = 600.0      #: high-state roll-off at I_max [Ω]
+    r_transistor: float = 917.0     #: NMOS linear-region resistance [Ω]
+    i_read_max: float = 200e-6      #: maximum non-disturbing read current [A]
+    i_switching: float = 500e-6     #: MTJ switching current, 4 ns pulse [A]
+    read_disturb_fraction: float = 0.4  #: I_max / I_switching
+
+    # --- Table I: optimized operating points --------------------------
+    beta_destructive: float = 1.22          #: optimal β, destructive scheme
+    margin_destructive: float = 76.6e-3     #: max sense margin [V]
+    beta_nondestructive: float = 2.13       #: optimal β, nondestructive
+    margin_nondestructive: float = 12.1e-3  #: max sense margin [V]
+    alpha: float = 0.5                      #: designed divider ratio
+
+    # --- Table II: robustness windows ----------------------------------
+    rtr_window_destructive: float = 468.0       #: ± ΔR_TR window [Ω]
+    rtr_window_nondestructive: float = 130.0    #: ± ΔR_TR window [Ω]
+    alpha_window_upper: float = 0.0413          #: max Δα (fractional)
+    alpha_window_lower: float = -0.0571         #: min Δα (fractional)
+    beta_min_nondestructive: float = 2.0        #: Table II "Min. β"
+
+    # --- §V: test chip and timing --------------------------------------
+    testchip_bits: int = 16384              #: 16 kb test chip
+    cells_per_bitline: int = 128
+    sense_amp_window: float = 8.0e-3        #: required margin [V]
+    conventional_fail_fraction: float = 0.01  #: ~1% of bits fail conventionally
+    read_latency_nondestructive: float = 15e-9  #: "completes in about 15ns"
+    write_pulse_width: float = 4e-9
+
+    @property
+    def tmr(self) -> float:
+        """Zero-bias TMR implied by the resistance pair (≈105%)."""
+        return (self.r_high - self.r_low) / self.r_low
+
+
+#: Singleton target set used across calibration, benchmarks and tests.
+PAPER_TARGETS = PaperTargets()

@@ -1,0 +1,56 @@
+"""Analog circuit substrate: nodal analysis plus the sensing peripherals.
+
+The paper validates its scheme with SPICE transients (Fig. 10) and a test
+chip.  This package is the substitute substrate: a small Modified Nodal
+Analysis (MNA) engine with DC and backward-Euler transient solvers, plus
+behavioural models of the circuit blocks around the cell — bit line,
+sample-and-hold capacitors, the high-impedance voltage divider, and the
+auto-zero sense amplifier.
+"""
+
+from repro.circuit.bitline import BitlineModel, PAPER_BITLINE
+from repro.circuit.divider import VoltageDivider
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Switch,
+    VoltageSource,
+)
+from repro.circuit.mna import Circuit, DCResult, TransientResult
+from repro.circuit.nonlinear import (
+    NonlinearCircuit,
+    VoltageDependentResistor,
+    mtj_branch_current,
+)
+from repro.circuit.distributed import bitline_step_response, build_bitline_ladder
+from repro.circuit.latch import RegenerativeLatch
+from repro.circuit.noise import NoiseBudget, johnson_noise_rms, sampled_noise_rms
+from repro.circuit.sense_amp import SenseAmplifier, SenseDecision
+from repro.circuit.storage import SampleCapacitor
+
+__all__ = [
+    "Circuit",
+    "NonlinearCircuit",
+    "VoltageDependentResistor",
+    "mtj_branch_current",
+    "DCResult",
+    "TransientResult",
+    "Resistor",
+    "Capacitor",
+    "CurrentSource",
+    "VoltageSource",
+    "Switch",
+    "BitlineModel",
+    "PAPER_BITLINE",
+    "VoltageDivider",
+    "SampleCapacitor",
+    "build_bitline_ladder",
+    "bitline_step_response",
+    "RegenerativeLatch",
+    "NoiseBudget",
+    "johnson_noise_rms",
+    "sampled_noise_rms",
+    "SenseAmplifier",
+    "SenseDecision",
+]

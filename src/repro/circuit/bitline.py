@@ -1,0 +1,129 @@
+"""Bit-line RC model with unselected-cell leakage and Elmore delay.
+
+The paper's test chip puts **128 cells on each bit line**.  Two bit-line
+effects enter the scheme comparison:
+
+* the 127 unselected cells leak through their nominally-off access
+  transistors, diverting a small part of the read current (the paper notes
+  this leakage "has been considered in our simulation");
+* settling: the destructive scheme samples *both* reads onto capacitors at
+  the end of the bit line, so both reads pay the extra Elmore delay of the
+  sampling capacitor; the nondestructive scheme's second read drives only
+  the tens-of-MΩ divider, whose loading does not change the bit-line Elmore
+  delay — this is why its second read is faster (paper §V).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BitlineModel", "PAPER_BITLINE"]
+
+
+@dataclasses.dataclass(frozen=True)
+class BitlineModel:
+    """Distributed-RC bit line with per-cell parasitics.
+
+    Attributes
+    ----------
+    cells_per_bitline:
+        Number of cells sharing the bit line (paper: 128).
+    wire_resistance_per_cell:
+        Metal resistance per cell pitch [Ω].
+    wire_capacitance_per_cell:
+        Wire + drain-junction capacitance per cell pitch [F].
+    off_cell_leakage_resistance:
+        Equivalent resistance to ground of one *unselected* cell [Ω]
+        (sub-threshold leakage of its off access transistor).
+    """
+
+    cells_per_bitline: int = 128
+    wire_resistance_per_cell: float = 2.0
+    wire_capacitance_per_cell: float = 0.4e-15
+    off_cell_leakage_resistance: float = 5e9
+
+    def __post_init__(self) -> None:
+        if self.cells_per_bitline < 1:
+            raise ConfigurationError("cells_per_bitline must be >= 1")
+        if self.wire_resistance_per_cell < 0.0 or self.wire_capacitance_per_cell < 0.0:
+            raise ConfigurationError("wire parasitics must be non-negative")
+        if self.off_cell_leakage_resistance <= 0.0:
+            raise ConfigurationError("off_cell_leakage_resistance must be positive")
+
+    @property
+    def total_wire_resistance(self) -> float:
+        """End-to-end metal resistance [Ω]."""
+        return self.wire_resistance_per_cell * self.cells_per_bitline
+
+    @property
+    def total_capacitance(self) -> float:
+        """Total bit-line capacitance [F]."""
+        return self.wire_capacitance_per_cell * self.cells_per_bitline
+
+    @property
+    def leakage_conductance(self) -> float:
+        """Combined conductance of the unselected cells [S]."""
+        off_cells = self.cells_per_bitline - 1
+        return off_cells / self.off_cell_leakage_resistance
+
+    def leakage_current(self, bitline_voltage: float) -> float:
+        """Read current stolen by the unselected cells at the given bit-line
+        voltage [A]."""
+        return bitline_voltage * self.leakage_conductance
+
+    def voltage_error(self, bitline_voltage: float, cell_resistance: float) -> float:
+        """Absolute bit-line voltage error caused by unselected-cell leakage
+        when the selected cell presents ``cell_resistance`` [V].
+
+        The leakage conductance appears in parallel with the cell, so
+        ``ΔV ≈ V · R_cell · G_leak`` to first order.
+        """
+        return bitline_voltage * cell_resistance * self.leakage_conductance
+
+    def elmore_delay(self, extra_capacitance: float = 0.0, driver_resistance: float = 0.0) -> float:
+        """Elmore delay of the bit line [s] with an optional lumped capacitor
+        at the far end (the destructive scheme's sampling capacitor).
+
+        Lumped approximation: distributed wire contributes ``R_w C_w / 2``;
+        the end capacitor sees the full wire plus driver resistance.
+        """
+        if extra_capacitance < 0.0 or driver_resistance < 0.0:
+            raise ConfigurationError("capacitance/resistance must be non-negative")
+        r_total = self.total_wire_resistance + driver_resistance
+        distributed = 0.5 * self.total_wire_resistance * self.total_capacitance
+        driver_term = driver_resistance * self.total_capacitance
+        end_cap = r_total * extra_capacitance
+        return distributed + driver_term + end_cap
+
+    def settling_time(
+        self,
+        source_resistance: float,
+        extra_capacitance: float = 0.0,
+        tolerance: float = 0.01,
+        switch_resistance: Optional[float] = None,
+    ) -> float:
+        """Time for the bit-line voltage to settle within ``tolerance``.
+
+        The dominant time constant is the source resistance (cell + access
+        transistor, since the read current source's own impedance is high —
+        the cell resistance sets the discharge path) times the total
+        capacitance, plus the sampling-switch term when a capacitor is
+        attached (``switch_resistance`` defaults to zero).
+        """
+        if not 0.0 < tolerance < 1.0:
+            raise ConfigurationError("tolerance must be in (0, 1)")
+        if source_resistance <= 0.0:
+            raise ConfigurationError("source_resistance must be positive")
+        tau = (source_resistance + self.total_wire_resistance) * self.total_capacitance
+        if extra_capacitance > 0.0:
+            r_switch = switch_resistance if switch_resistance is not None else 0.0
+            tau += (source_resistance + self.total_wire_resistance + r_switch) * extra_capacitance
+        return -tau * math.log(tolerance)
+
+
+#: The paper's bit-line organization: 128 cells per bit line.
+PAPER_BITLINE = BitlineModel()

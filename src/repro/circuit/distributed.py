@@ -1,0 +1,108 @@
+"""Distributed bit-line modelling: RC π-ladder netlists.
+
+The lumped :class:`~repro.circuit.bitline.BitlineModel` uses the Elmore
+approximation.  This module builds the *distributed* wire as an N-segment
+RC ladder inside an MNA circuit so the approximation can be checked against
+a true transient — and so cell position along the bit line (near/far from
+the sense node) can be studied.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.bitline import BitlineModel
+from repro.circuit.mna import Circuit, TransientResult
+from repro.errors import ConfigurationError
+
+__all__ = ["build_bitline_ladder", "bitline_step_response", "StepResponse"]
+
+
+def build_bitline_ladder(
+    circuit: Circuit,
+    bitline: BitlineModel,
+    segments: int,
+    near_node: str = "BL",
+    prefix: str = "bl",
+) -> str:
+    """Stamp an N-segment RC π-ladder for the bit line into ``circuit``.
+
+    The ladder runs from ``near_node`` (the sense-amplifier end) to the far
+    end; returns the far-end node name.  Each segment carries
+    ``R_wire/segments`` series resistance and ``C_wire/segments`` shunt
+    capacitance (half at each side, π-style, folded into full caps at the
+    internal nodes).
+    """
+    if segments < 1:
+        raise ConfigurationError("segments must be >= 1")
+    r_segment = bitline.total_wire_resistance / segments
+    c_segment = bitline.total_capacitance / segments
+    previous = near_node
+    # Half-capacitor at the near end.
+    circuit.add_capacitor(previous, "gnd", c_segment / 2.0, name=f"{prefix}_c0")
+    for index in range(1, segments + 1):
+        node = f"{prefix}_{index}" if index < segments else f"{prefix}_far"
+        circuit.add_resistor(previous, node, r_segment, name=f"{prefix}_r{index}")
+        cap = c_segment if index < segments else c_segment / 2.0
+        circuit.add_capacitor(node, "gnd", cap, name=f"{prefix}_c{index}")
+        previous = node
+    return previous
+
+
+@dataclasses.dataclass(frozen=True)
+class StepResponse:
+    """Far-cell read step response of a distributed bit line."""
+
+    transient: TransientResult
+    final_voltage: float
+    delay_50: float    #: 50% crossing time [s]
+    settle_99: float   #: 1% settling time [s]
+    elmore_estimate: float  #: lumped-model Elmore delay for comparison [s]
+
+
+def bitline_step_response(
+    bitline: BitlineModel,
+    cell_resistance: float,
+    read_current: float = 200e-6,
+    segments: int = 16,
+    duration: Optional[float] = None,
+    dt: Optional[float] = None,
+) -> StepResponse:
+    """Simulate a read-current step into a cell at the *far* end of a
+    distributed bit line, observing the near (sense) end.
+
+    The worst-case topology: current is injected and the cell conducts at
+    the far end; the sense node sees the full distributed delay.
+    """
+    if cell_resistance <= 0.0 or read_current <= 0.0:
+        raise ConfigurationError("cell_resistance and read_current must be positive")
+    circuit = Circuit()
+    far = build_bitline_ladder(circuit, bitline, segments, near_node="BL")
+    circuit.add_current_source("gnd", far, read_current, name="I_read")
+    circuit.add_resistor(far, "gnd", cell_resistance, name="R_cell")
+
+    tau = (cell_resistance + bitline.total_wire_resistance) * bitline.total_capacitance
+    if duration is None:
+        duration = 12.0 * max(tau, 1e-12)
+    if dt is None:
+        dt = duration / 2400.0
+    transient = circuit.solve_transient(duration, dt)
+
+    waveform = transient["BL"]
+    final = float(waveform[-1])
+    times = transient.times
+
+    def crossing(level: float) -> float:
+        above = np.nonzero(waveform >= level * final)[0]
+        return float(times[above[0]]) if above.size else float(times[-1])
+
+    return StepResponse(
+        transient=transient,
+        final_voltage=final,
+        delay_50=crossing(0.5),
+        settle_99=crossing(0.99),
+        elmore_estimate=bitline.elmore_delay(driver_resistance=cell_resistance),
+    )

@@ -1,0 +1,105 @@
+"""Circuit elements for the MNA engine.
+
+Element values may be constants or callables of time ``f(t)`` so the same
+netlist describes every phase of a read operation (switches opening and
+closing, read-current steps).  Node names are arbitrary strings; ``"0"`` and
+``"gnd"`` are ground.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Union
+
+from repro.errors import CircuitError
+
+__all__ = ["Resistor", "Capacitor", "CurrentSource", "VoltageSource", "Switch"]
+
+Value = Union[float, Callable[[float], float]]
+
+
+def evaluate(value: Value, time: float) -> float:
+    """Evaluate a constant or time-dependent element value at ``time``."""
+    if callable(value):
+        return float(value(time))
+    return float(value)
+
+
+@dataclasses.dataclass
+class Resistor:
+    """Linear resistor between ``node_a`` and ``node_b``.
+
+    ``resistance`` may be time-dependent — this is how nonlinear devices
+    (MTJ, transistor) are linearized per operating phase.
+    """
+
+    node_a: str
+    node_b: str
+    resistance: Value
+    name: str = "R"
+
+    def conductance(self, time: float) -> float:
+        r = evaluate(self.resistance, time)
+        if r <= 0.0:
+            raise CircuitError(f"{self.name}: non-positive resistance {r} at t={time}")
+        return 1.0 / r
+
+
+@dataclasses.dataclass
+class Capacitor:
+    """Linear capacitor with an initial-condition voltage (a→b)."""
+
+    node_a: str
+    node_b: str
+    capacitance: float
+    initial_voltage: float = 0.0
+    name: str = "C"
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise CircuitError(f"{self.name}: capacitance must be positive")
+
+
+@dataclasses.dataclass
+class CurrentSource:
+    """Ideal current source pushing current out of ``node_from`` into
+    ``node_to`` (i.e. conventional current flows from→to through the
+    external circuit is *into* ``node_to``)."""
+
+    node_from: str
+    node_to: str
+    current: Value
+    name: str = "I"
+
+
+@dataclasses.dataclass
+class VoltageSource:
+    """Ideal voltage source fixing ``V(node_plus) - V(node_minus)``."""
+
+    node_plus: str
+    node_minus: str
+    voltage: Value
+    name: str = "V"
+
+
+@dataclasses.dataclass
+class Switch:
+    """Voltage-controlled switch modelled as a two-valued resistor.
+
+    ``closed`` is a callable of time returning truthy when the switch
+    conducts.  ``r_on``/``r_off`` keep the matrix well-conditioned.
+    """
+
+    node_a: str
+    node_b: str
+    closed: Callable[[float], bool]
+    r_on: float = 100.0
+    r_off: float = 1.0e12
+    name: str = "S"
+
+    def __post_init__(self) -> None:
+        if self.r_on <= 0.0 or self.r_off <= self.r_on:
+            raise CircuitError(f"{self.name}: need 0 < r_on < r_off")
+
+    def conductance(self, time: float) -> float:
+        return 1.0 / (self.r_on if self.closed(time) else self.r_off)

@@ -1,0 +1,312 @@
+"""Modified Nodal Analysis: DC operating point and backward-Euler transient.
+
+This is the reproduction's stand-in for SPICE.  It supports exactly the
+element set the paper's sensing circuitry needs (resistors, capacitors,
+current/voltage sources, phase-controlled switches) and solves
+
+* **DC**: ``[G  B; B^T 0] [v; j] = [i; e]`` with capacitors open;
+* **transient**: backward Euler, replacing each capacitor with its companion
+  model ``G_c = C/dt`` in parallel with ``I_c = (C/dt) v_prev`` — A-stable,
+  which matters because the netlists mix nanosecond bit-line constants with
+  the ~micro-second constants of the tens-of-MΩ divider.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.elements import (
+    Capacitor,
+    CurrentSource,
+    Resistor,
+    Switch,
+    VoltageSource,
+    evaluate,
+)
+from repro.errors import CircuitError
+
+__all__ = ["Circuit", "DCResult", "TransientResult"]
+
+_GROUND_NAMES = ("0", "gnd", "GND", "ground")
+
+
+@dataclasses.dataclass(frozen=True)
+class DCResult:
+    """DC operating point: node voltages and voltage-source currents."""
+
+    voltages: Dict[str, float]
+    source_currents: Dict[str, float]
+
+    def __getitem__(self, node: str) -> float:
+        return self.voltages[node]
+
+
+@dataclasses.dataclass(frozen=True)
+class TransientResult:
+    """Transient waveforms: one voltage array per node over ``times``."""
+
+    times: np.ndarray
+    voltages: Dict[str, np.ndarray]
+
+    def __getitem__(self, node: str) -> np.ndarray:
+        return self.voltages[node]
+
+    def at(self, node: str, time: float) -> float:
+        """Linearly interpolated node voltage at ``time``."""
+        return float(np.interp(time, self.times, self.voltages[node]))
+
+    def settling_time(
+        self, node: str, final_tolerance: float = 0.01, reference: Optional[float] = None
+    ) -> float:
+        """First time after which the node stays within ``final_tolerance``
+        (fractional) of its final value (or of ``reference`` if given)."""
+        waveform = self.voltages[node]
+        target = reference if reference is not None else float(waveform[-1])
+        band = abs(target) * final_tolerance if target != 0.0 else final_tolerance
+        outside = np.abs(waveform - target) > band
+        if not outside.any():
+            return float(self.times[0])
+        last_outside = int(np.nonzero(outside)[0][-1])
+        if last_outside + 1 >= len(self.times):
+            return float(self.times[-1])
+        return float(self.times[last_outside + 1])
+
+
+class Circuit:
+    """A netlist plus DC and transient solvers.
+
+    Nodes are created implicitly by element constructors.  Ground may be
+    spelled ``"0"``, ``"gnd"``, ``"GND"`` or ``"ground"``.
+    """
+
+    def __init__(self) -> None:
+        self._resistors: List[Resistor] = []
+        self._capacitors: List[Capacitor] = []
+        self._current_sources: List[CurrentSource] = []
+        self._voltage_sources: List[VoltageSource] = []
+        self._switches: List[Switch] = []
+        self._nodes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Netlist construction
+    # ------------------------------------------------------------------
+    def _register(self, node: str) -> int:
+        """Intern a node name; ground maps to index -1."""
+        if node in _GROUND_NAMES:
+            return -1
+        if node not in self._nodes:
+            self._nodes[node] = len(self._nodes)
+        return self._nodes[node]
+
+    def add_resistor(self, node_a: str, node_b: str, resistance, name: str = "R") -> Resistor:
+        """Add a (possibly time-dependent) resistor and return it."""
+        element = Resistor(node_a, node_b, resistance, name)
+        self._register(node_a)
+        self._register(node_b)
+        self._resistors.append(element)
+        return element
+
+    def add_capacitor(
+        self, node_a: str, node_b: str, capacitance: float,
+        initial_voltage: float = 0.0, name: str = "C",
+    ) -> Capacitor:
+        """Add a capacitor with an optional initial condition."""
+        element = Capacitor(node_a, node_b, capacitance, initial_voltage, name)
+        self._register(node_a)
+        self._register(node_b)
+        self._capacitors.append(element)
+        return element
+
+    def add_current_source(
+        self, node_from: str, node_to: str, current, name: str = "I"
+    ) -> CurrentSource:
+        """Add a current source pushing current into ``node_to``."""
+        element = CurrentSource(node_from, node_to, current, name)
+        self._register(node_from)
+        self._register(node_to)
+        self._current_sources.append(element)
+        return element
+
+    def add_voltage_source(
+        self, node_plus: str, node_minus: str, voltage, name: str = "V"
+    ) -> VoltageSource:
+        """Add an ideal voltage source."""
+        element = VoltageSource(node_plus, node_minus, voltage, name)
+        self._register(node_plus)
+        self._register(node_minus)
+        self._voltage_sources.append(element)
+        return element
+
+    def add_switch(
+        self, node_a: str, node_b: str, closed,
+        r_on: float = 100.0, r_off: float = 1.0e12, name: str = "S",
+    ) -> Switch:
+        """Add a phase-controlled switch (``closed`` is ``f(t) -> bool``)."""
+        element = Switch(node_a, node_b, closed, r_on, r_off, name)
+        self._register(node_a)
+        self._register(node_b)
+        self._switches.append(element)
+        return element
+
+    @property
+    def node_names(self) -> List[str]:
+        """All non-ground node names in creation order."""
+        return sorted(self._nodes, key=self._nodes.get)
+
+    # ------------------------------------------------------------------
+    # Matrix assembly
+    # ------------------------------------------------------------------
+    def _stamp_conductance(self, g_matrix: np.ndarray, a: int, b: int, g: float) -> None:
+        if a >= 0:
+            g_matrix[a, a] += g
+        if b >= 0:
+            g_matrix[b, b] += g
+        if a >= 0 and b >= 0:
+            g_matrix[a, b] -= g
+            g_matrix[b, a] -= g
+
+    def _assemble(
+        self,
+        time: float,
+        cap_companion: Optional[Sequence[Tuple[float, float]]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Build the full MNA system at ``time``.
+
+        ``cap_companion`` holds ``(G_c, I_eq)`` per capacitor for transient
+        steps; ``None`` means DC (capacitors open).
+        """
+        n = len(self._nodes)
+        m = len(self._voltage_sources)
+        size = n + m
+        matrix = np.zeros((size, size))
+        rhs = np.zeros(size)
+
+        for resistor in self._resistors:
+            a = self._register(resistor.node_a)
+            b = self._register(resistor.node_b)
+            self._stamp_conductance(matrix, a, b, resistor.conductance(time))
+
+        for switch in self._switches:
+            a = self._register(switch.node_a)
+            b = self._register(switch.node_b)
+            self._stamp_conductance(matrix, a, b, switch.conductance(time))
+
+        if cap_companion is not None:
+            for capacitor, (g_c, i_eq) in zip(self._capacitors, cap_companion):
+                a = self._register(capacitor.node_a)
+                b = self._register(capacitor.node_b)
+                self._stamp_conductance(matrix, a, b, g_c)
+                if a >= 0:
+                    rhs[a] += i_eq
+                if b >= 0:
+                    rhs[b] -= i_eq
+
+        for source in self._current_sources:
+            a = self._register(source.node_from)
+            b = self._register(source.node_to)
+            value = evaluate(source.current, time)
+            if a >= 0:
+                rhs[a] -= value
+            if b >= 0:
+                rhs[b] += value
+
+        for index, source in enumerate(self._voltage_sources):
+            row = n + index
+            p = self._register(source.node_plus)
+            q = self._register(source.node_minus)
+            if p >= 0:
+                matrix[row, p] = 1.0
+                matrix[p, row] = 1.0
+            if q >= 0:
+                matrix[row, q] = -1.0
+                matrix[q, row] = -1.0
+            rhs[row] = evaluate(source.voltage, time)
+
+        return matrix, rhs
+
+    def _solve_system(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        try:
+            return np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise CircuitError(f"singular MNA matrix: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # Solvers
+    # ------------------------------------------------------------------
+    def solve_dc(self, time: float = 0.0) -> DCResult:
+        """DC operating point at ``time`` (capacitors open)."""
+        if not self._nodes:
+            raise CircuitError("empty circuit")
+        matrix, rhs = self._assemble(time, cap_companion=None)
+        solution = self._solve_system(matrix, rhs)
+        n = len(self._nodes)
+        voltages = {name: float(solution[idx]) for name, idx in self._nodes.items()}
+        currents = {
+            source.name: float(solution[n + i])
+            for i, source in enumerate(self._voltage_sources)
+        }
+        return DCResult(voltages, currents)
+
+    def solve_transient(
+        self,
+        t_stop: float,
+        dt: float,
+        t_start: float = 0.0,
+    ) -> TransientResult:
+        """Backward-Euler transient from ``t_start`` to ``t_stop``.
+
+        Capacitor initial conditions seed the first step.  Fixed step size:
+        simple, A-stable, and adequate for the phase-piecewise-constant
+        excitations of a read operation.
+        """
+        if dt <= 0.0 or t_stop <= t_start:
+            raise CircuitError("need dt > 0 and t_stop > t_start")
+        if not self._nodes:
+            raise CircuitError("empty circuit")
+
+        steps = int(round((t_stop - t_start) / dt))
+        times = t_start + dt * np.arange(steps + 1)
+        n = len(self._nodes)
+        waveforms = np.zeros((steps + 1, n))
+
+        cap_voltages = [capacitor.initial_voltage for capacitor in self._capacitors]
+
+        def node_voltage(solution: np.ndarray, node: str) -> float:
+            index = self._register(node)
+            return 0.0 if index < 0 else float(solution[index])
+
+        # Initial point: solve DC with capacitors held at their ICs by huge
+        # companion conductances (so t=0 reflects the stored charge).
+        companion0 = [
+            (capacitor.capacitance / dt * 1e3, capacitor.capacitance / dt * 1e3 * v0)
+            for capacitor, v0 in zip(self._capacitors, cap_voltages)
+        ]
+        matrix, rhs = self._assemble(times[0], companion0)
+        solution = self._solve_system(matrix, rhs)
+        waveforms[0] = solution[:n]
+        cap_voltages = [
+            node_voltage(solution, c.node_a) - node_voltage(solution, c.node_b)
+            for c in self._capacitors
+        ]
+
+        for step in range(1, steps + 1):
+            time = times[step]
+            companion = [
+                (capacitor.capacitance / dt, capacitor.capacitance / dt * v_prev)
+                for capacitor, v_prev in zip(self._capacitors, cap_voltages)
+            ]
+            matrix, rhs = self._assemble(time, companion)
+            solution = self._solve_system(matrix, rhs)
+            waveforms[step] = solution[:n]
+            cap_voltages = [
+                node_voltage(solution, c.node_a) - node_voltage(solution, c.node_b)
+                for c in self._capacitors
+            ]
+
+        voltages = {
+            name: waveforms[:, idx].copy() for name, idx in self._nodes.items()
+        }
+        return TransientResult(times, voltages)

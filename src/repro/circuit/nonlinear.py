@@ -1,0 +1,210 @@
+"""Nonlinear MNA: Newton iteration over voltage-dependent conductances.
+
+The linear engine in :mod:`repro.circuit.mna` models the MTJ as a resistor
+linearized at the phase read current.  This module closes the loop: a
+:class:`VoltageDependentResistor` carries an arbitrary branch current law
+``i = f(v)`` (e.g. the tunnel junction's ``i = G0 (1 + (v/V_h)^2) v``), and
+:class:`NonlinearCircuit` solves DC and backward-Euler transients with a
+damped Newton iteration — each nonlinear branch is replaced by its
+companion model ``G_eq = di/dv`` in parallel with ``I_eq = f(v0) - G_eq v0``
+until the node voltages stop moving.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.circuit.mna import Circuit, DCResult, TransientResult
+from repro.errors import CircuitError, ConvergenceError
+
+__all__ = ["VoltageDependentResistor", "NonlinearCircuit", "mtj_branch_current"]
+
+
+def mtj_branch_current(r_zero: float, v_half: float) -> Callable[[float], float]:
+    """Branch law of a tunnel junction with quadratic conductance collapse:
+
+        i(v) = (v / r_zero) (1 + (v / v_half)^2)
+
+    (matches :mod:`repro.device.bias`; pass the state's zero-bias resistance
+    and half-voltage).
+    """
+    if r_zero <= 0.0 or v_half <= 0.0:
+        raise CircuitError("r_zero and v_half must be positive")
+
+    def branch(v: float) -> float:
+        return (v / r_zero) * (1.0 + (v / v_half) ** 2)
+
+    return branch
+
+
+@dataclasses.dataclass
+class VoltageDependentResistor:
+    """Two-terminal element with branch current ``i = f(v_a - v_b)``.
+
+    ``current_law`` must be continuous and monotonically increasing (a
+    passive resistor); the derivative is taken numerically.
+    """
+
+    node_a: str
+    node_b: str
+    current_law: Callable[[float], float]
+    name: str = "NR"
+
+    def current(self, voltage: float) -> float:
+        """Branch current at the given branch voltage."""
+        return float(self.current_law(voltage))
+
+    def conductance(self, voltage: float, step: float = 1e-6) -> float:
+        """Numerical small-signal conductance ``di/dv`` at ``voltage``."""
+        g = (self.current(voltage + step) - self.current(voltage - step)) / (2 * step)
+        if g <= 0.0:
+            raise CircuitError(
+                f"{self.name}: non-passive branch (di/dv = {g}) at v = {voltage}"
+            )
+        return g
+
+
+class NonlinearCircuit(Circuit):
+    """A :class:`Circuit` that additionally accepts nonlinear resistors.
+
+    DC and transient solves run a damped Newton iteration; all linear
+    elements (and switches, sources, capacitor companions) are stamped by
+    the base class.
+    """
+
+    def __init__(self, max_iterations: int = 100, tolerance: float = 1e-9,
+                 damping: float = 1.0):
+        super().__init__()
+        if max_iterations < 1:
+            raise CircuitError("max_iterations must be >= 1")
+        if not 0.0 < damping <= 1.0:
+            raise CircuitError("damping must be in (0, 1]")
+        self._nonlinear: List[VoltageDependentResistor] = []
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.damping = damping
+
+    def add_nonlinear_resistor(
+        self, node_a: str, node_b: str, current_law, name: str = "NR"
+    ) -> VoltageDependentResistor:
+        """Register a voltage-dependent resistor."""
+        element = VoltageDependentResistor(node_a, node_b, current_law, name)
+        self._register(node_a)
+        self._register(node_b)
+        self._nonlinear.append(element)
+        return element
+
+    # ------------------------------------------------------------------
+    def _branch_voltage(self, solution: np.ndarray, element) -> float:
+        a = self._register(element.node_a)
+        b = self._register(element.node_b)
+        va = 0.0 if a < 0 else float(solution[a])
+        vb = 0.0 if b < 0 else float(solution[b])
+        return va - vb
+
+    def _stamp_nonlinear(
+        self, matrix: np.ndarray, rhs: np.ndarray, solution: np.ndarray
+    ) -> None:
+        """Stamp each nonlinear branch's Newton companion model."""
+        for element in self._nonlinear:
+            v0 = self._branch_voltage(solution, element)
+            g_eq = element.conductance(v0)
+            i_eq = element.current(v0) - g_eq * v0
+            a = self._register(element.node_a)
+            b = self._register(element.node_b)
+            self._stamp_conductance(matrix, a, b, g_eq)
+            if a >= 0:
+                rhs[a] -= i_eq
+            if b >= 0:
+                rhs[b] += i_eq
+
+    def _newton_solve(
+        self,
+        time: float,
+        cap_companion,
+        initial: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        n = len(self._nodes)
+        m = len(self._voltage_sources)
+        solution = (
+            initial.copy() if initial is not None else np.zeros(n + m)
+        )
+        for _ in range(self.max_iterations):
+            matrix, rhs = self._assemble(time, cap_companion)
+            self._stamp_nonlinear(matrix, rhs, solution)
+            new_solution = self._solve_system(matrix, rhs)
+            delta = new_solution - solution
+            solution = solution + self.damping * delta
+            if np.max(np.abs(delta)) < self.tolerance:
+                return solution
+        raise ConvergenceError(
+            f"Newton iteration did not converge in {self.max_iterations} steps"
+        )
+
+    # ------------------------------------------------------------------
+    def solve_dc(self, time: float = 0.0) -> DCResult:
+        """Nonlinear DC operating point (Newton)."""
+        if not self._nodes:
+            raise CircuitError("empty circuit")
+        if not self._nonlinear:
+            return super().solve_dc(time)
+        solution = self._newton_solve(time, cap_companion=None)
+        n = len(self._nodes)
+        voltages = {name: float(solution[idx]) for name, idx in self._nodes.items()}
+        currents = {
+            source.name: float(solution[n + i])
+            for i, source in enumerate(self._voltage_sources)
+        }
+        return DCResult(voltages, currents)
+
+    def solve_transient(
+        self, t_stop: float, dt: float, t_start: float = 0.0
+    ) -> TransientResult:
+        """Backward-Euler transient with an inner Newton loop per step."""
+        if not self._nonlinear:
+            return super().solve_transient(t_stop, dt, t_start)
+        if dt <= 0.0 or t_stop <= t_start:
+            raise CircuitError("need dt > 0 and t_stop > t_start")
+        if not self._nodes:
+            raise CircuitError("empty circuit")
+
+        steps = int(round((t_stop - t_start) / dt))
+        times = t_start + dt * np.arange(steps + 1)
+        n = len(self._nodes)
+        waveforms = np.zeros((steps + 1, n))
+
+        cap_voltages = [c.initial_voltage for c in self._capacitors]
+
+        def node_voltage(solution: np.ndarray, node: str) -> float:
+            index = self._register(node)
+            return 0.0 if index < 0 else float(solution[index])
+
+        companion0 = [
+            (c.capacitance / dt * 1e3, c.capacitance / dt * 1e3 * v0)
+            for c, v0 in zip(self._capacitors, cap_voltages)
+        ]
+        solution = self._newton_solve(times[0], companion0)
+        waveforms[0] = solution[:n]
+        cap_voltages = [
+            node_voltage(solution, c.node_a) - node_voltage(solution, c.node_b)
+            for c in self._capacitors
+        ]
+
+        for step in range(1, steps + 1):
+            time = times[step]
+            companion = [
+                (c.capacitance / dt, c.capacitance / dt * v_prev)
+                for c, v_prev in zip(self._capacitors, cap_voltages)
+            ]
+            solution = self._newton_solve(time, companion, initial=solution)
+            waveforms[step] = solution[:n]
+            cap_voltages = [
+                node_voltage(solution, c.node_a) - node_voltage(solution, c.node_b)
+                for c in self._capacitors
+            ]
+
+        voltages = {name: waveforms[:, idx].copy() for name, idx in self._nodes.items()}
+        return TransientResult(times, voltages)

@@ -1,0 +1,87 @@
+"""Sample-and-hold capacitors (C1/C2 of paper Figs. 3 and 5).
+
+The first-read bit-line voltage is parked on a capacitor while the second
+read proceeds.  Two non-idealities matter for the comparison between the
+schemes:
+
+* **droop** — leakage discharges the stored voltage during the hold time;
+* **bit-line loading** — in the destructive scheme *both* reads drive a
+  capacitor hanging on the bit line, adding to the Elmore delay; the
+  nondestructive scheme's second read drives only the high-impedance
+  divider, which is why its second read settles faster (paper §V).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SampleCapacitor"]
+
+
+@dataclasses.dataclass
+class SampleCapacitor:
+    """Storage capacitor with charge/hold dynamics.
+
+    Attributes
+    ----------
+    capacitance:
+        Storage capacitance [F].
+    switch_resistance:
+        On-resistance of the sampling switch (SLT1/SLT2) [Ω].
+    leakage_resistance:
+        Equivalent parallel leakage during hold [Ω].
+    """
+
+    capacitance: float = 50e-15
+    switch_resistance: float = 2e3
+    leakage_resistance: float = 1e12
+    stored_voltage: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance <= 0.0:
+            raise ConfigurationError("capacitance must be positive")
+        if self.switch_resistance <= 0.0:
+            raise ConfigurationError("switch_resistance must be positive")
+        if self.leakage_resistance <= 0.0:
+            raise ConfigurationError("leakage_resistance must be positive")
+
+    @property
+    def charge_time_constant(self) -> float:
+        """RC constant while sampling through the switch [s]."""
+        return self.switch_resistance * self.capacitance
+
+    def settling_time(self, tolerance: float = 0.001) -> float:
+        """Time to charge within ``tolerance`` (fractional) of the source."""
+        if not 0.0 < tolerance < 1.0:
+            raise ConfigurationError("tolerance must be in (0, 1)")
+        return -self.charge_time_constant * math.log(tolerance)
+
+    def sample(self, source_voltage: float, duration: float) -> float:
+        """Charge toward ``source_voltage`` for ``duration`` seconds and
+        return (and store) the resulting capacitor voltage."""
+        if duration < 0.0:
+            raise ConfigurationError("duration must be non-negative")
+        alpha = math.exp(-duration / self.charge_time_constant)
+        self.stored_voltage = source_voltage + (self.stored_voltage - source_voltage) * alpha
+        return self.stored_voltage
+
+    def hold(self, duration: float) -> float:
+        """Let the stored voltage droop through leakage for ``duration``."""
+        if duration < 0.0:
+            raise ConfigurationError("duration must be non-negative")
+        tau = self.leakage_resistance * self.capacitance
+        self.stored_voltage *= math.exp(-duration / tau)
+        return self.stored_voltage
+
+    def droop_after(self, duration: float) -> float:
+        """Voltage lost to droop after ``duration`` of hold [V] (does not
+        mutate the stored value)."""
+        tau = self.leakage_resistance * self.capacitance
+        return self.stored_voltage * (1.0 - math.exp(-duration / tau))
+
+    def reset(self) -> None:
+        """Discharge the capacitor."""
+        self.stored_voltage = 0.0

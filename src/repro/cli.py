@@ -1,0 +1,420 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro table1          # Table I
+    python -m repro fig11           # the 16kb test-chip experiment
+    python -m repro latency         # §V latency comparison
+    python -m repro list            # everything available
+
+Each subcommand prints the same rows/series the paper reports (the
+benchmark suite wraps the identical generators with timing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.analysis.report import format_table, render_series
+
+__all__ = ["main", "build_parser", "EXPERIMENTS"]
+
+
+def _cmd_table1(args) -> None:
+    from repro.analysis.tables import table1_rows
+
+    print("Table I — device parameters and operating points")
+    print(format_table(["quantity", "reproduced", "paper"], table1_rows()))
+
+
+def _cmd_table2(args) -> None:
+    from repro.analysis.tables import table2_rows
+    from repro.calibration import calibrated_cell
+
+    print("Table II — robustness of the self-reference schemes")
+    print(format_table(["quantity", "reproduced", "paper"], table2_rows(cell=calibrated_cell())))
+
+
+def _cmd_fig2(args) -> None:
+    from repro.analysis.figures import fig2_ri_curve
+    from repro.calibration import calibrated_device
+
+    series = fig2_ri_curve(calibrated_device())
+    print("Fig. 2 — R–I characteristics")
+    print(render_series(
+        series.currents * 1e6,
+        {"R_high [Ω]": series.r_high, "R_low [Ω]": series.r_low},
+        x_label="I [µA]",
+    ))
+    print(f"TMR collapse 0→I_max: {series.tmr_collapse:.1%}")
+
+
+def _cmd_fig6(args) -> None:
+    from repro.analysis.figures import fig6_beta_sweep
+    from repro.calibration import calibrated_cell
+
+    series = fig6_beta_sweep(calibrated_cell())
+    print("Fig. 6 — sense margin vs β (mV)")
+    print(render_series(
+        series.betas,
+        {
+            "SM0-Con": series.sm0_destructive,
+            "SM1-Con": series.sm1_destructive,
+            "SM0-Nondes": series.sm0_nondestructive,
+            "SM1-Nondes": series.sm1_nondestructive,
+        },
+        x_label="β",
+        y_scale=1e3,
+    ))
+    print(f"optima: destructive β = {series.crossing_destructive():.3f}, "
+          f"nondestructive β = {series.crossing_nondestructive():.3f}")
+
+
+def _cmd_fig7(args) -> None:
+    from repro.analysis.figures import fig7_rtr_sweep
+    from repro.calibration import calibrate, calibrated_cell
+
+    calibration = calibrate()
+    series = fig7_rtr_sweep(
+        calibrated_cell(), calibration.beta_destructive, calibration.beta_nondestructive
+    )
+    print("Fig. 7 — sense margin vs ΔR_TR (mV)")
+    print(render_series(
+        series.shifts,
+        {
+            "SM0-Con": series.sm0_destructive,
+            "SM1-Con": series.sm1_destructive,
+            "SM0-Nondes": series.sm0_nondestructive,
+            "SM1-Nondes": series.sm1_nondestructive,
+        },
+        x_label="ΔR_TR [Ω]",
+        y_scale=1e3,
+    ))
+    print(f"windows: destructive ±{series.window_destructive[1]:.0f} Ω, "
+          f"nondestructive ±{series.window_nondestructive[1]:.0f} Ω")
+
+
+def _cmd_fig8(args) -> None:
+    from repro.analysis.figures import fig8_alpha_sweep
+    from repro.calibration import calibrate, calibrated_cell
+
+    series = fig8_alpha_sweep(calibrated_cell(), calibrate().beta_nondestructive)
+    print("Fig. 8 — nondestructive margin vs Δα (mV)")
+    print(render_series(
+        series.deviations * 100,
+        {"SM0": series.sm0, "SM1": series.sm1},
+        x_label="Δα [%]",
+        y_scale=1e3,
+    ))
+    print(f"window: {series.window[0]:+.2%} .. {series.window[1]:+.2%}")
+
+
+def _cmd_fig9(args) -> None:
+    from repro.calibration import calibrate, calibrated_cell
+    from repro.timing.latency import nondestructive_read_latency
+
+    breakdown = nondestructive_read_latency(
+        calibrated_cell(), beta=calibrate().beta_nondestructive
+    )
+    print("Fig. 9 — nondestructive read timing")
+    for signal in ("WL", "SLT1", "SLT2", "SenEn", "Data_latch"):
+        intervals = breakdown.schedule.signal_intervals(signal)
+        pretty = ", ".join(f"{a*1e9:.2f}–{b*1e9:.2f} ns" for a, b in intervals)
+        print(f"  {signal:<11}: {pretty}")
+    print(f"total: {breakdown.total * 1e9:.1f} ns")
+
+
+def _cmd_fig10(args) -> None:
+    from repro.calibration import calibrate
+    from repro.timing.waveforms import simulate_nondestructive_read
+
+    calibration = calibrate()
+    cell = calibration.cell(917.0)
+    cell.write(args.bit)
+    waveforms = simulate_nondestructive_read(cell, beta=calibration.beta_nondestructive)
+    print(f"Fig. 10 — read transient (stored '{args.bit}')")
+    print(render_series(
+        waveforms.times * 1e9,
+        {
+            "V_BL [mV]": waveforms.v_bl * 1e3,
+            "V_C1 [mV]": waveforms.v_c1 * 1e3,
+            "V_BO [mV]": waveforms.v_bo * 1e3,
+        },
+        x_label="t [ns]",
+        max_rows=14,
+    ))
+    print(f"sensed: {waveforms.sensed_bit} "
+          f"({waveforms.sense_differential * 1e3:+.2f} mV) in "
+          f"{waveforms.total_duration * 1e9:.1f} ns")
+
+
+def _cmd_fig11(args) -> None:
+    from repro.array.testchip import run_testchip_experiment
+
+    result = run_testchip_experiment()
+    print("Fig. 11 — 16kb test chip at the 8 mV window")
+    rows = []
+    for name in ("conventional", "destructive", "nondestructive"):
+        stats = result.report[name]
+        rows.append([
+            name,
+            str(stats.fail_count),
+            f"{stats.fail_fraction:.2%}",
+            f"{stats.mean_margin * 1e3:.2f} mV",
+            f"{stats.min_margin * 1e3:.2f} mV",
+        ])
+    print(format_table(["scheme", "fails", "rate", "mean", "worst"], rows))
+
+
+def _cmd_latency(args) -> None:
+    from repro.calibration import calibrate, calibrated_cell
+    from repro.timing.latency import latency_comparison
+
+    calibration = calibrate()
+    destructive, nondestructive, speedup = latency_comparison(
+        calibrated_cell(),
+        beta_destructive=calibration.beta_destructive,
+        beta_nondestructive=calibration.beta_nondestructive,
+    )
+    print(f"destructive:    {destructive.total * 1e9:.1f} ns")
+    print(f"nondestructive: {nondestructive.total * 1e9:.1f} ns  "
+          f"({speedup:.2f}x faster)")
+
+
+def _cmd_energy(args) -> None:
+    from repro.calibration import calibrate, calibrated_cell
+    from repro.timing.energy import read_energy_comparison
+
+    calibration = calibrate()
+    destructive, nondestructive, ratio = read_energy_comparison(
+        calibrated_cell(),
+        beta_destructive=calibration.beta_destructive,
+        beta_nondestructive=calibration.beta_nondestructive,
+    )
+    print(f"destructive:    {destructive.total * 1e12:.2f} pJ "
+          f"(writes {destructive.write_energy * 1e12:.2f} pJ)")
+    print(f"nondestructive: {nondestructive.total * 1e12:.2f} pJ  "
+          f"({ratio:.1f}x lower)")
+
+
+def _cmd_corners(args) -> None:
+    from repro.analysis.corners import temperature_corner_sweep
+    from repro.calibration import calibrate
+
+    calibration = calibrate()
+    corners = temperature_corner_sweep(
+        calibration.params, calibration.rolloff_high(), calibration.rolloff_low()
+    )
+    rows = []
+    for corner in corners:
+        rows.append([
+            f"{corner.temperature:.0f} K",
+            f"{corner.tmr:.0%}",
+            f"{corner.destructive.max_sense_margin * 1e3:.1f} mV",
+            f"{corner.nondestructive.max_sense_margin * 1e3:.1f} mV",
+            "yes" if corner.nondestructive_margin_ok else "NO",
+        ])
+    print("Temperature corners (margins re-optimized per corner)")
+    print(format_table(
+        ["T", "TMR", "destructive SM", "nondestructive SM", ">8 mV?"], rows
+    ))
+
+
+
+def _cmd_disturb(args) -> None:
+    from repro.calibration import calibrate
+    from repro.device.retention import RetentionAnalysis
+
+    analysis = RetentionAnalysis(calibrate().params)
+    print("read-disturb budget (Δ = 60, 15 ns reads)")
+    rows = []
+    for fraction in (0.2, 0.4, 0.6, 0.8):
+        current = fraction * analysis.params.i_c0
+        rows.append([
+            f"{fraction:.0%} I_c0",
+            f"{analysis.disturb_probability_per_read(current):.2e}",
+            f"{analysis.lifetime_reads(current, 1e-4):.2e}",
+        ])
+    print(format_table(["read current", "P(flip)/read", "reads to 1e-4"], rows))
+
+
+def _cmd_trim(args) -> None:
+    from repro.calibration import calibrate, calibrated_cell
+    from repro.core.trim import beta_compensating_alpha
+
+    cell = calibrated_cell()
+    print("test-stage β trim compensating divider skew (paper §V)")
+    rows = []
+    for deviation in (-0.06, -0.03, 0.0, 0.03, 0.06):
+        optimum = beta_compensating_alpha(cell, 0.5, deviation)
+        rows.append([
+            f"{deviation:+.0%}",
+            f"{optimum.beta:.3f}",
+            f"{optimum.max_sense_margin * 1e3:.2f} mV",
+        ])
+    print(format_table(["α skew", "compensated β", "restored margin"], rows))
+
+
+def _cmd_capacity(args) -> None:
+    import numpy as np
+
+    from repro.analysis.scaling import project_scaling
+    from repro.array.montecarlo import run_margin_monte_carlo
+    from repro.array.testchip import TESTCHIP_VARIATION
+    from repro.array.yield_analysis import analyze_margins
+    from repro.calibration import calibrate
+    from repro.device.variation import CellPopulation
+
+    calibration = calibrate()
+    population = CellPopulation.sample(
+        16384, TESTCHIP_VARIATION,
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=np.random.default_rng(17),
+    )
+    yield_report = analyze_margins(run_margin_monte_carlo(
+        population,
+        beta_destructive=calibration.beta_destructive,
+        beta_nondestructive=calibration.beta_nondestructive,
+        include_sa_offset=False,
+    ))
+    print("capacity projection (Gaussian tail, 8 mV window)")
+    rows = []
+    for name in ("conventional", "destructive", "nondestructive"):
+        projection = project_scaling(yield_report[name])
+        capacity = projection.clean_capacity_bits
+        label = "unbounded" if capacity >= 2**60 else f"{capacity:.3g} bits"
+        rows.append([name, f"{projection.bit_fail_probability:.2e}", label])
+    print(format_table(["scheme", "P(bit fails)", "clean capacity"], rows))
+
+
+def _cmd_sensitivity(args) -> None:
+    from repro.analysis.sensitivity import margin_sensitivities
+    from repro.calibration import calibrate, calibrated_cell
+
+    calibration = calibrate()
+    entries = margin_sensitivities(
+        calibrated_cell(),
+        calibration.beta_destructive,
+        calibration.beta_nondestructive,
+    )
+    print("normalized margin sensitivities (% margin per % parameter)")
+    print(format_table(
+        ["parameter", "scheme", "sensitivity"],
+        [[e.parameter, e.scheme, f"{e.sensitivity:+7.2f}"] for e in entries],
+    ))
+
+
+def _cmd_ber(args) -> None:
+    import numpy as np
+
+    from repro.analysis.ber import read_error_budget
+    from repro.array.montecarlo import run_margin_monte_carlo
+    from repro.array.testchip import TESTCHIP_VARIATION
+    from repro.calibration import calibrate
+    from repro.device.variation import CellPopulation
+
+    calibration = calibrate()
+    population = CellPopulation.sample(
+        16384, TESTCHIP_VARIATION,
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=np.random.default_rng(23),
+    )
+    budgets = read_error_budget(run_margin_monte_carlo(
+        population,
+        beta_destructive=calibration.beta_destructive,
+        beta_nondestructive=calibration.beta_nondestructive,
+        include_sa_offset=False,
+    ))
+    print("per-read error budget (16k-bit Monte Carlo)")
+    rows = []
+    for name in ("conventional", "destructive", "nondestructive"):
+        b = budgets[name]
+        rows.append([
+            name, f"{b.margin_failure:.2e}", f"{b.metastability:.2e}",
+            f"{b.noise_flip:.1e}", f"{b.write_error:.1e}",
+            f"{b.total_per_read:.2e}",
+        ])
+    print(format_table(
+        ["scheme", "margin", "metastable", "noise", "write", "total/read"],
+        rows,
+    ))
+
+
+def _cmd_export(args) -> None:
+    from repro.analysis.export import export_all_figures
+
+    written = export_all_figures(args.directory)
+    print(f"wrote {len(written)} CSV files:")
+    for path in written:
+        print(f"  {path}")
+
+
+def _cmd_list(args) -> None:
+    print("available experiments:")
+    for name, (_, description) in sorted(EXPERIMENTS.items()):
+        print(f"  {name:<10} {description}")
+
+
+EXPERIMENTS: Dict[str, tuple] = {
+    "table1": (_cmd_table1, "Table I: device parameters and operating points"),
+    "table2": (_cmd_table2, "Table II: robustness windows"),
+    "fig2": (_cmd_fig2, "Fig. 2: MTJ R–I characteristics"),
+    "fig6": (_cmd_fig6, "Fig. 6: sense margin vs β"),
+    "fig7": (_cmd_fig7, "Fig. 7: robustness vs ΔR_TR"),
+    "fig8": (_cmd_fig8, "Fig. 8: robustness vs Δα"),
+    "fig9": (_cmd_fig9, "Fig. 9: read timing diagram"),
+    "fig10": (_cmd_fig10, "Fig. 10: read transient simulation"),
+    "fig11": (_cmd_fig11, "Fig. 11: 16kb test-chip yield"),
+    "latency": (_cmd_latency, "§V: read-latency comparison"),
+    "energy": (_cmd_energy, "§V: read-energy comparison"),
+    "corners": (_cmd_corners, "extension: temperature corner map"),
+    "disturb": (_cmd_disturb, "extension: read-disturb budget"),
+    "trim": (_cmd_trim, "extension: test-stage β trim vs divider skew"),
+    "capacity": (_cmd_capacity, "extension: capacity-scaling projection"),
+    "sensitivity": (_cmd_sensitivity, "extension: margin-sensitivity ranking"),
+    "ber": (_cmd_ber, "extension: per-read error budget"),
+    "export": (_cmd_export, "write every figure series to CSV"),
+    "list": (_cmd_list, "list available experiments"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from the DATE 2010 nondestructive "
+        "self-reference STT-RAM paper.",
+    )
+    subparsers = parser.add_subparsers(dest="experiment", required=True)
+    for name, (_, description) in EXPERIMENTS.items():
+        sub = subparsers.add_parser(name, help=description)
+        if name == "fig10":
+            sub.add_argument(
+                "--bit", type=int, choices=(0, 1), default=1,
+                help="stored value to simulate (default 1)",
+            )
+        if name == "export":
+            sub.add_argument(
+                "--directory", default="figure_csv",
+                help="output directory (default ./figure_csv)",
+            )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    command: Callable = EXPERIMENTS[args.experiment][0]
+    command(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""Common interface for sensing schemes."""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.cell import Cell1T1J
+from repro.core.margins import MarginPair
+
+__all__ = ["ReadResult", "SensingScheme"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadResult:
+    """Outcome of one read operation.
+
+    Attributes
+    ----------
+    bit:
+        The sensed bit, or ``None`` if the sense amplifier was metastable.
+    expected_bit:
+        Ground truth before the read started.
+    margin:
+        The differential voltage presented to the sense amplifier for this
+        read, signed so that positive means "correct rail" [V].
+    voltages:
+        Named internal voltages (``v_bl1``, ``v_bl2``, ``v_bo``, …) [V].
+    data_destroyed:
+        True if the stored value was lost (destructive read interrupted, or
+        a read-disturb flip).
+    write_pulses / read_pulses:
+        Pulse counts of the operation (latency/energy accounting).
+    """
+
+    bit: Optional[int]
+    expected_bit: int
+    margin: float
+    voltages: Dict[str, float]
+    data_destroyed: bool = False
+    write_pulses: int = 0
+    read_pulses: int = 1
+
+    @property
+    def correct(self) -> bool:
+        """True iff the sensed bit matches the stored value."""
+        return self.bit is not None and self.bit == self.expected_bit
+
+
+class SensingScheme(abc.ABC):
+    """A read scheme: turns a cell's electrical state into a bit decision."""
+
+    #: Human-readable name used in reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def read(
+        self, cell: Cell1T1J, rng: Optional[np.random.Generator] = None
+    ) -> ReadResult:
+        """Perform one full read operation on ``cell``.
+
+        May mutate the cell state (destructive scheme).  ``rng`` drives the
+        stochastic parts (write success, metastability resolution).
+        """
+
+    @abc.abstractmethod
+    def sense_margins(self, cell: Cell1T1J) -> MarginPair:
+        """Analytic sense margins (SM0, SM1) for this cell under this
+        scheme, independent of the currently stored state."""
+
+    def is_readable(self, cell: Cell1T1J, required_margin: float = 8.0e-3) -> bool:
+        """Whether both margins clear the sense-amplifier window (the
+        paper's Fig. 11 pass/fail criterion, default 8 mV)."""
+        margins = self.sense_margins(cell)
+        return margins.min_margin > required_margin

@@ -1,0 +1,94 @@
+"""The 1T1J STT-RAM cell: one MTJ in series with one NMOS access transistor
+(paper Fig. 1c).
+
+During a read, a current ``I_R`` is forced into the bit line and the cell
+develops ``V_BL = I_R (R_MTJ(I_R) + R_TR(I_R))`` (paper Eq. 1).  The cell
+object owns the stored state and produces those voltages; optional bit-line
+leakage (unselected cells) can be folded in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.circuit.bitline import BitlineModel
+from repro.device.mtj import MTJDevice, MTJState
+from repro.device.transistor import AccessTransistor, FixedResistanceTransistor
+
+__all__ = ["Cell1T1J"]
+
+
+@dataclasses.dataclass
+class Cell1T1J:
+    """One bit cell.
+
+    Attributes
+    ----------
+    mtj:
+        The storage junction (owns the magnetization state).
+    transistor:
+        Access device contributing series resistance when the word line is
+        asserted.
+    bitline:
+        Optional bit-line model; when present, unselected-cell leakage
+        slightly reduces the developed bit-line voltage.
+    """
+
+    mtj: MTJDevice
+    transistor: AccessTransistor = dataclasses.field(
+        default_factory=lambda: FixedResistanceTransistor(917.0)
+    )
+    bitline: Optional[BitlineModel] = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> MTJState:
+        """Stored magnetization state."""
+        return self.mtj.state
+
+    @state.setter
+    def state(self, value: MTJState) -> None:
+        self.mtj.state = value
+
+    @property
+    def stored_bit(self) -> int:
+        """Ground-truth stored bit."""
+        return self.mtj.state.bit
+
+    def write(self, bit: int) -> None:
+        """Ideal write (used by tests and array initialization; the
+        destructive scheme's erase/write-back go through the switching
+        model instead)."""
+        self.mtj.write(bit)
+
+    # ------------------------------------------------------------------
+    # Electrical characteristics
+    # ------------------------------------------------------------------
+    def series_resistance(self, current: float, state: Optional[MTJState] = None) -> float:
+        """``R_MTJ(I) + R_TR(I)`` [Ω] for the given (or stored) state."""
+        r_mtj = self.mtj.resistance(current, state)
+        r_tr = self.transistor.resistance(current)
+        return float(r_mtj) + float(r_tr)
+
+    def effective_resistance(self, current: float, state: Optional[MTJState] = None) -> float:
+        """Series resistance with bit-line leakage folded in (parallel
+        combination with the unselected cells' leakage path)."""
+        r_cell = self.series_resistance(current, state)
+        if self.bitline is None:
+            return r_cell
+        g_leak = self.bitline.leakage_conductance
+        return r_cell / (1.0 + r_cell * g_leak)
+
+    def bitline_voltage(self, current: float, state: Optional[MTJState] = None) -> float:
+        """Bit-line voltage ``V_BL`` developed by a read current [V]."""
+        return current * self.effective_resistance(current, state)
+
+    def copy(self) -> "Cell1T1J":
+        """Independent copy (own MTJ state)."""
+        return Cell1T1J(self.mtj.copy(), self.transistor, self.bitline)
+
+    def __repr__(self) -> str:
+        return f"Cell1T1J(bit={self.stored_bit}, mtj={self.mtj!r})"

@@ -1,0 +1,91 @@
+"""Conventional voltage sensing against a shared external reference
+(paper §II-B, Eqs. 1–2).
+
+One read current generates ``V_BL``; a reference ``V_REF`` between the
+nominal low and high bit-line voltages is shared by many cells.  Under large
+bit-to-bit MTJ resistance variation, tail bits violate
+``Max(V_BL,L) < V_REF < Min(V_BL,H)`` and are always mis-read — the yield
+problem that motivates self-referencing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.sense_amp import SenseAmplifier
+from repro.core.base import ReadResult, SensingScheme
+from repro.core.cell import Cell1T1J
+from repro.core.margins import MarginPair, conventional_margins
+from repro.device.mtj import MTJState
+from repro.errors import ConfigurationError
+
+__all__ = ["ConventionalSensing", "shared_reference_voltage"]
+
+
+def shared_reference_voltage(nominal_cell: Cell1T1J, i_read: float) -> float:
+    """The shared ``V_REF``: the midpoint of the *nominal* low and high
+    bit-line voltages (paper Eq. 2's feasible interval, centred)."""
+    v_low = nominal_cell.bitline_voltage(i_read, MTJState.PARALLEL)
+    v_high = nominal_cell.bitline_voltage(i_read, MTJState.ANTIPARALLEL)
+    return 0.5 * (v_low + v_high)
+
+
+class ConventionalSensing(SensingScheme):
+    """External-reference sensing.
+
+    Parameters
+    ----------
+    i_read:
+        Read current [A]; the paper drives reads at the maximum
+        non-disturbing current to maximize voltage swing.
+    v_ref:
+        The shared reference [V].  Give either ``v_ref`` directly or a
+        ``nominal_cell`` to derive the midpoint reference from.
+    sense_amp:
+        Comparator model; default has the paper's 8 mV window.
+    """
+
+    name = "conventional"
+
+    def __init__(
+        self,
+        i_read: float = 200e-6,
+        v_ref: Optional[float] = None,
+        nominal_cell: Optional[Cell1T1J] = None,
+        sense_amp: Optional[SenseAmplifier] = None,
+    ):
+        if i_read <= 0.0:
+            raise ConfigurationError(f"i_read must be positive, got {i_read}")
+        if v_ref is None:
+            if nominal_cell is None:
+                raise ConfigurationError("give either v_ref or nominal_cell")
+            v_ref = shared_reference_voltage(nominal_cell, i_read)
+        if v_ref <= 0.0:
+            raise ConfigurationError(f"v_ref must be positive, got {v_ref}")
+        self.i_read = float(i_read)
+        self.v_ref = float(v_ref)
+        self.sense_amp = sense_amp if sense_amp is not None else SenseAmplifier()
+
+    def read(
+        self, cell: Cell1T1J, rng: Optional[np.random.Generator] = None
+    ) -> ReadResult:
+        """One read: develop ``V_BL`` and compare against ``V_REF``."""
+        expected = cell.stored_bit
+        v_bl = cell.bitline_voltage(self.i_read)
+        bit = self.sense_amp.compare_bit(v_bl, self.v_ref, rng)
+        signed_margin = (v_bl - self.v_ref) if expected == 1 else (self.v_ref - v_bl)
+        return ReadResult(
+            bit=bit,
+            expected_bit=expected,
+            margin=signed_margin,
+            voltages={"v_bl": v_bl, "v_ref": self.v_ref},
+            data_destroyed=False,
+            write_pulses=0,
+            read_pulses=1,
+        )
+
+    def sense_margins(self, cell: Cell1T1J) -> MarginPair:
+        """Per-cell margins against the shared reference."""
+        return conventional_margins(cell, self.i_read, self.v_ref)

@@ -1,0 +1,196 @@
+"""Conventional (destructive) self-reference sensing — prior art the paper
+improves upon (its §II-C, Fig. 3, Eqs. 3–5; original scheme from Jeong et
+al., JSSC 2003).
+
+Operation: (1) read at ``I_R1``, park ``V_BL1`` on C1; (2) **erase** — write
+"0" into the cell; (3) read the erased cell at ``I_R2 > I_R1``, park
+``V_BL2`` on C2; (4) compare; (5) **write back** the sensed value.
+
+The two writes are what the paper attacks: they dominate latency and power,
+and between step (2) and step (5) the stored data exists *only* on a
+capacitor — a power failure in that window loses the bit (non-volatility
+violated).  The implementation models all of that: real switching-model
+write pulses, capacitor droop, and an optional injected power-failure point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.sense_amp import SenseAmplifier
+from repro.circuit.storage import SampleCapacitor
+from repro.core.base import ReadResult, SensingScheme
+from repro.core.cell import Cell1T1J
+from repro.core.margins import MarginPair, destructive_margins
+from repro.device.switching import SwitchingModel
+from repro.errors import ConfigurationError
+
+__all__ = ["DestructiveSelfReference"]
+
+#: Phases at which a power failure can be injected.
+_FAILURE_PHASES = ("after_erase", "after_second_read", "after_compare")
+
+
+class DestructiveSelfReference(SensingScheme):
+    """Destructive self-reference scheme.
+
+    Parameters
+    ----------
+    i_read2:
+        Second-read current [A]; chosen as the maximum non-disturbing
+        current to maximize margin (paper §II-C.2).
+    beta:
+        Read-current ratio ``I_R2 / I_R1``; the paper's optimized value for
+        its device is 1.22.
+    rtr_shift:
+        ``ΔR_TR`` applied to the first read (robustness studies).
+    sense_amp / capacitor:
+        Peripheral models; defaults follow the paper (8 mV window).
+    switching:
+        Spin-torque model used for the erase and write-back pulses; derived
+        from the cell's MTJ parameters per read when omitted.
+    write_overdrive:
+        Write current as a multiple of the critical current (default 1.5 —
+        a solid driver).  Lower overdrives make the scheme's write pulses
+        stochastic failures (see the A10 write-error-rate ablation).
+    """
+
+    name = "destructive self-reference"
+
+    def __init__(
+        self,
+        i_read2: float = 200e-6,
+        beta: float = 1.22,
+        rtr_shift: float = 0.0,
+        sense_amp: Optional[SenseAmplifier] = None,
+        capacitor: Optional[SampleCapacitor] = None,
+        switching: Optional[SwitchingModel] = None,
+        write_overdrive: float = 1.5,
+    ):
+        if i_read2 <= 0.0:
+            raise ConfigurationError(f"i_read2 must be positive, got {i_read2}")
+        if beta <= 1.0:
+            raise ConfigurationError(
+                f"beta must exceed 1 (I_R2 > I_R1 required by Eq. 3), got {beta}"
+            )
+        self.i_read2 = float(i_read2)
+        self.beta = float(beta)
+        self.rtr_shift = float(rtr_shift)
+        self.sense_amp = sense_amp if sense_amp is not None else SenseAmplifier()
+        if write_overdrive <= 0.0:
+            raise ConfigurationError(
+                f"write_overdrive must be positive, got {write_overdrive}"
+            )
+        self.capacitor_template = capacitor if capacitor is not None else SampleCapacitor()
+        self.switching = switching
+        self.write_overdrive = float(write_overdrive)
+
+    @property
+    def i_read1(self) -> float:
+        """First-read current ``I_R2 / β`` [A]."""
+        return self.i_read2 / self.beta
+
+    def _switching_for(self, cell: Cell1T1J) -> SwitchingModel:
+        if self.switching is not None:
+            return self.switching
+        return SwitchingModel(cell.mtj.params)
+
+    def read(
+        self,
+        cell: Cell1T1J,
+        rng: Optional[np.random.Generator] = None,
+        power_failure_at: Optional[str] = None,
+        hold_time: float = 10e-9,
+    ) -> ReadResult:
+        """Full destructive read: read, erase, read, compare, write back.
+
+        ``power_failure_at`` injects a supply loss at one of
+        ``("after_erase", "after_second_read", "after_compare")`` — the read
+        aborts there and whatever state the cell holds is what survives.
+        ``hold_time`` is how long C1 must hold ``V_BL1`` (droop applies).
+        """
+        if power_failure_at is not None and power_failure_at not in _FAILURE_PHASES:
+            raise ConfigurationError(
+                f"power_failure_at must be one of {_FAILURE_PHASES}, got {power_failure_at!r}"
+            )
+        expected = cell.stored_bit
+        switching = self._switching_for(cell)
+        write_current = self.write_overdrive * cell.mtj.params.i_c0
+
+        # Phase 1: first read, sample V_BL1 onto C1.
+        v_bl1 = cell.bitline_voltage(self.i_read1)
+        if self.rtr_shift != 0.0:
+            v_bl1 += self.i_read1 * self.rtr_shift
+        cap1 = SampleCapacitor(
+            self.capacitor_template.capacitance,
+            self.capacitor_template.switch_resistance,
+            self.capacitor_template.leakage_resistance,
+        )
+        cap1.sample(v_bl1, duration=10.0 * cap1.charge_time_constant)
+
+        # Phase 2: erase — write "0" with a real pulse. The original data
+        # now lives only on C1.
+        switching.write_bit(cell, 0, write_current=write_current, rng=rng)
+        erased_ok = cell.stored_bit == 0
+        if power_failure_at == "after_erase":
+            return ReadResult(
+                bit=None,
+                expected_bit=expected,
+                margin=0.0,
+                voltages={"v_bl1": cap1.stored_voltage},
+                data_destroyed=(expected != cell.stored_bit),
+                write_pulses=1,
+                read_pulses=1,
+            )
+
+        # Phase 3: second read of the erased (low-resistance) cell, with C1
+        # drooping through the hold.
+        cap1.hold(hold_time)
+        v_bl2 = cell.bitline_voltage(self.i_read2)
+        if power_failure_at == "after_second_read":
+            return ReadResult(
+                bit=None,
+                expected_bit=expected,
+                margin=0.0,
+                voltages={"v_bl1": cap1.stored_voltage, "v_bl2": v_bl2},
+                data_destroyed=(expected != cell.stored_bit),
+                write_pulses=1,
+                read_pulses=2,
+            )
+
+        # Phase 4: compare. The stored V_BL1 above V_BL2 means high state.
+        bit = self.sense_amp.compare_bit(cap1.stored_voltage, v_bl2, rng)
+        signed_margin = (
+            (cap1.stored_voltage - v_bl2) if expected == 1 else (v_bl2 - cap1.stored_voltage)
+        )
+        if power_failure_at == "after_compare":
+            return ReadResult(
+                bit=bit,
+                expected_bit=expected,
+                margin=signed_margin,
+                voltages={"v_bl1": cap1.stored_voltage, "v_bl2": v_bl2},
+                data_destroyed=(expected != cell.stored_bit),
+                write_pulses=1,
+                read_pulses=2,
+            )
+
+        # Phase 5: write back the sensed value (even if mis-sensed — that is
+        # exactly how the real scheme propagates a read error into storage).
+        write_back_bit = bit if bit is not None else 0
+        switching.write_bit(cell, write_back_bit, write_current=write_current, rng=rng)
+        data_destroyed = cell.stored_bit != expected
+        return ReadResult(
+            bit=bit,
+            expected_bit=expected,
+            margin=signed_margin,
+            voltages={"v_bl1": cap1.stored_voltage, "v_bl2": v_bl2},
+            data_destroyed=data_destroyed,
+            write_pulses=2 if erased_ok or write_back_bit != 0 else 2,
+            read_pulses=2,
+        )
+
+    def sense_margins(self, cell: Cell1T1J) -> MarginPair:
+        """Analytic margins (paper Eq. 3's inequalities as distances)."""
+        return destructive_margins(cell, self.i_read2, self.beta, self.rtr_shift)

@@ -1,0 +1,228 @@
+"""Sense-margin mathematics for all three schemes.
+
+This module is the analytic heart of the reproduction: the closed-form
+bit-line-voltage margins of the paper's Eqs. (1)–(10), in two flavours:
+
+* scalar functions operating on a :class:`~repro.core.cell.Cell1T1J` (used
+  by the scheme classes and the optimizers);
+* vectorized functions operating on a
+  :class:`~repro.device.variation.CellPopulation` (used by the Monte-Carlo
+  engine for the 16kb test-chip experiment, paper Fig. 11).
+
+Definitions (``I_R1`` first-read current, ``I_R2 = β I_R1`` second-read
+current, ``R_X1/R_X2`` the state-X resistance at those currents,
+``R_T1/R_T2`` the access-transistor resistance at those currents):
+
+Conventional (external reference ``V_REF``):
+    ``SM0 = V_REF - I_R (R_L + R_T)``, ``SM1 = I_R (R_H + R_T) - V_REF``.
+
+Destructive self-reference (second read is always of the erased "0"):
+    ``SM0 = I_R2 (R_L2 + R_T2) - I_R1 (R_L1 + R_T1)``
+    ``SM1 = I_R1 (R_H1 + R_T1) - I_R2 (R_L2 + R_T2)``
+
+Nondestructive self-reference (divider ratio ``α``, paper Eqs. 8–9; the
+second read is of the *original* state):
+    ``SM1 = I_R1 (R_H1 + R_T1) - α I_R2 (R_H2 + R_T2)``
+    ``SM0 = α I_R2 (R_L2 + R_T2) - I_R1 (R_L1 + R_T1)``
+
+A bit is readable iff both margins exceed the sense-amplifier window.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.cell import Cell1T1J
+from repro.device.mtj import MTJState
+from repro.device.variation import CellPopulation
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "MarginPair",
+    "conventional_margins",
+    "destructive_margins",
+    "nondestructive_margins",
+    "population_conventional_margins",
+    "population_destructive_margins",
+    "population_nondestructive_margins",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class MarginPair:
+    """Sense margins for the two stored values [V]."""
+
+    sm0: float  #: margin when the cell stores "0" (parallel / low R)
+    sm1: float  #: margin when the cell stores "1" (anti-parallel / high R)
+
+    @property
+    def min_margin(self) -> float:
+        """The binding margin — the worse of the two."""
+        return min(self.sm0, self.sm1)
+
+    @property
+    def is_balanced(self) -> bool:
+        """True when the two margins are equal to within 1 µV (the
+        optimizers' target condition)."""
+        return abs(self.sm0 - self.sm1) < 1.0e-6
+
+    @property
+    def imbalance(self) -> float:
+        """``SM1 - SM0`` [V]; the optimizers drive this to zero."""
+        return self.sm1 - self.sm0
+
+
+def _check_currents(i_read2: float, beta: float) -> float:
+    if i_read2 <= 0.0:
+        raise ConfigurationError(f"i_read2 must be positive, got {i_read2}")
+    if beta <= 0.0:
+        raise ConfigurationError(f"beta must be positive, got {beta}")
+    return i_read2 / beta
+
+
+# ----------------------------------------------------------------------
+# Scalar (single-cell) margins
+# ----------------------------------------------------------------------
+def conventional_margins(cell: Cell1T1J, i_read: float, v_ref: float) -> MarginPair:
+    """Margins of external-reference sensing (paper Eqs. 1–2)."""
+    if i_read <= 0.0:
+        raise ConfigurationError(f"i_read must be positive, got {i_read}")
+    v_low = cell.bitline_voltage(i_read, MTJState.PARALLEL)
+    v_high = cell.bitline_voltage(i_read, MTJState.ANTIPARALLEL)
+    return MarginPair(sm0=v_ref - v_low, sm1=v_high - v_ref)
+
+
+def destructive_margins(
+    cell: Cell1T1J,
+    i_read2: float,
+    beta: float,
+    rtr_shift: float = 0.0,
+) -> MarginPair:
+    """Margins of the conventional (destructive) self-reference scheme.
+
+    ``rtr_shift`` is the ``ΔR_TR`` added to the transistor resistance at the
+    *first* read (paper §IV-B robustness analysis).
+    """
+    i_read1 = _check_currents(i_read2, beta)
+    r_t1 = float(cell.transistor.resistance(i_read1)) + rtr_shift
+    r_t2 = float(cell.transistor.resistance(i_read2))
+    r_l1 = float(cell.mtj.resistance(i_read1, MTJState.PARALLEL))
+    r_h1 = float(cell.mtj.resistance(i_read1, MTJState.ANTIPARALLEL))
+    r_l2 = float(cell.mtj.resistance(i_read2, MTJState.PARALLEL))
+    v_reference = i_read2 * (r_l2 + r_t2)
+    sm0 = v_reference - i_read1 * (r_l1 + r_t1)
+    sm1 = i_read1 * (r_h1 + r_t1) - v_reference
+    return MarginPair(sm0=sm0, sm1=sm1)
+
+
+def nondestructive_margins(
+    cell: Cell1T1J,
+    i_read2: float,
+    beta: float,
+    alpha: float = 0.5,
+    alpha_deviation: float = 0.0,
+    rtr_shift: float = 0.0,
+) -> MarginPair:
+    """Margins of the paper's nondestructive self-reference scheme
+    (Eqs. 8–9 with the robustness knobs of Eqs. 14/18–20).
+
+    ``alpha_deviation`` is the fractional divider-ratio error Δ (the realized
+    ratio is ``α (1 + Δ)``); ``rtr_shift`` the first-read ``ΔR_TR``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    i_read1 = _check_currents(i_read2, beta)
+    alpha_eff = alpha * (1.0 + alpha_deviation)
+    r_t1 = float(cell.transistor.resistance(i_read1)) + rtr_shift
+    r_t2 = float(cell.transistor.resistance(i_read2))
+    r_l1 = float(cell.mtj.resistance(i_read1, MTJState.PARALLEL))
+    r_h1 = float(cell.mtj.resistance(i_read1, MTJState.ANTIPARALLEL))
+    r_l2 = float(cell.mtj.resistance(i_read2, MTJState.PARALLEL))
+    r_h2 = float(cell.mtj.resistance(i_read2, MTJState.ANTIPARALLEL))
+    sm1 = i_read1 * (r_h1 + r_t1) - alpha_eff * i_read2 * (r_h2 + r_t2)
+    sm0 = alpha_eff * i_read2 * (r_l2 + r_t2) - i_read1 * (r_l1 + r_t1)
+    return MarginPair(sm0=sm0, sm1=sm1)
+
+
+# ----------------------------------------------------------------------
+# Vectorized (population) margins
+# ----------------------------------------------------------------------
+def population_conventional_margins(
+    population: CellPopulation,
+    i_read: float,
+    v_ref: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-bit margins of external-reference sensing.
+
+    The reference is *shared*, so per-bit resistance variation translates
+    directly into margin loss — the failure mode motivating the paper.
+    Each bit additionally sees its local reference error (the shared
+    reference is generated from reference MTJ cells and distributed, both
+    subject to mismatch).  Returns ``(sm0, sm1)`` arrays [V].
+    """
+    if i_read <= 0.0:
+        raise ConfigurationError(f"i_read must be positive, got {i_read}")
+    v_ref_bit = v_ref + population.vref_error
+    v_low = i_read * (population.resistance_low(i_read) + population.r_tr)
+    v_high = i_read * (population.resistance_high(i_read) + population.r_tr)
+    return v_ref_bit - v_low, v_high - v_ref_bit
+
+
+def _population_read_currents(
+    population: CellPopulation, i_read2: float, beta: float, with_beta_variation: bool
+) -> np.ndarray:
+    """Per-bit first-read current including read-driver mismatch."""
+    i1 = _check_currents(i_read2, beta)
+    if not with_beta_variation:
+        return np.full(population.size, i1)
+    beta_bit = beta * (1.0 + population.beta_deviation)
+    return i_read2 / beta_bit
+
+
+def population_destructive_margins(
+    population: CellPopulation,
+    i_read2: float,
+    beta: float,
+    rtr_shift: float = 0.0,
+    with_beta_variation: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-bit margins of the destructive self-reference scheme.
+
+    Self-referencing cancels the bit-to-bit resistance variation to first
+    order (each bit is compared against itself), leaving only the roll-off
+    difference and the circuit-mismatch terms.
+    """
+    i_read1 = _population_read_currents(population, i_read2, beta, with_beta_variation)
+    r_t1 = population.r_tr + rtr_shift
+    r_t2 = population.r_tr
+    v_reference = i_read2 * (population.resistance_low(i_read2) + r_t2)
+    sm0 = v_reference - i_read1 * (population.resistance_low(i_read1) + r_t1)
+    sm1 = i_read1 * (population.resistance_high(i_read1) + r_t1) - v_reference
+    return sm0, sm1
+
+
+def population_nondestructive_margins(
+    population: CellPopulation,
+    i_read2: float,
+    beta: float,
+    alpha: float = 0.5,
+    rtr_shift: float = 0.0,
+    with_beta_variation: bool = True,
+    with_alpha_variation: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-bit margins of the nondestructive self-reference scheme,
+    including per-bit divider-ratio and read-driver mismatch."""
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    i_read1 = _population_read_currents(population, i_read2, beta, with_beta_variation)
+    alpha_eff = alpha * (1.0 + population.alpha_deviation) if with_alpha_variation else alpha
+    r_t1 = population.r_tr + rtr_shift
+    r_t2 = population.r_tr
+    v_bo_high = alpha_eff * i_read2 * (population.resistance_high(i_read2) + r_t2)
+    v_bo_low = alpha_eff * i_read2 * (population.resistance_low(i_read2) + r_t2)
+    sm1 = i_read1 * (population.resistance_high(i_read1) + r_t1) - v_bo_high
+    sm0 = v_bo_low - i_read1 * (population.resistance_low(i_read1) + r_t1)
+    return sm0, sm1

@@ -1,0 +1,164 @@
+"""Read-current-ratio optimization (paper Eqs. 5 and 10).
+
+Both self-reference schemes fix the second-read current at the maximum
+non-disturbing value ``I_max`` and choose the ratio ``β = I_R2 / I_R1`` to
+*balance* the two margins, ``SM0(β) = SM1(β)`` — the balanced point
+maximizes ``min(SM0, SM1)`` because ``SM1`` falls and ``SM0`` rises
+monotonically with β.
+
+Two solvers per scheme:
+
+* **closed form** — the paper's Eqs. (5)/(10) under a linear roll-off
+  approximation ``ΔR_X(I) = ΔR_Xmax · I / I_max`` (quadratic in β);
+* **numeric** — Brent root-finding on the exact margin imbalance using the
+  full roll-off model; this is what the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable, Tuple
+
+from scipy.optimize import brentq
+
+from repro.core.cell import Cell1T1J
+from repro.core.margins import MarginPair, destructive_margins, nondestructive_margins
+from repro.errors import ConfigurationError, ConvergenceError
+
+__all__ = [
+    "BetaOptimum",
+    "optimize_beta_destructive",
+    "optimize_beta_nondestructive",
+    "closed_form_beta_destructive",
+    "closed_form_beta_nondestructive",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class BetaOptimum:
+    """Optimized operating point of a self-reference scheme."""
+
+    beta: float          #: optimal read-current ratio
+    margins: MarginPair  #: margins at the optimum (balanced)
+    i_read1: float       #: first-read current [A]
+    i_read2: float       #: second-read current [A]
+
+    @property
+    def max_sense_margin(self) -> float:
+        """The balanced margin ``min(SM0, SM1)`` at the optimum [V]."""
+        return self.margins.min_margin
+
+
+def _solve_balanced_beta(
+    imbalance: Callable[[float], float],
+    lower: float,
+    upper: float,
+) -> float:
+    """Find the β where SM1(β) - SM0(β) crosses zero.
+
+    Scans for a sign-change bracket inside ``(lower, upper)`` first, since
+    the imbalance may not change sign over the full interval for
+    pathological devices.
+    """
+    samples = 64
+    previous_beta = lower
+    previous_value = imbalance(lower)
+    for index in range(1, samples + 1):
+        beta = lower + (upper - lower) * index / samples
+        value = imbalance(beta)
+        if previous_value == 0.0:
+            return previous_beta
+        if previous_value * value < 0.0:
+            return float(brentq(imbalance, previous_beta, beta, xtol=1e-10))
+        previous_beta, previous_value = beta, value
+    raise ConvergenceError(
+        f"no balanced beta in ({lower}, {upper}): margins never cross"
+    )
+
+
+def optimize_beta_destructive(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    beta_bounds: Tuple[float, float] = (1.0 + 1e-6, 10.0),
+) -> BetaOptimum:
+    """Numerically optimal β for the destructive self-reference scheme."""
+
+    def imbalance(beta: float) -> float:
+        return destructive_margins(cell, i_read2, beta).imbalance
+
+    beta = _solve_balanced_beta(imbalance, *beta_bounds)
+    margins = destructive_margins(cell, i_read2, beta)
+    return BetaOptimum(beta, margins, i_read2 / beta, i_read2)
+
+
+def optimize_beta_nondestructive(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    alpha: float = 0.5,
+    beta_bounds: Tuple[float, float] = (1.0 + 1e-6, 10.0),
+) -> BetaOptimum:
+    """Numerically optimal β for the nondestructive scheme at ratio ``α``."""
+
+    def imbalance(beta: float) -> float:
+        return nondestructive_margins(cell, i_read2, beta, alpha=alpha).imbalance
+
+    beta = _solve_balanced_beta(imbalance, *beta_bounds)
+    margins = nondestructive_margins(cell, i_read2, beta, alpha=alpha)
+    return BetaOptimum(beta, margins, i_read2 / beta, i_read2)
+
+
+def _linear_rolloff_inputs(cell: Cell1T1J, i_read2: float) -> Tuple[float, float, float, float]:
+    """Extract (R_L2+R_T, R_H0+R_L0+2R_T, total roll-off at I_R2, R_T)."""
+    params = cell.mtj.params
+    r_t = float(cell.transistor.resistance(i_read2))
+    x2 = i_read2 / params.i_read_max
+    dr_total = (params.dr_high_max + params.dr_low_max) * x2
+    r_l2 = params.r_low - params.dr_low_max * x2
+    s0 = params.r_high + params.r_low + 2.0 * r_t
+    return r_l2 + r_t, s0, dr_total, r_t
+
+
+def closed_form_beta_destructive(cell: Cell1T1J, i_read2: float = 200e-6) -> float:
+    """Paper Eq. (5): optimal β under linear roll-off.
+
+    Balancing ``2 I_R2 (R_L2 + R_T) = I_R1 (R_H1 + R_L1 + 2 R_T)`` with
+    ``ΔR_X1 = ΔR_X2 / β`` yields the quadratic
+
+        2 (R_L2 + R_T) β² - (R_H0 + R_L0 + 2 R_T) β + ΔR_total = 0
+
+    whose larger root is the optimum.
+    """
+    denom, s0, dr_total, _ = _linear_rolloff_inputs(cell, i_read2)
+    a = 2.0 * denom
+    b = s0
+    c = dr_total
+    disc = b * b - 4.0 * a * c
+    if disc < 0.0:
+        raise ConvergenceError("Eq. (5) has no real solution for this device")
+    return (b + math.sqrt(disc)) / (2.0 * a)
+
+
+def closed_form_beta_nondestructive(
+    cell: Cell1T1J, i_read2: float = 200e-6, alpha: float = 0.5
+) -> float:
+    """Paper Eq. (10): optimal β under linear roll-off at ratio ``α``.
+
+    Balancing ``I_R1 (R_H1 + R_L1 + 2 R_T) = α I_R2 (R_H2 + R_L2 + 2 R_T)``
+    yields
+
+        α (S0 - ΔR_total) β² - S0 β + ΔR_total = 0,
+        S0 = R_H0 + R_L0 + 2 R_T,
+
+    whose larger root is the optimum.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    _, s0, dr_total, _ = _linear_rolloff_inputs(cell, i_read2)
+    a = alpha * (s0 - dr_total)
+    b = s0
+    c = dr_total
+    disc = b * b - 4.0 * a * c
+    if disc < 0.0:
+        raise ConvergenceError("Eq. (10) has no real solution for this device")
+    return (b + math.sqrt(disc)) / (2.0 * a)

@@ -1,0 +1,124 @@
+"""Reference generation for conventional sensing.
+
+The conventional scheme's shared ``V_REF`` has to come from somewhere.  The
+standard construction (and what STT-RAM prototypes of the era used) is a
+**reference column**: pairs of reference cells — one written parallel, one
+anti-parallel — whose averaged bit-line voltage is the midpoint reference:
+
+    V_REF = I_R (R_L,ref + R_H,ref + 2 R_T,ref) / 2
+
+The reference cells are fabricated by the same process as the data cells,
+so the reference inherits MTJ variation, attenuated by averaging over the
+``pairs`` used.  This module generates per-column references from a sampled
+:class:`~repro.device.variation.CellPopulation` — the *physical origin* of
+the ``sigma_vref`` parameter the test-chip model uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.device.variation import CellPopulation, VariationModel
+from repro.errors import ConfigurationError
+
+__all__ = ["ReferenceColumn", "sample_reference_errors"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReferenceColumn:
+    """One column's midpoint reference built from reference-cell pairs.
+
+    Attributes
+    ----------
+    v_ref:
+        The generated reference [V].
+    v_ref_ideal:
+        The reference a variation-free pair would generate [V].
+    pairs:
+        Number of averaged reference pairs.
+    """
+
+    v_ref: float
+    v_ref_ideal: float
+    pairs: int
+
+    @property
+    def error(self) -> float:
+        """Reference error relative to the ideal midpoint [V]."""
+        return self.v_ref - self.v_ref_ideal
+
+
+def _midpoint_reference(
+    population: CellPopulation, indices: np.ndarray, i_read: float
+) -> float:
+    """Average midpoint voltage over reference pairs drawn at ``indices``.
+
+    Each pair uses one cell's parallel branch and the next cell's
+    anti-parallel branch (distinct physical devices, as on silicon).
+    """
+    low = population.resistance_low(i_read)[indices[0::2]]
+    high = population.resistance_high(i_read)[indices[1::2]]
+    r_t = population.r_tr[indices]
+    v_pairs = 0.5 * i_read * (low + high) + i_read * 0.5 * (
+        r_t[0::2] + r_t[1::2]
+    )
+    return float(np.mean(v_pairs))
+
+
+def build_reference_column(
+    population: CellPopulation,
+    pairs: int,
+    i_read: float,
+    rng: np.random.Generator,
+    v_ref_ideal: Optional[float] = None,
+) -> ReferenceColumn:
+    """Draw ``pairs`` reference pairs from the population and build the
+    column reference."""
+    if pairs < 1:
+        raise ConfigurationError("need at least one reference pair")
+    if population.size < 2 * pairs:
+        raise ConfigurationError(
+            f"population of {population.size} too small for {pairs} pairs"
+        )
+    indices = rng.choice(population.size, size=2 * pairs, replace=False)
+    v_ref = _midpoint_reference(population, indices, i_read)
+    if v_ref_ideal is None:
+        nominal = population.nominal
+        ratio = i_read / nominal.i_read_max
+        r_low = nominal.r_low - nominal.dr_low_max * population.rolloff_low.fraction(ratio)
+        r_high = nominal.r_high - nominal.dr_high_max * population.rolloff_high.fraction(ratio)
+        r_t = float(np.median(population.r_tr))
+        v_ref_ideal = 0.5 * i_read * (r_low + r_high + 2.0 * r_t)
+    return ReferenceColumn(v_ref=v_ref, v_ref_ideal=v_ref_ideal, pairs=pairs)
+
+
+def sample_reference_errors(
+    variation: VariationModel,
+    pairs: int,
+    columns: int,
+    i_read: float = 200e-6,
+    rng: Optional[np.random.Generator] = None,
+    population: Optional[CellPopulation] = None,
+) -> np.ndarray:
+    """Monte-Carlo the per-column reference error [V].
+
+    Returns one error sample per column.  Use the standard deviation of the
+    result to ground the test-chip model's ``sigma_vref`` in the
+    reference-cell construction: fewer averaged pairs → larger error.
+    """
+    if columns < 1:
+        raise ConfigurationError("columns must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng()
+    if population is None:
+        population = CellPopulation.sample(
+            max(4 * pairs * columns, 256), variation, rng=rng
+        )
+    errors = np.empty(columns)
+    for column in range(columns):
+        reference = build_reference_column(population, pairs, i_read, rng)
+        errors[column] = reference.error
+    return errors

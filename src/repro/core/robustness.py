@@ -1,0 +1,218 @@
+"""Robustness analysis of the self-reference schemes (paper §IV,
+Eqs. 11–20, Figs. 6–8, Table II).
+
+Three variation sources can erase the sense margin:
+
+* **β variation** — read-driver mismatch changes ``I_R2 / I_R1``; the valid
+  window is where both margins stay positive (Eqs. 12/15, Fig. 6);
+* **ΔR_TR** — the access transistor's resistance shifts between the two
+  reads (different drain-source voltages); Eqs. 18/19, Fig. 7;
+* **Δα** — the divider ratio deviates from design (nondestructive scheme
+  only); Eq. 20, Fig. 8.
+
+Margins are *exactly linear* in ΔR_TR and Δα, so those windows are computed
+in closed form from the design-point margins; the β windows come from Brent
+root-finding on the exact margin expressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Tuple
+
+from scipy.optimize import brentq
+
+from repro.core.cell import Cell1T1J
+from repro.core.margins import destructive_margins, nondestructive_margins
+from repro.device.mtj import MTJState
+from repro.errors import ConfigurationError, ConvergenceError
+
+__all__ = [
+    "valid_beta_window_destructive",
+    "valid_beta_window_nondestructive",
+    "rtr_shift_window_destructive",
+    "rtr_shift_window_nondestructive",
+    "alpha_deviation_window",
+    "RobustnessSummary",
+    "robustness_summary",
+]
+
+_BETA_SCAN_UPPER = 50.0
+
+
+def _zero_crossing(
+    func: Callable[[float], float], lower: float, upper: float, samples: int = 512
+) -> Optional[float]:
+    """First sign change of ``func`` on ``(lower, upper)``, or ``None``."""
+    previous_x = lower
+    previous_value = func(lower)
+    for index in range(1, samples + 1):
+        x = lower + (upper - lower) * index / samples
+        value = func(x)
+        if previous_value == 0.0:
+            return previous_x
+        if previous_value * value < 0.0:
+            return float(brentq(func, previous_x, x, xtol=1e-12))
+        previous_x, previous_value = x, value
+    return None
+
+
+def valid_beta_window_destructive(
+    cell: Cell1T1J, i_read2: float = 200e-6
+) -> Tuple[float, float]:
+    """β window with both margins positive (paper Eq. 12).
+
+    The lower edge is where ``SM0`` vanishes (β → 1: the two reads see the
+    same low-state voltage); the upper edge is where ``SM1`` vanishes (I_R1
+    too small to lift the high state above the reference).
+    """
+    def sm0(beta: float) -> float:
+        return destructive_margins(cell, i_read2, beta).sm0
+
+    def sm1(beta: float) -> float:
+        return destructive_margins(cell, i_read2, beta).sm1
+
+    epsilon = 1e-9
+    lower = _zero_crossing(sm0, 1.0 + epsilon, _BETA_SCAN_UPPER)
+    if lower is None:
+        # SM0 is positive for every beta > 1; the window opens at 1.
+        lower = 1.0
+    upper = _zero_crossing(sm1, max(lower + epsilon, 1.0 + epsilon), _BETA_SCAN_UPPER)
+    if upper is None:
+        raise ConvergenceError("SM1 never vanishes; device parameters unphysical")
+    return float(lower), float(upper)
+
+
+def valid_beta_window_nondestructive(
+    cell: Cell1T1J, i_read2: float = 200e-6, alpha: float = 0.5
+) -> Tuple[float, float]:
+    """β window with both margins positive (paper Eq. 15).
+
+    Because the low state is nearly flat, ``SM0 > 0`` needs ``α β`` just
+    above 1 (β ≳ 2 at α = 0.5); ``SM1 > 0`` caps β where the first-read
+    high-state voltage no longer clears the divided second-read one.
+    """
+    def sm0(beta: float) -> float:
+        return nondestructive_margins(cell, i_read2, beta, alpha=alpha).sm0
+
+    def sm1(beta: float) -> float:
+        return nondestructive_margins(cell, i_read2, beta, alpha=alpha).sm1
+
+    epsilon = 1e-9
+    lower = _zero_crossing(sm0, 1.0 + epsilon, _BETA_SCAN_UPPER)
+    if lower is None:
+        raise ConvergenceError("SM0 never becomes positive; check alpha")
+    upper = _zero_crossing(sm1, lower + epsilon, _BETA_SCAN_UPPER)
+    if upper is None:
+        raise ConvergenceError("SM1 never vanishes; device parameters unphysical")
+    return float(lower), float(upper)
+
+
+def rtr_shift_window_destructive(
+    cell: Cell1T1J, i_read2: float = 200e-6, beta: float = 1.22
+) -> Tuple[float, float]:
+    """Allowable first-read transistor-resistance shift ``ΔR_TR`` [Ω]
+    (paper Eq. 18, Fig. 7).
+
+    Both margins are linear in the shift with slope ``± I_R1``:
+    ``SM1`` grows and ``SM0`` shrinks as ΔR_TR rises, so the window is
+    ``(-SM1(0)/I_R1, +SM0(0)/I_R1)`` — symmetric ``± SM/I_R1`` at the
+    balanced design point.
+    """
+    base = destructive_margins(cell, i_read2, beta)
+    i_read1 = i_read2 / beta
+    return (-base.sm1 / i_read1, base.sm0 / i_read1)
+
+
+def rtr_shift_window_nondestructive(
+    cell: Cell1T1J, i_read2: float = 200e-6, beta: float = 2.13, alpha: float = 0.5
+) -> Tuple[float, float]:
+    """Allowable ``ΔR_TR`` for the nondestructive scheme [Ω] (paper Eq. 19,
+    Fig. 7).  Same ``± SM/I_R1`` structure; the window is tighter simply
+    because the design margin is smaller."""
+    base = nondestructive_margins(cell, i_read2, beta, alpha=alpha)
+    i_read1 = i_read2 / beta
+    return (-base.sm1 / i_read1, base.sm0 / i_read1)
+
+
+def alpha_deviation_window(
+    cell: Cell1T1J, i_read2: float = 200e-6, beta: float = 2.13, alpha: float = 0.5
+) -> Tuple[float, float]:
+    """Allowable fractional divider-ratio deviation ``Δ`` (paper Eq. 20,
+    Fig. 8) — nondestructive scheme only (the destructive scheme has no
+    divider, hence "N/A" in Table II).
+
+    ``SM1(Δ) = SM1(0) - Δ α I_R2 (R_H2 + R_T)`` and
+    ``SM0(Δ) = SM0(0) + Δ α I_R2 (R_L2 + R_T)``, so
+
+        Δ ∈ ( -SM0(0) / (α I_R2 (R_L2+R_T)),  +SM1(0) / (α I_R2 (R_H2+R_T)) )
+
+    The asymmetry (the paper's +4.13% / −5.71%) comes from ``R_H2 > R_L2``.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise ConfigurationError(f"alpha must be in (0, 1), got {alpha}")
+    base = nondestructive_margins(cell, i_read2, beta, alpha=alpha)
+    r_t2 = float(cell.transistor.resistance(i_read2))
+    r_h2 = float(cell.mtj.resistance(i_read2, MTJState.ANTIPARALLEL))
+    r_l2 = float(cell.mtj.resistance(i_read2, MTJState.PARALLEL))
+    upper = base.sm1 / (alpha * i_read2 * (r_h2 + r_t2))
+    lower = -base.sm0 / (alpha * i_read2 * (r_l2 + r_t2))
+    return (lower, upper)
+
+
+@dataclasses.dataclass(frozen=True)
+class RobustnessSummary:
+    """One scheme's row set of the paper's Table II."""
+
+    scheme: str
+    design_beta: float
+    max_sense_margin: float
+    beta_window: Tuple[float, float]
+    rtr_window: Tuple[float, float]
+    alpha_window: Optional[Tuple[float, float]]  #: None = N/A (no divider)
+
+
+def robustness_summary(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    beta_destructive: Optional[float] = None,
+    beta_nondestructive: Optional[float] = None,
+    alpha: float = 0.5,
+) -> Tuple[RobustnessSummary, RobustnessSummary]:
+    """Assemble paper Table II for both self-reference schemes.
+
+    Design β values default to the numerically optimized (balanced) points.
+    """
+    from repro.core.optimize import (
+        optimize_beta_destructive,
+        optimize_beta_nondestructive,
+    )
+
+    if beta_destructive is None:
+        beta_destructive = optimize_beta_destructive(cell, i_read2).beta
+    if beta_nondestructive is None:
+        beta_nondestructive = optimize_beta_nondestructive(cell, i_read2, alpha).beta
+
+    destructive = RobustnessSummary(
+        scheme="destructive self-reference",
+        design_beta=beta_destructive,
+        max_sense_margin=destructive_margins(cell, i_read2, beta_destructive).min_margin,
+        beta_window=valid_beta_window_destructive(cell, i_read2),
+        rtr_window=rtr_shift_window_destructive(cell, i_read2, beta_destructive),
+        alpha_window=None,
+    )
+    nondestructive = RobustnessSummary(
+        scheme="nondestructive self-reference",
+        design_beta=beta_nondestructive,
+        max_sense_margin=nondestructive_margins(
+            cell, i_read2, beta_nondestructive, alpha=alpha
+        ).min_margin,
+        beta_window=valid_beta_window_nondestructive(cell, i_read2, alpha),
+        rtr_window=rtr_shift_window_nondestructive(
+            cell, i_read2, beta_nondestructive, alpha
+        ),
+        alpha_window=alpha_deviation_window(
+            cell, i_read2, beta_nondestructive, alpha
+        ),
+    )
+    return destructive, nondestructive

@@ -1,0 +1,247 @@
+"""Magnetic tunnel junction (MTJ) model.
+
+The MTJ is the storage element of an STT-RAM cell: two ferromagnetic layers
+separated by an MgO barrier.  Parallel magnetization = low resistance
+(``R_L``, logical "0"); anti-parallel = high resistance (``R_H``, logical
+"1").  Both resistances decrease with read current; the high state much
+faster (paper Fig. 2) — the effect the nondestructive scheme exploits.
+
+Nominal numbers follow the paper's Table I after the trailing-zero OCR
+recovery documented in DESIGN.md §2: ``R_H = 2500 Ω``, ``R_L = 1220 Ω``
+(TMR = 105%), ``ΔR_Hmax = 600 Ω`` at ``I_max = 200 µA``, switching current
+``~500 µA`` at a 4 ns pulse.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.device.rolloff import PowerLawRollOff, RollOffModel
+
+__all__ = ["MTJState", "MTJParams", "MTJDevice", "PAPER_MTJ_PARAMS"]
+
+
+class MTJState(enum.IntEnum):
+    """Magnetization state of the free layer relative to the reference layer.
+
+    The integer value is the stored logical bit.
+    """
+
+    PARALLEL = 0        #: low resistance, logical "0"
+    ANTIPARALLEL = 1    #: high resistance, logical "1"
+
+    @property
+    def bit(self) -> int:
+        """The logical bit this state encodes."""
+        return int(self)
+
+    @classmethod
+    def from_bit(cls, bit: int) -> "MTJState":
+        """Map a logical bit (0/1) to the corresponding state."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        return cls.ANTIPARALLEL if bit else cls.PARALLEL
+
+    @property
+    def opposite(self) -> "MTJState":
+        """The other magnetization state."""
+        return MTJState.PARALLEL if self is MTJState.ANTIPARALLEL else MTJState.ANTIPARALLEL
+
+
+@dataclasses.dataclass(frozen=True)
+class MTJParams:
+    """Electrical and magnetic parameters of one MTJ device.
+
+    Attributes
+    ----------
+    r_low:
+        Parallel-state resistance extrapolated to zero read current [Ω].
+    r_high:
+        Anti-parallel-state resistance at zero read current [Ω].
+    dr_low_max:
+        Parallel-state resistance drop between zero current and
+        ``i_read_max`` [Ω]; small ("close to zero" per paper Eq. 17).
+    dr_high_max:
+        Anti-parallel-state drop over the same range [Ω]; large.
+    i_read_max:
+        Largest read current that must not disturb the state [A].  The paper
+        sets it to 40% of the switching current.
+    i_c0:
+        Critical (switching) current at the write pulse width [A].
+    pulse_width_write:
+        Write/erase pulse width the critical current refers to [s].
+    thermal_stability:
+        Thermal stability factor Δ = E_barrier / kT at operating temperature.
+    attempt_time:
+        Néel–Brown attempt time τ0 [s].
+    cell_width / cell_length:
+        Junction in-plane dimensions [m] (paper: 90 nm × 180 nm).
+    """
+
+    r_low: float = 1220.0
+    r_high: float = 2500.0
+    dr_low_max: float = 10.0
+    dr_high_max: float = 600.0
+    i_read_max: float = 200e-6
+    i_c0: float = 500e-6
+    pulse_width_write: float = 4e-9
+    thermal_stability: float = 60.0
+    attempt_time: float = 1e-9
+    cell_width: float = 90e-9
+    cell_length: float = 180e-9
+
+    def __post_init__(self) -> None:
+        if self.r_low <= 0.0:
+            raise ConfigurationError(f"r_low must be positive, got {self.r_low}")
+        if self.r_high <= self.r_low:
+            raise ConfigurationError(
+                f"r_high ({self.r_high}) must exceed r_low ({self.r_low})"
+            )
+        if not 0.0 <= self.dr_low_max < self.r_low:
+            raise ConfigurationError("dr_low_max must lie in [0, r_low)")
+        if not 0.0 <= self.dr_high_max < self.r_high:
+            raise ConfigurationError("dr_high_max must lie in [0, r_high)")
+        if self.r_high - self.dr_high_max <= self.r_low - self.dr_low_max:
+            raise ConfigurationError(
+                "states must remain distinguishable at i_read_max: "
+                "r_high - dr_high_max must exceed r_low - dr_low_max"
+            )
+        if self.i_read_max <= 0.0:
+            raise ConfigurationError("i_read_max must be positive")
+        if self.i_c0 <= self.i_read_max:
+            raise ConfigurationError(
+                "switching current i_c0 must exceed the maximum read current"
+            )
+        if self.pulse_width_write <= 0.0 or self.attempt_time <= 0.0:
+            raise ConfigurationError("pulse widths must be positive")
+        if self.thermal_stability <= 0.0:
+            raise ConfigurationError("thermal_stability must be positive")
+        if self.cell_width <= 0.0 or self.cell_length <= 0.0:
+            raise ConfigurationError("cell dimensions must be positive")
+
+    @property
+    def tmr(self) -> float:
+        """Tunneling magnetoresistance ratio at zero bias:
+        ``(R_H - R_L) / R_L``."""
+        return (self.r_high - self.r_low) / self.r_low
+
+    @property
+    def area(self) -> float:
+        """Junction area [m^2]."""
+        return self.cell_width * self.cell_length
+
+    @property
+    def read_disturb_ratio(self) -> float:
+        """``i_read_max / i_c0`` (paper: 40%)."""
+        return self.i_read_max / self.i_c0
+
+    def replace(self, **changes) -> "MTJParams":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+
+#: Nominal device of the paper's test chip (Table I after OCR recovery).
+#: ``dr_low_max`` and the roll-off shapes are refined by
+#: :mod:`repro.calibration`; 10 Ω is the pre-calibration default.
+PAPER_MTJ_PARAMS = MTJParams()
+
+
+class MTJDevice:
+    """A single MTJ with state-dependent, current-dependent resistance.
+
+    Parameters
+    ----------
+    params:
+        Electrical parameters.
+    rolloff_high / rolloff_low:
+        Dimensionless roll-off shapes for the two states.  Defaults are
+        linear; :func:`repro.calibration.fit.calibrated_device` supplies
+        shapes fitted to the paper's operating points.
+    state:
+        Initial magnetization state.
+    """
+
+    def __init__(
+        self,
+        params: MTJParams = PAPER_MTJ_PARAMS,
+        rolloff_high: Optional[RollOffModel] = None,
+        rolloff_low: Optional[RollOffModel] = None,
+        state: MTJState = MTJState.PARALLEL,
+    ):
+        self.params = params
+        self.rolloff_high = rolloff_high if rolloff_high is not None else PowerLawRollOff(1.0)
+        self.rolloff_low = rolloff_low if rolloff_low is not None else PowerLawRollOff(1.0)
+        self.state = state
+
+    # ------------------------------------------------------------------
+    # Resistance / voltage characteristics
+    # ------------------------------------------------------------------
+    def resistance(self, current, state: Optional[MTJState] = None):
+        """Resistance [Ω] at the given read current [A].
+
+        ``current`` may be a scalar or array; only its magnitude matters for
+        the resistance roll-off.  ``state`` defaults to the stored state.
+        """
+        if state is None:
+            state = self.state
+        ratio = np.abs(np.asarray(current, dtype=float)) / self.params.i_read_max
+        if state is MTJState.ANTIPARALLEL:
+            r = self.params.r_high - self.params.dr_high_max * self.rolloff_high.fraction(ratio)
+        else:
+            r = self.params.r_low - self.params.dr_low_max * self.rolloff_low.fraction(ratio)
+        if np.ndim(current) == 0:
+            return float(r)
+        return r
+
+    def resistance_low(self, current):
+        """Parallel-state resistance at ``current`` (vectorized)."""
+        return self.resistance(current, MTJState.PARALLEL)
+
+    def resistance_high(self, current):
+        """Anti-parallel-state resistance at ``current`` (vectorized)."""
+        return self.resistance(current, MTJState.ANTIPARALLEL)
+
+    def voltage(self, current, state: Optional[MTJState] = None):
+        """Voltage drop across the junction at the given current."""
+        return np.asarray(current, dtype=float) * self.resistance(current, state)
+
+    def conductance(self, current, state: Optional[MTJState] = None):
+        """Conductance [S] at the given current."""
+        return 1.0 / self.resistance(current, state)
+
+    def tmr(self, current=0.0) -> float:
+        """TMR ratio at the given read current (TMR collapses with bias)."""
+        r_h = self.resistance(current, MTJState.ANTIPARALLEL)
+        r_l = self.resistance(current, MTJState.PARALLEL)
+        return float((r_h - r_l) / r_l)
+
+    def delta_r(self, current, state: MTJState):
+        """Roll-off ``R_state(0) - R_state(I)`` at the given current [Ω]."""
+        zero = self.resistance(0.0, state)
+        return zero - self.resistance(current, state)
+
+    # ------------------------------------------------------------------
+    # State manipulation
+    # ------------------------------------------------------------------
+    def write(self, bit: int) -> None:
+        """Deterministically set the stored bit (ideal write driver)."""
+        self.state = MTJState.from_bit(bit)
+
+    def read_bit(self) -> int:
+        """The stored logical bit (ground truth, not a sensing operation)."""
+        return self.state.bit
+
+    def copy(self) -> "MTJDevice":
+        """An independent copy sharing params and roll-off models."""
+        return MTJDevice(self.params, self.rolloff_high, self.rolloff_low, self.state)
+
+    def __repr__(self) -> str:
+        return (
+            f"MTJDevice(state={self.state.name}, r_low={self.params.r_low:.0f}, "
+            f"r_high={self.params.r_high:.0f})"
+        )

@@ -1,0 +1,147 @@
+"""Retention and disturb-accumulation analysis.
+
+Extends the single-pulse switching model to lifetime questions the paper's
+reliability argument implies:
+
+* **retention** — probability a stored bit survives a bake time with no
+  current applied (Néel–Brown);
+* **read-disturb accumulation** — a workload performs billions of reads;
+  each read pulse contributes a tiny flip probability, and the *cumulative*
+  bit-error rate over a device lifetime is the real design constraint
+  behind the paper's "I_max = 40% of switching current" choice;
+* **disturb budget** — the largest read current at which N reads stay
+  under a target error probability.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.device.mtj import MTJParams
+from repro.device.switching import SwitchingModel
+from repro.errors import ConfigurationError
+
+__all__ = ["RetentionAnalysis", "SECONDS_PER_YEAR"]
+
+SECONDS_PER_YEAR = 3.15576e7
+
+
+@dataclasses.dataclass(frozen=True)
+class RetentionAnalysis:
+    """Lifetime retention/disturb calculator for one MTJ design.
+
+    Attributes
+    ----------
+    params:
+        The junction (supplies Δ, τ0, I_c0).
+    read_pulse_width:
+        Duration of one read's current exposure [s].
+    """
+
+    params: MTJParams
+    read_pulse_width: float = 15e-9
+
+    def __post_init__(self) -> None:
+        if self.read_pulse_width <= 0.0:
+            raise ConfigurationError("read_pulse_width must be positive")
+
+    def _model(self) -> SwitchingModel:
+        return SwitchingModel(self.params)
+
+    # ------------------------------------------------------------------
+    # Retention (no current)
+    # ------------------------------------------------------------------
+    def retention_failure_probability(self, bake_time: float) -> float:
+        """P(bit flips) after ``bake_time`` seconds with no current."""
+        if bake_time < 0.0:
+            raise ConfigurationError("bake_time must be non-negative")
+        if bake_time == 0.0:
+            return 0.0
+        return float(self._model().switch_probability(0.0, bake_time))
+
+    def retention_time(self, target_probability: float = 1e-9) -> float:
+        """Bake time at which the flip probability reaches the target [s].
+
+        Inverting ``P = 1 - exp(-t/τ)`` with ``τ = τ0 exp(Δ)``.
+        """
+        if not 0.0 < target_probability < 1.0:
+            raise ConfigurationError("target_probability must be in (0, 1)")
+        tau = self.params.attempt_time * math.exp(self.params.thermal_stability)
+        return -tau * math.log(1.0 - target_probability)
+
+    def thermal_stability_for_retention(
+        self, years: float = 10.0, target_probability: float = 1e-9
+    ) -> float:
+        """The Δ needed so a bit survives ``years`` with the target flip
+        probability — the standard retention sizing rule."""
+        if years <= 0.0:
+            raise ConfigurationError("years must be positive")
+        if not 0.0 < target_probability < 1.0:
+            raise ConfigurationError("target_probability must be in (0, 1)")
+        seconds = years * SECONDS_PER_YEAR
+        # P = 1 - exp(-t / (τ0 e^Δ))  =>  Δ = ln(t / (τ0 · -ln(1-P))).
+        return math.log(seconds / (self.params.attempt_time * -math.log1p(-target_probability)))
+
+    # ------------------------------------------------------------------
+    # Read-disturb accumulation
+    # ------------------------------------------------------------------
+    def disturb_probability_per_read(self, read_current: float) -> float:
+        """Flip probability of a single read pulse at ``read_current``."""
+        return float(
+            self._model().switch_probability(read_current, self.read_pulse_width)
+        )
+
+    def accumulated_disturb_probability(
+        self, read_current: float, reads: float
+    ) -> float:
+        """P(bit has flipped) after ``reads`` read pulses.
+
+        Uses the exact complement product via ``expm1`` so 1e18 reads of a
+        1e-30 per-read probability do not round to zero.
+        """
+        if reads < 0.0:
+            raise ConfigurationError("reads must be non-negative")
+        p_single = self.disturb_probability_per_read(read_current)
+        if p_single >= 1.0:
+            return 1.0
+        # 1 - (1-p)^N computed stably.
+        return float(-math.expm1(reads * math.log1p(-p_single)))
+
+    def max_safe_read_current(
+        self,
+        reads: float,
+        target_probability: float = 1e-9,
+        tolerance: float = 1e-3,
+    ) -> float:
+        """Largest read current keeping ``reads`` reads under the target
+        cumulative flip probability (bisection on the monotone accumulator).
+
+        This is the quantitative version of the paper's 40%-of-I_c0 rule.
+        """
+        if reads <= 0.0:
+            raise ConfigurationError("reads must be positive")
+        if not 0.0 < target_probability < 1.0:
+            raise ConfigurationError("target_probability must be in (0, 1)")
+        low, high = 0.0, self.params.i_c0
+        if self.accumulated_disturb_probability(high, reads) < target_probability:
+            return high
+        while (high - low) > tolerance * self.params.i_c0:
+            mid = 0.5 * (low + high)
+            if self.accumulated_disturb_probability(mid, reads) < target_probability:
+                low = mid
+            else:
+                high = mid
+        return low
+
+    def lifetime_reads(self, read_current: float, target_probability: float = 1e-9) -> float:
+        """How many reads the bit tolerates at ``read_current`` before the
+        cumulative flip probability reaches the target."""
+        if not 0.0 < target_probability < 1.0:
+            raise ConfigurationError("target_probability must be in (0, 1)")
+        p_single = self.disturb_probability_per_read(read_current)
+        if p_single <= 0.0:
+            return math.inf
+        if p_single >= 1.0:
+            return 0.0
+        return math.log1p(-target_probability) / math.log1p(-p_single)

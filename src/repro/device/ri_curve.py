@@ -1,0 +1,114 @@
+"""R–I characteristic sweeps (reproduction of paper Fig. 2).
+
+The paper's Fig. 2 shows the measured static R–I curve of a 90 nm × 180 nm
+MgO MTJ under 4 ns voltage pulses: two resistance branches (high/low) whose
+resistance decreases with sensing current — the high branch much faster —
+with switching events closing the hysteresis loop at the critical currents.
+
+:func:`static_ri_curve` returns the two branches over a read-current range;
+:func:`hysteresis_sweep` performs a quasi-static full loop including the
+switching transitions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.device.mtj import MTJDevice, MTJState
+from repro.device.switching import SwitchingModel
+
+__all__ = ["RISweep", "static_ri_curve", "hysteresis_sweep"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RISweep:
+    """Result of an R–I sweep.
+
+    Attributes
+    ----------
+    currents:
+        Signed sweep currents [A].
+    resistance:
+        Device resistance at each sweep point [Ω].
+    states:
+        Magnetization state at each point (after any switching).
+    """
+
+    currents: np.ndarray
+    resistance: np.ndarray
+    states: List[MTJState]
+
+    @property
+    def switch_points(self) -> List[int]:
+        """Indices where the state changed relative to the previous point."""
+        return [
+            i
+            for i in range(1, len(self.states))
+            if self.states[i] is not self.states[i - 1]
+        ]
+
+
+def static_ri_curve(device: MTJDevice, currents=None):
+    """Both resistance branches versus read current, no switching.
+
+    Parameters
+    ----------
+    device:
+        The MTJ to characterize.
+    currents:
+        Read currents [A]; defaults to 64 points from 0 to ``i_read_max``.
+
+    Returns
+    -------
+    (currents, r_high, r_low):
+        Arrays of the anti-parallel and parallel branch resistances.
+    """
+    if currents is None:
+        currents = np.linspace(0.0, device.params.i_read_max, 64)
+    currents = np.asarray(currents, dtype=float)
+    r_high = device.resistance(currents, MTJState.ANTIPARALLEL)
+    r_low = device.resistance(currents, MTJState.PARALLEL)
+    return currents, np.asarray(r_high), np.asarray(r_low)
+
+
+def hysteresis_sweep(
+    device: MTJDevice,
+    switching: Optional[SwitchingModel] = None,
+    i_peak: Optional[float] = None,
+    points_per_leg: int = 128,
+    pulse_width: Optional[float] = None,
+) -> RISweep:
+    """Quasi-static full hysteresis loop 0 → +I → −I → +I.
+
+    Positive current favours anti-parallel → parallel (per paper Fig. 1/2
+    sign convention), so the loop switches high→low on the positive leg and
+    low→high on the negative leg.  Switching is evaluated deterministically
+    (probability ≥ 0.5) point by point, emulating a pulsed measurement.
+
+    The sweep mutates a *copy* of the device; the caller's device state is
+    untouched.
+    """
+    params = device.params
+    if switching is None:
+        switching = SwitchingModel(params)
+    if i_peak is None:
+        i_peak = 1.4 * params.i_c0
+    if pulse_width is None:
+        pulse_width = params.pulse_width_write
+
+    up = np.linspace(0.0, i_peak, points_per_leg)
+    down = np.linspace(i_peak, -i_peak, 2 * points_per_leg)
+    back = np.linspace(-i_peak, i_peak, 2 * points_per_leg)
+    sweep_currents = np.concatenate([up, down[1:], back[1:]])
+
+    probe = device.copy()
+    resistances = np.empty_like(sweep_currents)
+    states: List[MTJState] = []
+    for index, current in enumerate(sweep_currents):
+        switching.apply_pulse(probe, float(current), pulse_width, rng=None)
+        resistances[index] = probe.resistance(current)
+        states.append(probe.state)
+    return RISweep(sweep_currents, resistances, states)

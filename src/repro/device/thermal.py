@@ -1,0 +1,92 @@
+"""Temperature dependence of MTJ parameters.
+
+MgO-MTJ TMR decreases roughly linearly with temperature (magnon-assisted
+tunneling), the parallel-state resistance is nearly temperature-independent,
+and the thermal stability factor Δ = E/kT shrinks as 1/T (with the barrier
+energy itself softening near the Curie temperature).  This module provides a
+first-order derating so experiments can be re-run at elevated temperature —
+an extension the paper leaves implicit (the test chip is measured at room
+temperature).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.device.mtj import MTJParams
+from repro.errors import ConfigurationError
+from repro.units import ROOM_TEMPERATURE
+
+__all__ = ["ThermalModel", "derate_params"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalModel:
+    """Linear temperature coefficients referenced to 300 K.
+
+    Attributes
+    ----------
+    tmr_temp_coefficient:
+        Fractional TMR loss per kelvin (typical MgO: ~0.1–0.2%/K).
+    r_low_temp_coefficient:
+        Fractional parallel-resistance change per kelvin (small, positive).
+    barrier_softening:
+        Fractional energy-barrier loss per kelvin (magnetization decay).
+    """
+
+    tmr_temp_coefficient: float = 1.5e-3
+    r_low_temp_coefficient: float = 1.0e-4
+    barrier_softening: float = 1.0e-3
+
+    def __post_init__(self) -> None:
+        if self.tmr_temp_coefficient < 0.0 or self.barrier_softening < 0.0:
+            raise ConfigurationError("temperature coefficients must be non-negative")
+
+    def tmr_at(self, tmr_300k: float, temperature: float) -> float:
+        """TMR ratio at ``temperature`` [K]."""
+        factor = 1.0 - self.tmr_temp_coefficient * (temperature - ROOM_TEMPERATURE)
+        return max(tmr_300k * factor, 0.0)
+
+    def thermal_stability_at(self, delta_300k: float, temperature: float) -> float:
+        """Thermal stability factor Δ at ``temperature`` [K]:
+        barrier softening plus the explicit 1/T of Δ = E/kT."""
+        if temperature <= 0.0:
+            raise ConfigurationError("temperature must be positive")
+        barrier_factor = max(
+            1.0 - self.barrier_softening * (temperature - ROOM_TEMPERATURE), 0.0
+        )
+        return delta_300k * barrier_factor * (ROOM_TEMPERATURE / temperature)
+
+
+def derate_params(
+    params: MTJParams,
+    temperature: float,
+    model: ThermalModel = ThermalModel(),
+) -> MTJParams:
+    """Return MTJ parameters derated to ``temperature`` [K].
+
+    ``R_L`` moves with its (small) coefficient; ``R_H`` follows the derated
+    TMR; both roll-off magnitudes scale with the resistance split so the
+    roll-off *shape* is temperature-independent to first order.
+    """
+    if temperature <= 0.0:
+        raise ConfigurationError("temperature must be positive")
+    r_low = params.r_low * (
+        1.0 + model.r_low_temp_coefficient * (temperature - ROOM_TEMPERATURE)
+    )
+    tmr = model.tmr_at(params.tmr, temperature)
+    r_high = r_low * (1.0 + tmr)
+    if r_high <= r_low:
+        raise ConfigurationError(
+            f"TMR collapses to zero at {temperature} K; device unusable"
+        )
+    split_scale = (r_high - r_low) / (params.r_high - params.r_low)
+    return params.replace(
+        r_low=r_low,
+        r_high=r_high,
+        dr_high_max=params.dr_high_max * split_scale,
+        dr_low_max=params.dr_low_max * (r_low / params.r_low),
+        thermal_stability=model.thermal_stability_at(
+            params.thermal_stability, temperature
+        ),
+    )

@@ -1,0 +1,141 @@
+"""NMOS access transistor models for the 1T1J STT-RAM cell.
+
+During a read the word line holds the gate at VDD and the transistor works
+in the linear (triode) region, contributing a series resistance ``R_TR``
+(paper: 917 Ω).  The paper's robustness analysis (its §IV-B) studies how a
+*shift* of that resistance between the two reads — caused by the different
+drain-source voltages at the two read currents — erodes the sense margin.
+
+Two concrete models:
+
+* :class:`FixedResistanceTransistor` — constant ``R_TR`` plus an optional
+  explicit shift term, which is what the paper's closed-form equations use.
+* :class:`LinearRegionTransistor` — a first-order triode model where the
+  resistance rises with drain-source voltage (and therefore with read
+  current), producing the ``ΔR_TR`` shift *physically*.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "AccessTransistor",
+    "FixedResistanceTransistor",
+    "LinearRegionTransistor",
+    "PAPER_TRANSISTOR",
+]
+
+
+class AccessTransistor(abc.ABC):
+    """Access device exposing an on-resistance as a function of current."""
+
+    @abc.abstractmethod
+    def resistance(self, current):
+        """On-resistance [Ω] when carrying ``current`` [A] (scalar/array)."""
+
+    def voltage(self, current):
+        """Drain-source voltage drop at ``current``."""
+        return np.asarray(current, dtype=float) * self.resistance(current)
+
+
+class FixedResistanceTransistor(AccessTransistor):
+    """Constant linear-region resistance with an optional per-read shift.
+
+    Parameters
+    ----------
+    r_on:
+        Nominal on-resistance [Ω].
+    shift:
+        Additive resistance offset [Ω]; robustness sweeps set this to model
+        ``R_T1 = R_TR + ΔR_TR`` at the first read.
+    """
+
+    def __init__(self, r_on: float = 917.0, shift: float = 0.0):
+        if r_on <= 0.0:
+            raise ConfigurationError(f"r_on must be positive, got {r_on}")
+        if r_on + shift <= 0.0:
+            raise ConfigurationError("shifted resistance must remain positive")
+        self.r_on = float(r_on)
+        self.shift = float(shift)
+
+    def resistance(self, current):
+        value = self.r_on + self.shift
+        if np.ndim(current) == 0:
+            return value
+        return np.full(np.shape(current), value, dtype=float)
+
+    def shifted(self, delta: float) -> "FixedResistanceTransistor":
+        """A copy with ``delta`` ohms added to the on-resistance."""
+        return FixedResistanceTransistor(self.r_on, self.shift + delta)
+
+    def __repr__(self) -> str:
+        return f"FixedResistanceTransistor(r_on={self.r_on:.1f}, shift={self.shift:+.1f})"
+
+
+class LinearRegionTransistor(AccessTransistor):
+    """First-order triode model.
+
+    In the linear region ``I_D = k ((V_GS - V_TH) V_DS - V_DS^2 / 2)``, so the
+    effective resistance seen by the cell rises with ``V_DS``:
+
+        R(V_DS) ≈ R_0 / (1 - V_DS / (2 (V_GS - V_TH)))
+
+    with ``R_0 = 1 / (k (V_GS - V_TH))``.  ``resistance(current)`` solves the
+    implicit relation ``V_DS = I * R(V_DS)`` exactly (quadratic).
+
+    Parameters
+    ----------
+    r_zero:
+        Resistance extrapolated to zero drain-source voltage [Ω].
+    v_overdrive:
+        Gate overdrive ``V_GS - V_TH`` [V].
+    """
+
+    def __init__(self, r_zero: float = 900.0, v_overdrive: float = 0.9):
+        if r_zero <= 0.0:
+            raise ConfigurationError(f"r_zero must be positive, got {r_zero}")
+        if v_overdrive <= 0.0:
+            raise ConfigurationError(f"v_overdrive must be positive, got {v_overdrive}")
+        self.r_zero = float(r_zero)
+        self.v_overdrive = float(v_overdrive)
+
+    def resistance(self, current):
+        """Exact triode on-resistance at ``current``.
+
+        From ``I = k ((V_ov) V - V^2/2)`` with ``k = 1/(r_zero * V_ov)``,
+        solving the quadratic for ``V_DS`` and returning ``V_DS / I``.
+        The device must stay in the linear region: ``V_DS < V_ov`` requires
+        ``I < V_ov / (2 r_zero)``; beyond that the current saturates and we
+        clamp at the saturation boundary resistance.
+        """
+        i = np.abs(np.asarray(current, dtype=float))
+        v_ov = self.v_overdrive
+        k = 1.0 / (self.r_zero * v_ov)
+        i_sat = 0.5 * k * v_ov * v_ov  # current where V_DS reaches V_ov
+        i_clamped = np.minimum(i, i_sat * (1.0 - 1e-12))
+        # V^2/2 - V_ov V + I/k = 0  ->  V = V_ov - sqrt(V_ov^2 - 2 I / k)
+        v_ds = v_ov - np.sqrt(np.maximum(v_ov * v_ov - 2.0 * i_clamped / k, 0.0))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            r = np.where(i_clamped > 0.0, v_ds / i_clamped, self.r_zero)
+        if np.ndim(current) == 0:
+            return float(r)
+        return r
+
+    def shift_between(self, i_first: float, i_second: float) -> float:
+        """The physical ``ΔR_TR = R(i_first) - R(i_second)`` [Ω]."""
+        return float(self.resistance(i_first) - self.resistance(i_second))
+
+    def __repr__(self) -> str:
+        return (
+            f"LinearRegionTransistor(r_zero={self.r_zero:.1f}, "
+            f"v_overdrive={self.v_overdrive:.2f})"
+        )
+
+
+#: The paper's access transistor: 917 Ω in the linear region (Table I).
+PAPER_TRANSISTOR = FixedResistanceTransistor(r_on=917.0)

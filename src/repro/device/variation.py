@@ -1,0 +1,286 @@
+"""Process-variation models and cell-population sampling.
+
+The paper's motivating yield problem is the large bit-to-bit MTJ resistance
+variation: a 0.1 Å change in MgO barrier thickness shifts the resistance by
+8% (its ref. [8]).  We model each bit's resistances as
+
+    R = RA(t_ox) / A,    RA(t_ox) ∝ exp(t_ox / κ),   κ = 0.1 Å / ln(1.08)
+
+with Gaussian barrier-thickness and junction-area deviations, an independent
+small TMR deviation (decorrelating ``R_H`` from ``R_L``), plus transistor,
+read-current-ratio (β), divider-ratio (α) and sense-amplifier-offset
+variation for the circuit surroundings.
+
+:class:`CellPopulation` carries vectorized per-bit parameter arrays used by
+the Monte-Carlo engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.device.mtj import MTJDevice, MTJParams, MTJState
+from repro.device.rolloff import PowerLawRollOff, RollOffModel
+from repro.errors import ConfigurationError
+
+__all__ = ["VariationModel", "CellPopulation", "OXIDE_SENSITIVITY_PER_ANGSTROM"]
+
+#: ln(1.08) / 0.1 Å — fractional resistance sensitivity to barrier thickness
+#: [1/Å], from "resistance increases by 8% when thickness changes from
+#: 14 Å to 14.1 Å" (paper §I).
+OXIDE_SENSITIVITY_PER_ANGSTROM = math.log(1.08) / 0.1
+
+
+@dataclasses.dataclass(frozen=True)
+class VariationModel:
+    """Standard deviations of every process-variation source.
+
+    Attributes
+    ----------
+    sigma_tox_angstrom:
+        Barrier-thickness sigma [Å].  0.04 Å ≈ 3% resistance sigma.
+    sigma_area_frac:
+        Fractional junction-area sigma (lithography/etch).
+    sigma_tmr_frac:
+        Fractional TMR sigma, independent of the common RA variation.
+    sigma_rtr_frac:
+        Fractional access-transistor on-resistance sigma.
+    sigma_alpha_frac:
+        Fractional voltage-divider-ratio sigma (nondestructive scheme).
+    sigma_beta_frac:
+        Fractional read-current-ratio sigma (read-driver mismatch).
+    sigma_sa_offset:
+        Sense-amplifier residual input offset sigma [V] after auto-zero.
+    sigma_vref:
+        Shared-reference error sigma [V] seen by *conventional* sensing
+        only: the reference is generated from reference MTJ cells subject
+        to the same process variation (averaged over a small group), so it
+        carries its own mismatch.  Self-reference schemes have no shared
+        reference and are immune — the core of the paper's argument.
+    """
+
+    sigma_tox_angstrom: float = 0.04
+    sigma_area_frac: float = 0.03
+    sigma_tmr_frac: float = 0.02
+    sigma_rtr_frac: float = 0.03
+    sigma_alpha_frac: float = 0.01
+    sigma_beta_frac: float = 0.01
+    sigma_sa_offset: float = 1.0e-3
+    sigma_vref: float = 10.0e-3
+
+    def __post_init__(self) -> None:
+        for name, value in dataclasses.asdict(self).items():
+            if value < 0.0:
+                raise ConfigurationError(f"{name} must be non-negative, got {value}")
+
+    def resistance_sigma_frac(self) -> float:
+        """Approximate total fractional sigma of the low-state resistance
+        (thickness and area contributions combined in quadrature)."""
+        thickness = OXIDE_SENSITIVITY_PER_ANGSTROM * self.sigma_tox_angstrom
+        return math.sqrt(thickness**2 + self.sigma_area_frac**2)
+
+    def scaled(self, factor: float) -> "VariationModel":
+        """All sigmas multiplied by ``factor`` (variation-scaling ablation)."""
+        if factor < 0.0:
+            raise ConfigurationError("scale factor must be non-negative")
+        return VariationModel(
+            sigma_tox_angstrom=self.sigma_tox_angstrom * factor,
+            sigma_area_frac=self.sigma_area_frac * factor,
+            sigma_tmr_frac=self.sigma_tmr_frac * factor,
+            sigma_rtr_frac=self.sigma_rtr_frac * factor,
+            sigma_alpha_frac=self.sigma_alpha_frac * factor,
+            sigma_beta_frac=self.sigma_beta_frac * factor,
+            sigma_sa_offset=self.sigma_sa_offset * factor,
+            sigma_vref=self.sigma_vref * factor,
+        )
+
+
+@dataclasses.dataclass
+class CellPopulation:
+    """Vectorized per-bit electrical parameters of an STT-RAM array.
+
+    Every attribute except the shared nominal/rolloff fields is a 1-D numpy
+    array of length ``size``.  Resistance roll-off magnitudes scale with each
+    bit's own resistance split so that a high-resistance bit also exhibits a
+    proportionally larger roll-off (constant-shape assumption).
+    """
+
+    nominal: MTJParams
+    rolloff_high: RollOffModel
+    rolloff_low: RollOffModel
+    r_low0: np.ndarray
+    r_high0: np.ndarray
+    dr_low_max: np.ndarray
+    dr_high_max: np.ndarray
+    r_tr: np.ndarray
+    alpha_deviation: np.ndarray
+    beta_deviation: np.ndarray
+    sa_offset: np.ndarray
+    vref_error: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of bits in the population."""
+        return int(self.r_low0.size)
+
+    # ------------------------------------------------------------------
+    # Vectorized resistance characteristics
+    # ------------------------------------------------------------------
+    def resistance_low(self, current) -> np.ndarray:
+        """Per-bit parallel-state resistance at read current(s) [Ω]."""
+        ratio = np.abs(np.asarray(current, dtype=float)) / self.nominal.i_read_max
+        return self.r_low0 - self.dr_low_max * self.rolloff_low.fraction(ratio)
+
+    def resistance_high(self, current) -> np.ndarray:
+        """Per-bit anti-parallel-state resistance at read current(s) [Ω]."""
+        ratio = np.abs(np.asarray(current, dtype=float)) / self.nominal.i_read_max
+        return self.r_high0 - self.dr_high_max * self.rolloff_high.fraction(ratio)
+
+    def resistance(self, current, state: MTJState) -> np.ndarray:
+        """Per-bit resistance for the given state."""
+        if state is MTJState.ANTIPARALLEL:
+            return self.resistance_high(current)
+        return self.resistance_low(current)
+
+    def tmr(self, current=0.0) -> np.ndarray:
+        """Per-bit TMR ratio at the given current."""
+        r_h = self.resistance_high(current)
+        r_l = self.resistance_low(current)
+        return (r_h - r_l) / r_l
+
+    def device(self, index: int, state: MTJState = MTJState.PARALLEL) -> MTJDevice:
+        """Materialize bit ``index`` as a standalone :class:`MTJDevice`."""
+        if not 0 <= index < self.size:
+            raise IndexError(f"bit index {index} out of range [0, {self.size})")
+        params = self.nominal.replace(
+            r_low=float(self.r_low0[index]),
+            r_high=float(self.r_high0[index]),
+            dr_low_max=float(self.dr_low_max[index]),
+            dr_high_max=float(self.dr_high_max[index]),
+        )
+        return MTJDevice(params, self.rolloff_high, self.rolloff_low, state)
+
+    def subset(self, indices) -> "CellPopulation":
+        """A new population restricted to the given bit indices."""
+        idx = np.asarray(indices)
+        return CellPopulation(
+            nominal=self.nominal,
+            rolloff_high=self.rolloff_high,
+            rolloff_low=self.rolloff_low,
+            r_low0=self.r_low0[idx],
+            r_high0=self.r_high0[idx],
+            dr_low_max=self.dr_low_max[idx],
+            dr_high_max=self.dr_high_max[idx],
+            r_tr=self.r_tr[idx],
+            alpha_deviation=self.alpha_deviation[idx],
+            beta_deviation=self.beta_deviation[idx],
+            sa_offset=self.sa_offset[idx],
+            vref_error=self.vref_error[idx],
+        )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def sample(
+        cls,
+        size: int,
+        variation: VariationModel,
+        params: Optional[MTJParams] = None,
+        rolloff_high: Optional[RollOffModel] = None,
+        rolloff_low: Optional[RollOffModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        r_tr_nominal: float = 917.0,
+    ) -> "CellPopulation":
+        """Draw a Monte-Carlo population of ``size`` bits.
+
+        Thickness and area deviations move ``R_L`` and ``R_H`` together
+        (common RA/A factor); a separate TMR deviation then moves ``R_H``
+        relative to ``R_L``.  Roll-off magnitudes scale with each bit's
+        resistances as described in the class docstring.
+        """
+        if size <= 0:
+            raise ConfigurationError(f"population size must be positive, got {size}")
+        if params is None:
+            params = MTJParams()
+        if rolloff_high is None:
+            rolloff_high = PowerLawRollOff(1.0)
+        if rolloff_low is None:
+            rolloff_low = PowerLawRollOff(1.0)
+        if rng is None:
+            rng = np.random.default_rng()
+
+        delta_t = rng.normal(0.0, variation.sigma_tox_angstrom, size)
+        ra_factor = np.exp(OXIDE_SENSITIVITY_PER_ANGSTROM * delta_t)
+        area_factor = np.clip(1.0 + rng.normal(0.0, variation.sigma_area_frac, size), 0.5, 1.5)
+        common = ra_factor / area_factor
+
+        tmr_factor = np.clip(1.0 + rng.normal(0.0, variation.sigma_tmr_frac, size), 0.1, None)
+        r_low0 = params.r_low * common
+        r_high0 = r_low0 * (1.0 + params.tmr * tmr_factor)
+
+        split_nominal = params.r_high - params.r_low
+        split = r_high0 - r_low0
+        dr_high_max = params.dr_high_max * split / split_nominal
+        dr_low_max = params.dr_low_max * r_low0 / params.r_low
+
+        r_tr = r_tr_nominal * np.clip(
+            1.0 + rng.normal(0.0, variation.sigma_rtr_frac, size), 0.1, None
+        )
+        alpha_dev = rng.normal(0.0, variation.sigma_alpha_frac, size)
+        beta_dev = rng.normal(0.0, variation.sigma_beta_frac, size)
+        sa_offset = rng.normal(0.0, variation.sigma_sa_offset, size)
+        vref_error = rng.normal(0.0, variation.sigma_vref, size)
+
+        return cls(
+            nominal=params,
+            rolloff_high=rolloff_high,
+            rolloff_low=rolloff_low,
+            r_low0=r_low0,
+            r_high0=r_high0,
+            dr_low_max=dr_low_max,
+            dr_high_max=dr_high_max,
+            r_tr=r_tr,
+            alpha_deviation=alpha_dev,
+            beta_deviation=beta_dev,
+            sa_offset=sa_offset,
+            vref_error=vref_error,
+        )
+
+    @classmethod
+    def nominal_population(
+        cls,
+        size: int,
+        params: Optional[MTJParams] = None,
+        rolloff_high: Optional[RollOffModel] = None,
+        rolloff_low: Optional[RollOffModel] = None,
+        r_tr_nominal: float = 917.0,
+    ) -> "CellPopulation":
+        """A variation-free population (all bits identical) — useful for
+        testing that Monte-Carlo margins reduce to the analytic ones."""
+        if params is None:
+            params = MTJParams()
+        if rolloff_high is None:
+            rolloff_high = PowerLawRollOff(1.0)
+        if rolloff_low is None:
+            rolloff_low = PowerLawRollOff(1.0)
+        ones = np.ones(size)
+        zeros = np.zeros(size)
+        return cls(
+            nominal=params,
+            rolloff_high=rolloff_high,
+            rolloff_low=rolloff_low,
+            r_low0=params.r_low * ones,
+            r_high0=params.r_high * ones,
+            dr_low_max=params.dr_low_max * ones,
+            dr_high_max=params.dr_high_max * ones,
+            r_tr=r_tr_nominal * ones,
+            alpha_deviation=zeros.copy(),
+            beta_deviation=zeros.copy(),
+            sa_offset=zeros.copy(),
+            vref_error=zeros.copy(),
+        )

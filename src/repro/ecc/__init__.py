@@ -1,0 +1,27 @@
+"""Error-correcting-code extension.
+
+The nondestructive scheme trades margin for non-volatility: its ~12 mV
+margin sits only ~1.5× above the 8 mV sense window, so aggressive process
+scaling leaves a tail of marginal bits (ablation A6).  The standard
+architectural remedy is SECDED ECC on each word.  This package provides a
+Hamming single-error-correct / double-error-detect codec and a yield model
+quantifying how much variation headroom ECC buys each sensing scheme.
+"""
+
+from repro.ecc.array import EccArray, EccReadResult
+from repro.ecc.hamming import HammingSECDED, DecodeStatus
+from repro.ecc.yield_model import (
+    EccYieldReport,
+    ecc_yield_report,
+    word_failure_probability,
+)
+
+__all__ = [
+    "EccArray",
+    "EccReadResult",
+    "HammingSECDED",
+    "DecodeStatus",
+    "word_failure_probability",
+    "EccYieldReport",
+    "ecc_yield_report",
+]

@@ -1,0 +1,154 @@
+"""Hamming SECDED (single-error-correct, double-error-detect) codec.
+
+Classic extended-Hamming construction for an arbitrary data width ``k``:
+parity bits occupy power-of-two positions of the (1-indexed) codeword,
+each covering the positions whose index has the corresponding bit set,
+plus one overall-parity bit appended for double-error detection.
+For ``k = 64`` this is the familiar (72, 64) DRAM/STT-RAM code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DecodeStatus", "DecodeResult", "HammingSECDED"]
+
+
+class DecodeStatus(enum.Enum):
+    """Outcome of decoding one codeword."""
+
+    CLEAN = "clean"                    #: no error detected
+    CORRECTED = "corrected"            #: single error corrected
+    DETECTED = "detected_uncorrectable"  #: double error detected, data lost
+
+
+@dataclasses.dataclass(frozen=True)
+class DecodeResult:
+    """Decoded data plus the error status."""
+
+    data: np.ndarray      #: recovered data bits (uint8 array of length k)
+    status: DecodeStatus
+    corrected_position: int = -1  #: codeword index fixed (when CORRECTED)
+
+
+class HammingSECDED:
+    """Extended Hamming code over ``data_bits`` data bits.
+
+    ``encode`` maps a bit array of length ``k`` to a codeword of length
+    ``k + r + 1`` (``r`` Hamming parity bits + 1 overall parity);
+    ``decode`` corrects any single bit flip and flags any double flip.
+    """
+
+    def __init__(self, data_bits: int = 64):
+        if data_bits < 1:
+            raise ConfigurationError(f"data_bits must be >= 1, got {data_bits}")
+        self.data_bits = int(data_bits)
+        self.parity_bits = self._parity_count(self.data_bits)
+        #: total codeword length including the overall-parity bit
+        self.codeword_bits = self.data_bits + self.parity_bits + 1
+        # Precompute the (1-indexed) layout of the inner Hamming code.
+        inner_length = self.data_bits + self.parity_bits
+        self._parity_positions = [1 << j for j in range(self.parity_bits)]
+        self._data_positions = [
+            position
+            for position in range(1, inner_length + 1)
+            if position not in self._parity_positions
+        ]
+
+    @staticmethod
+    def _parity_count(k: int) -> int:
+        r = 0
+        while (1 << r) < k + r + 1:
+            r += 1
+        return r
+
+    @property
+    def overhead(self) -> float:
+        """Check-bit overhead ``(n - k) / k``."""
+        return (self.codeword_bits - self.data_bits) / self.data_bits
+
+    # ------------------------------------------------------------------
+    def _as_bits(self, data: Sequence[int]) -> np.ndarray:
+        bits = np.asarray(data, dtype=np.uint8)
+        if bits.shape != (self.data_bits,):
+            raise ConfigurationError(
+                f"expected {self.data_bits} data bits, got shape {bits.shape}"
+            )
+        if np.any(bits > 1):
+            raise ConfigurationError("data must be 0/1 bits")
+        return bits
+
+    def encode(self, data: Sequence[int]) -> np.ndarray:
+        """Encode ``data`` (length-k bit sequence) into a codeword."""
+        bits = self._as_bits(data)
+        inner_length = self.data_bits + self.parity_bits
+        inner = np.zeros(inner_length + 1, dtype=np.uint8)  # 1-indexed
+        for value, position in zip(bits, self._data_positions):
+            inner[position] = value
+        for parity_position in self._parity_positions:
+            covered = [
+                p for p in range(1, inner_length + 1)
+                if (p & parity_position) and p != parity_position
+            ]
+            inner[parity_position] = np.bitwise_xor.reduce(inner[covered])
+        codeword = inner[1:]
+        overall = np.bitwise_xor.reduce(codeword)
+        return np.concatenate([codeword, [overall]]).astype(np.uint8)
+
+    def decode(self, codeword: Sequence[int]) -> DecodeResult:
+        """Decode a codeword, correcting one flip or flagging two."""
+        received = np.asarray(codeword, dtype=np.uint8)
+        if received.shape != (self.codeword_bits,):
+            raise ConfigurationError(
+                f"expected {self.codeword_bits} codeword bits, got {received.shape}"
+            )
+        inner_length = self.data_bits + self.parity_bits
+        inner = np.concatenate([[0], received[:-1]]).astype(np.uint8)  # 1-indexed
+        syndrome = 0
+        for parity_position in self._parity_positions:
+            covered = [p for p in range(1, inner_length + 1) if p & parity_position]
+            if np.bitwise_xor.reduce(inner[covered]):
+                syndrome |= parity_position
+        overall_ok = np.bitwise_xor.reduce(received) == 0
+
+        corrected = inner.copy()
+        if syndrome == 0 and overall_ok:
+            status, position = DecodeStatus.CLEAN, -1
+        elif syndrome != 0 and not overall_ok:
+            # Single error inside the inner codeword: correct it.
+            if syndrome <= inner_length:
+                corrected[syndrome] ^= 1
+            status, position = DecodeStatus.CORRECTED, syndrome - 1
+        elif syndrome == 0 and not overall_ok:
+            # The overall-parity bit itself flipped.
+            status, position = DecodeStatus.CORRECTED, self.codeword_bits - 1
+        else:
+            # syndrome != 0 but overall parity consistent: double error.
+            status, position = DecodeStatus.DETECTED, -1
+
+        data = np.array(
+            [corrected[p] for p in self._data_positions], dtype=np.uint8
+        )
+        return DecodeResult(data=data, status=status, corrected_position=position)
+
+    # ------------------------------------------------------------------
+    def encode_word(self, value: int) -> np.ndarray:
+        """Encode an integer word (LSB-first bit order)."""
+        if not 0 <= value < (1 << self.data_bits):
+            raise ConfigurationError(
+                f"value {value} does not fit in {self.data_bits} bits"
+            )
+        bits = [(value >> i) & 1 for i in range(self.data_bits)]
+        return self.encode(bits)
+
+    def decode_word(self, codeword: Sequence[int]):
+        """Decode back to an integer word; returns (value, status)."""
+        result = self.decode(codeword)
+        value = sum(int(bit) << i for i, bit in enumerate(result.data))
+        return value, result.status

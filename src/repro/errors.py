@@ -1,0 +1,23 @@
+"""Exception hierarchy for :mod:`repro`."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """A model or scheme was configured with physically invalid parameters."""
+
+
+class ConvergenceError(ReproError):
+    """A numeric solve (optimization, MNA, calibration) failed to converge."""
+
+
+class SensingError(ReproError):
+    """A read operation could not produce a valid result."""
+
+
+class CircuitError(ReproError):
+    """Netlist construction or solving failed (singular matrix, bad node)."""

@@ -1,0 +1,55 @@
+"""Read-operation timing, transient waveforms, energy, and the
+non-volatility (power-failure) reliability model.
+
+Reproduces paper Fig. 9 (control timing), Fig. 10 (transient simulation,
+"the whole read operation can complete in about 15 ns"), and the §V latency
+and power arguments: the nondestructive scheme removes both write pulses
+and its second read does not charge a sampling capacitor on the bit line,
+so it is much faster and cheaper than the destructive scheme.
+"""
+
+from repro.timing.energy import EnergyBreakdown, read_energy_comparison, scheme_read_energy
+from repro.timing.latency import (
+    LatencyBreakdown,
+    TimingConfig,
+    destructive_read_latency,
+    latency_comparison,
+    nondestructive_read_latency,
+)
+from repro.timing.phases import Phase, PhaseSchedule, destructive_schedule, nondestructive_schedule
+from repro.timing.reliability import (
+    PowerFailureModel,
+    data_loss_probability_per_read,
+    expected_data_loss_rate,
+)
+from repro.timing.physical import PhysicalReadWaveforms, simulate_physical_read
+from repro.timing.destructive_waveforms import (
+    DestructiveReadWaveforms,
+    simulate_destructive_read,
+)
+from repro.timing.waveforms import ControlSignals, ReadWaveforms, simulate_nondestructive_read
+
+__all__ = [
+    "Phase",
+    "PhaseSchedule",
+    "nondestructive_schedule",
+    "destructive_schedule",
+    "TimingConfig",
+    "LatencyBreakdown",
+    "nondestructive_read_latency",
+    "destructive_read_latency",
+    "latency_comparison",
+    "EnergyBreakdown",
+    "scheme_read_energy",
+    "read_energy_comparison",
+    "ControlSignals",
+    "ReadWaveforms",
+    "simulate_nondestructive_read",
+    "DestructiveReadWaveforms",
+    "simulate_destructive_read",
+    "PhysicalReadWaveforms",
+    "simulate_physical_read",
+    "PowerFailureModel",
+    "data_loss_probability_per_read",
+    "expected_data_loss_rate",
+]

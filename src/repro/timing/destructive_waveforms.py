@@ -1,0 +1,148 @@
+"""Transient simulation of the *destructive* self-reference read (paper
+Fig. 3 circuit) — the waveform-level counterpart of
+:func:`repro.timing.waveforms.simulate_nondestructive_read`.
+
+The netlist carries both sampling paths (SLT1 + C1, SLT2 + C2).  The erase
+and write-back phases drive the write current through the cell; the cell
+resistance element tracks the *state trajectory* of the operation
+(original state → erased "0" → restored state), switching at the phase
+boundaries where the write pulses complete.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.bitline import BitlineModel, PAPER_BITLINE
+from repro.circuit.mna import Circuit, TransientResult
+from repro.circuit.sense_amp import SenseAmplifier
+from repro.core.cell import Cell1T1J
+from repro.device.mtj import MTJState
+from repro.errors import ConfigurationError
+from repro.timing.latency import TimingConfig, destructive_read_latency
+from repro.timing.phases import PhaseSchedule
+
+__all__ = ["DestructiveReadWaveforms", "simulate_destructive_read"]
+
+
+@dataclasses.dataclass(frozen=True)
+class DestructiveReadWaveforms:
+    """Waveforms of one simulated destructive read."""
+
+    schedule: PhaseSchedule
+    transient: TransientResult
+    v_bl: np.ndarray
+    v_c1: np.ndarray  #: first-read sample (the stored value's voltage)
+    v_c2: np.ndarray  #: second-read sample (the erased-state reference)
+    sensed_bit: Optional[int]
+    sense_differential: float
+    total_duration: float
+
+    @property
+    def times(self) -> np.ndarray:
+        """Simulation time axis [s]."""
+        return self.transient.times
+
+
+def simulate_destructive_read(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    beta: float = 1.22,
+    sense_amp: Optional[SenseAmplifier] = None,
+    config: Optional[TimingConfig] = None,
+    bitline: Optional[BitlineModel] = None,
+    dt: float = 20e-12,
+) -> DestructiveReadWaveforms:
+    """Transient-simulate one full destructive self-reference read.
+
+    The caller's cell is *not* mutated (the state trajectory is emulated in
+    the netlist); use :class:`repro.core.destructive.DestructiveSelfReference`
+    for the behavioural read with real state effects.
+    """
+    if dt <= 0.0:
+        raise ConfigurationError("dt must be positive")
+    if sense_amp is None:
+        sense_amp = SenseAmplifier()
+    if config is None:
+        config = TimingConfig()
+    if bitline is None:
+        bitline = PAPER_BITLINE
+
+    original_state = cell.state
+    breakdown = destructive_read_latency(cell, i_read2, beta, config)
+    schedule = breakdown.schedule
+
+    erase_end = schedule.end_of("erase")
+    write_back_end = schedule.end_of("write_back")
+
+    def state_at(time: float) -> MTJState:
+        """The cell's state trajectory through the operation."""
+        if time < erase_end:
+            return original_state
+        if time < write_back_end:
+            return MTJState.PARALLEL  # erased to "0"
+        return original_state  # written back
+
+    phase_starts = []
+    t = 0.0
+    for phase in schedule.phases:
+        phase_starts.append((t, t + phase.duration, phase))
+        t += phase.duration
+
+    def phase_at(time: float):
+        for start, end, phase in phase_starts:
+            if start <= time < end:
+                return phase
+        return phase_starts[-1][2]
+
+    def cell_current(time: float) -> float:
+        phase = phase_at(time)
+        if phase.read_current:
+            return phase.read_current
+        if phase.write_current:
+            return abs(phase.write_current)
+        return 1e-9
+
+    def bitline_current(time: float) -> float:
+        phase = phase_at(time)
+        return phase.read_current + abs(phase.write_current)
+
+    def cell_resistance(time: float) -> float:
+        return cell.series_resistance(cell_current(time), state_at(time))
+
+    def slt1_closed(time: float) -> bool:
+        return phase_at(time).signals.get("SLT1", False)
+
+    def slt2_closed(time: float) -> bool:
+        return phase_at(time).signals.get("SLT2", False)
+
+    capacitor = config.capacitor
+    circuit = Circuit()
+    circuit.add_current_source("gnd", "BL", bitline_current, name="I_cell")
+    circuit.add_resistor("BL", "gnd", cell_resistance, name="R_cell")
+    circuit.add_capacitor("BL", "gnd", bitline.total_capacitance, name="C_BL")
+    circuit.add_switch("BL", "C1", slt1_closed, r_on=capacitor.switch_resistance, name="SLT1")
+    circuit.add_capacitor("C1", "gnd", capacitor.capacitance, name="C1")
+    circuit.add_switch("BL", "C2", slt2_closed, r_on=capacitor.switch_resistance, name="SLT2")
+    circuit.add_capacitor("C2", "gnd", capacitor.capacitance, name="C2")
+
+    transient = circuit.solve_transient(schedule.total_duration, dt)
+
+    sense_time = schedule.end_of("sense") - dt
+    v_c1 = transient.at("C1", sense_time)
+    v_c2 = transient.at("C2", sense_time)
+    bit = sense_amp.compare_bit(v_c1, v_c2)
+
+    return DestructiveReadWaveforms(
+        schedule=schedule,
+        transient=transient,
+        v_bl=transient["BL"],
+        v_c1=transient["C1"],
+        v_c2=transient["C2"],
+        sensed_bit=bit,
+        sense_differential=v_c1 - v_c2,
+        total_duration=schedule.total_duration,
+    )

@@ -1,0 +1,100 @@
+"""Read-energy model (paper §V: "the total read latency and power
+consumption are dramatically reduced" by removing the two write steps).
+
+Energy per phase is the instantaneous cell dissipation times the phase
+duration: ``I² (R_MTJ + R_TR) t`` for read phases and the write-driver
+delivery for write phases.  Write pulses dominate — the write current is
+~2.5–4× the read current and sees the cell resistance — which is why the
+destructive scheme costs roughly an order of magnitude more energy per
+read.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.core.cell import Cell1T1J
+from repro.device.mtj import MTJState
+from repro.timing.latency import (
+    LatencyBreakdown,
+    TimingConfig,
+    destructive_read_latency,
+    nondestructive_read_latency,
+)
+
+__all__ = ["EnergyBreakdown", "scheme_read_energy", "read_energy_comparison"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Per-phase and total energy of one read operation."""
+
+    scheme: str
+    per_phase: Dict[str, float]  #: phase name → energy [J]
+    total: float                 #: total operation energy [J]
+
+    @property
+    def write_energy(self) -> float:
+        """Energy of write phases only (erase + write-back) [J]."""
+        return sum(
+            energy
+            for name, energy in self.per_phase.items()
+            if name in ("erase", "write_back")
+        )
+
+    @property
+    def read_energy(self) -> float:
+        """Energy of everything except write pulses [J]."""
+        return self.total - self.write_energy
+
+
+def _phase_energy(cell: Cell1T1J, phase, worst_state: MTJState) -> float:
+    """Energy of one phase: read current through the cell, or the write
+    pulse through the (mid-transition) cell resistance."""
+    if phase.read_current > 0.0:
+        resistance = cell.series_resistance(phase.read_current, worst_state)
+        return phase.read_current**2 * resistance * phase.duration
+    if phase.write_current != 0.0:
+        current = abs(phase.write_current)
+        # During switching the junction traverses both states; use the mean.
+        r_mean = 0.5 * (
+            cell.series_resistance(current, MTJState.PARALLEL)
+            + cell.series_resistance(current, MTJState.ANTIPARALLEL)
+        )
+        return current**2 * r_mean * phase.duration
+    return 0.0
+
+
+def scheme_read_energy(
+    cell: Cell1T1J,
+    breakdown: LatencyBreakdown,
+    worst_state: MTJState = MTJState.ANTIPARALLEL,
+) -> EnergyBreakdown:
+    """Energy of the operation described by a latency breakdown."""
+    per_phase = {
+        phase.name: _phase_energy(cell, phase, worst_state)
+        for phase in breakdown.schedule.phases
+    }
+    return EnergyBreakdown(
+        scheme=breakdown.scheme,
+        per_phase=per_phase,
+        total=sum(per_phase.values()),
+    )
+
+
+def read_energy_comparison(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    beta_destructive: float = 1.22,
+    beta_nondestructive: float = 2.13,
+    config: Optional[TimingConfig] = None,
+):
+    """(destructive, nondestructive, energy ratio) per full read."""
+    destructive = scheme_read_energy(
+        cell, destructive_read_latency(cell, i_read2, beta_destructive, config)
+    )
+    nondestructive = scheme_read_energy(
+        cell, nondestructive_read_latency(cell, i_read2, beta_nondestructive, config)
+    )
+    return destructive, nondestructive, destructive.total / nondestructive.total

@@ -1,0 +1,171 @@
+"""Read-latency model (paper §V: "the whole read operation can complete in
+about 15 ns" for the nondestructive scheme; the destructive scheme pays two
+extra write pulses and a slower second read).
+
+Phase durations are computed from the circuit models:
+
+* read settle times come from the bit-line RC plus — only when the phase
+  samples onto a capacitor — the sampling-capacitor charge constant.  The
+  nondestructive second read drives the tens-of-MΩ divider instead of a
+  capacitor, which is why it settles faster (the paper's §V argument);
+* write phases take the 4 ns switching pulse plus driver setup;
+* word-line activation, sense and latch overheads are fixed-cost
+  parameters of :class:`TimingConfig`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.circuit.bitline import BitlineModel, PAPER_BITLINE
+from repro.circuit.storage import SampleCapacitor
+from repro.core.cell import Cell1T1J
+from repro.device.mtj import MTJState
+from repro.errors import ConfigurationError
+from repro.timing.phases import PhaseSchedule, destructive_schedule, nondestructive_schedule
+
+__all__ = [
+    "TimingConfig",
+    "LatencyBreakdown",
+    "nondestructive_read_latency",
+    "destructive_read_latency",
+    "latency_comparison",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingConfig:
+    """Fixed-cost and environment parameters of the latency model.
+
+    Defaults are chosen for a 0.13 µm design and land the nondestructive
+    read at the paper's ≈15 ns.
+    """
+
+    t_wordline: float = 2.0e-9      #: decode + word-line rise [s]
+    t_sense: float = 1.5e-9         #: sense-amplifier resolve [s]
+    t_latch: float = 1.0e-9         #: output latch [s]
+    t_write_setup: float = 1.0e-9   #: write-driver turn-on [s]
+    settle_tolerance: float = 0.001  #: read settles to 0.1%
+    bitline: BitlineModel = PAPER_BITLINE
+    capacitor: SampleCapacitor = dataclasses.field(
+        default_factory=lambda: SampleCapacitor(capacitance=100e-15, switch_resistance=5e3)
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.settle_tolerance < 1.0:
+            raise ConfigurationError("settle_tolerance must be in (0, 1)")
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyBreakdown:
+    """Total latency plus the underlying phase schedule."""
+
+    scheme: str
+    schedule: PhaseSchedule
+    total: float
+
+    def phase_duration(self, name: str) -> float:
+        """Duration of one phase [s]."""
+        return self.schedule.phase(name).duration
+
+
+def _read_settle(
+    cell: Cell1T1J,
+    current: float,
+    config: TimingConfig,
+    sampling: bool,
+    state: MTJState,
+) -> float:
+    """Settle time of one read phase: the worst-case (slower) state is the
+    stored one; sampling phases additionally charge the capacitor."""
+    source_resistance = cell.series_resistance(current, state)
+    extra_cap = config.capacitor.capacitance if sampling else 0.0
+    return config.bitline.settling_time(
+        source_resistance=source_resistance,
+        extra_capacitance=extra_cap,
+        tolerance=config.settle_tolerance,
+        switch_resistance=config.capacitor.switch_resistance if sampling else None,
+    )
+
+
+def nondestructive_read_latency(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    beta: float = 2.13,
+    config: Optional[TimingConfig] = None,
+) -> LatencyBreakdown:
+    """Latency of one nondestructive read.
+
+    First read samples onto C1 (capacitor charge included); second read
+    drives only the high-impedance divider (no extra bit-line load — "a high
+    impedance voltage divider does not change the Elmore delay of BL").
+    Settle times use the high state (larger resistance, slower).
+    """
+    if config is None:
+        config = TimingConfig()
+    i_read1 = i_read2 / beta
+    t_read1 = _read_settle(cell, i_read1, config, sampling=True, state=MTJState.ANTIPARALLEL)
+    t_read2 = _read_settle(cell, i_read2, config, sampling=False, state=MTJState.ANTIPARALLEL)
+    schedule = nondestructive_schedule(
+        i_read1=i_read1,
+        i_read2=i_read2,
+        t_wordline=config.t_wordline,
+        t_first_read=t_read1,
+        t_second_read=t_read2,
+        t_sense=config.t_sense,
+        t_latch=config.t_latch,
+    )
+    return LatencyBreakdown(schedule.scheme, schedule, schedule.total_duration)
+
+
+def destructive_read_latency(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    beta: float = 1.22,
+    config: Optional[TimingConfig] = None,
+    write_overdrive: float = 1.5,
+) -> LatencyBreakdown:
+    """Latency of one destructive self-reference read.
+
+    Both reads sample onto capacitors (C1/C2 hang on the bit line), and the
+    erase and write-back pulses each cost driver setup plus the 4 ns
+    switching pulse.
+    """
+    if config is None:
+        config = TimingConfig()
+    params = cell.mtj.params
+    i_read1 = i_read2 / beta
+    i_write = write_overdrive * params.i_c0
+    t_write = config.t_write_setup + params.pulse_width_write
+    t_read1 = _read_settle(cell, i_read1, config, sampling=True, state=MTJState.ANTIPARALLEL)
+    # Second read senses the erased (low) state but C2 still loads the line;
+    # use the low state's (smaller) resistance for its settle.
+    t_read2 = _read_settle(cell, i_read2, config, sampling=True, state=MTJState.PARALLEL)
+    schedule = destructive_schedule(
+        i_read1=i_read1,
+        i_read2=i_read2,
+        i_write=i_write,
+        t_wordline=config.t_wordline,
+        t_first_read=t_read1,
+        t_erase=t_write,
+        t_second_read=t_read2,
+        t_sense=config.t_sense,
+        t_latch=config.t_latch,
+        t_write_back=t_write,
+    )
+    return LatencyBreakdown(schedule.scheme, schedule, schedule.total_duration)
+
+
+def latency_comparison(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    beta_destructive: float = 1.22,
+    beta_nondestructive: float = 2.13,
+    config: Optional[TimingConfig] = None,
+):
+    """(destructive, nondestructive, speedup) — the paper's §V comparison."""
+    destructive = destructive_read_latency(cell, i_read2, beta_destructive, config)
+    nondestructive = nondestructive_read_latency(cell, i_read2, beta_nondestructive, config)
+    speedup = destructive.total / nondestructive.total
+    return destructive, nondestructive, speedup

@@ -1,0 +1,170 @@
+"""Read-operation phase schedules (paper Fig. 9).
+
+A read decomposes into named phases with control-signal states; the latency
+model assigns durations and the waveform simulator drives switches from the
+schedule.  Control signals follow the paper's Fig. 9: ``SLT1``/``SLT2``
+select which storage path the bit line drives, ``SenEn`` triggers the sense
+amplifier, ``Data_latch`` captures the output.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Phase", "PhaseSchedule", "nondestructive_schedule", "destructive_schedule"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Phase:
+    """One named interval of a read operation.
+
+    Attributes
+    ----------
+    name:
+        Phase identifier (``first_read``, ``erase``, …).
+    duration:
+        Length [s].
+    read_current:
+        Bit-line read current during the phase [A] (0 for non-read phases).
+    write_current:
+        Signed cell write current during the phase [A] (erase/write-back).
+    signals:
+        Control-signal levels during the phase (``SLT1``, ``SLT2``,
+        ``SenEn``, ``Data_latch``, ``WL``).
+    """
+
+    name: str
+    duration: float
+    read_current: float = 0.0
+    write_current: float = 0.0
+    signals: Dict[str, bool] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.duration < 0.0:
+            raise ConfigurationError(f"phase {self.name}: negative duration")
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseSchedule:
+    """An ordered list of phases forming one full operation."""
+
+    scheme: str
+    phases: List[Phase]
+
+    @property
+    def total_duration(self) -> float:
+        """End-to-end operation latency [s]."""
+        return sum(phase.duration for phase in self.phases)
+
+    def start_of(self, name: str) -> float:
+        """Start time of the first phase with the given name [s]."""
+        t = 0.0
+        for phase in self.phases:
+            if phase.name == name:
+                return t
+            t += phase.duration
+        raise KeyError(f"no phase named {name!r} in {self.scheme} schedule")
+
+    def end_of(self, name: str) -> float:
+        """End time of the first phase with the given name [s]."""
+        return self.start_of(name) + self.phase(name).duration
+
+    def phase(self, name: str) -> Phase:
+        """The first phase with the given name."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise KeyError(f"no phase named {name!r} in {self.scheme} schedule")
+
+    def signal_intervals(self, signal: str) -> List[tuple]:
+        """``(start, end)`` intervals during which ``signal`` is asserted —
+        the rows of the paper's Fig. 9 timing diagram."""
+        intervals = []
+        t = 0.0
+        active_start: Optional[float] = None
+        for phase in self.phases:
+            asserted = phase.signals.get(signal, False)
+            if asserted and active_start is None:
+                active_start = t
+            if not asserted and active_start is not None:
+                intervals.append((active_start, t))
+                active_start = None
+            t += phase.duration
+        if active_start is not None:
+            intervals.append((active_start, t))
+        return intervals
+
+
+def nondestructive_schedule(
+    i_read1: float,
+    i_read2: float,
+    t_wordline: float,
+    t_first_read: float,
+    t_second_read: float,
+    t_sense: float,
+    t_latch: float,
+) -> PhaseSchedule:
+    """Fig. 9's control sequence: WL up, first read into C1 (SLT1), second
+    read into the divider (SLT2), sense (SenEn), latch (Data_latch)."""
+    return PhaseSchedule(
+        scheme="nondestructive self-reference",
+        phases=[
+            Phase("wordline", t_wordline, signals={"WL": True}),
+            Phase(
+                "first_read", t_first_read, read_current=i_read1,
+                signals={"WL": True, "SLT1": True},
+            ),
+            Phase(
+                "second_read", t_second_read, read_current=i_read2,
+                signals={"WL": True, "SLT2": True},
+            ),
+            Phase(
+                "sense", t_sense, read_current=i_read2,
+                signals={"WL": True, "SLT2": True, "SenEn": True},
+            ),
+            Phase("latch", t_latch, signals={"Data_latch": True}),
+        ],
+    )
+
+
+def destructive_schedule(
+    i_read1: float,
+    i_read2: float,
+    i_write: float,
+    t_wordline: float,
+    t_first_read: float,
+    t_erase: float,
+    t_second_read: float,
+    t_sense: float,
+    t_latch: float,
+    t_write_back: float,
+) -> PhaseSchedule:
+    """The prior-art sequence (paper Fig. 3): the erase and write-back write
+    pulses bracket the second read."""
+    return PhaseSchedule(
+        scheme="destructive self-reference",
+        phases=[
+            Phase("wordline", t_wordline, signals={"WL": True}),
+            Phase(
+                "first_read", t_first_read, read_current=i_read1,
+                signals={"WL": True, "SLT1": True},
+            ),
+            Phase("erase", t_erase, write_current=i_write, signals={"WL": True}),
+            Phase(
+                "second_read", t_second_read, read_current=i_read2,
+                signals={"WL": True, "SLT2": True},
+            ),
+            Phase(
+                "sense", t_sense, read_current=i_read2,
+                signals={"WL": True, "SLT2": True, "SenEn": True},
+            ),
+            Phase("latch", t_latch, signals={"Data_latch": True}),
+            Phase(
+                "write_back", t_write_back, write_current=-i_write,
+                signals={"WL": True},
+            ),
+        ],
+    )

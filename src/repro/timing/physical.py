@@ -1,0 +1,161 @@
+"""Highest-fidelity read simulation: nonlinear junction in the transient.
+
+:func:`repro.timing.waveforms.simulate_nondestructive_read` linearizes the
+MTJ at each phase's read current.  This module instead places the *actual*
+tunnel-junction branch law (quadratic-conductance bias model) into a
+:class:`~repro.circuit.nonlinear.NonlinearCircuit` and lets the Newton
+transient solve the junction self-consistently at every time step —
+including the finite-slope transitions between read currents where the
+linearized model is wrong.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.circuit.bitline import BitlineModel, PAPER_BITLINE
+from repro.circuit.divider import VoltageDivider
+from repro.circuit.nonlinear import NonlinearCircuit, mtj_branch_current
+from repro.circuit.sense_amp import SenseAmplifier
+from repro.circuit.mna import TransientResult
+from repro.device.mtj import MTJState
+from repro.errors import ConfigurationError
+from repro.timing.latency import TimingConfig
+from repro.timing.phases import PhaseSchedule, nondestructive_schedule
+
+__all__ = ["PhysicalReadWaveforms", "simulate_physical_read"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PhysicalReadWaveforms:
+    """Waveforms of one fully nonlinear simulated read."""
+
+    schedule: PhaseSchedule
+    transient: TransientResult
+    v_bl: np.ndarray
+    v_c1: np.ndarray
+    v_bo: np.ndarray
+    sensed_bit: Optional[int]
+    sense_differential: float
+    total_duration: float
+
+
+def simulate_physical_read(
+    stored_bit: int,
+    r_zero_low: float = 1220.0,
+    r_zero_high: float = 2500.0,
+    v_half_low: float = 2.5,
+    v_half_high: float = 0.70,
+    r_transistor: float = 917.0,
+    i_read2: float = 200e-6,
+    beta: float = 2.15,
+    divider: Optional[VoltageDivider] = None,
+    sense_amp: Optional[SenseAmplifier] = None,
+    config: Optional[TimingConfig] = None,
+    bitline: Optional[BitlineModel] = None,
+    dt: float = 20e-12,
+) -> PhysicalReadWaveforms:
+    """Simulate a nondestructive read with the first-principles junction.
+
+    The stored state selects which branch law (parallel / anti-parallel)
+    sits in the netlist; the solver resolves its bias point self-
+    consistently through both read phases.
+    """
+    if stored_bit not in (0, 1):
+        raise ConfigurationError(f"stored_bit must be 0 or 1, got {stored_bit}")
+    if dt <= 0.0:
+        raise ConfigurationError("dt must be positive")
+    if divider is None:
+        divider = VoltageDivider(ratio=0.5)
+    if sense_amp is None:
+        sense_amp = SenseAmplifier()
+    if config is None:
+        config = TimingConfig()
+    if bitline is None:
+        bitline = PAPER_BITLINE
+
+    if stored_bit:
+        r_zero, v_half = r_zero_high, v_half_high
+    else:
+        r_zero, v_half = r_zero_low, v_half_low
+
+    # Phase durations from a conservative settle estimate (the linear
+    # latency model with the zero-bias resistance).
+    i_read1 = i_read2 / beta
+    t_read1 = bitline.settling_time(
+        r_zero + r_transistor,
+        extra_capacitance=config.capacitor.capacitance,
+        tolerance=config.settle_tolerance,
+        switch_resistance=config.capacitor.switch_resistance,
+    )
+    t_read2 = bitline.settling_time(
+        r_zero + r_transistor, tolerance=config.settle_tolerance
+    )
+    schedule = nondestructive_schedule(
+        i_read1=i_read1,
+        i_read2=i_read2,
+        t_wordline=config.t_wordline,
+        t_first_read=t_read1,
+        t_second_read=t_read2,
+        t_sense=config.t_sense,
+        t_latch=config.t_latch,
+    )
+
+    starts = []
+    t = 0.0
+    for phase in schedule.phases:
+        starts.append((t, t + phase.duration, phase))
+        t += phase.duration
+
+    def phase_at(time: float):
+        for start, end, phase in starts:
+            if start <= time < end:
+                return phase
+        return starts[-1][2]
+
+    def read_current(time: float) -> float:
+        return phase_at(time).read_current
+
+    def slt1_closed(time: float) -> bool:
+        return phase_at(time).signals.get("SLT1", False)
+
+    def slt2_closed(time: float) -> bool:
+        return phase_at(time).signals.get("SLT2", False)
+
+    capacitor = config.capacitor
+    circuit = NonlinearCircuit()
+    circuit.add_current_source("gnd", "BL", read_current, name="I_read")
+    circuit.add_nonlinear_resistor(
+        "BL", "SL", mtj_branch_current(r_zero, v_half), name="MTJ"
+    )
+    circuit.add_resistor("SL", "gnd", r_transistor, name="NMOS")
+    circuit.add_capacitor("BL", "gnd", bitline.total_capacitance, name="C_BL")
+    circuit.add_switch(
+        "BL", "C1", slt1_closed, r_on=capacitor.switch_resistance, name="SLT1"
+    )
+    circuit.add_capacitor("C1", "gnd", capacitor.capacitance, name="C1")
+    circuit.add_switch(
+        "BL", "DIV", slt2_closed, r_on=capacitor.switch_resistance, name="SLT2"
+    )
+    circuit.add_resistor("DIV", "BO", divider.upper_resistance, name="R_div_up")
+    circuit.add_resistor("BO", "gnd", divider.lower_resistance, name="R_div_lo")
+
+    transient = circuit.solve_transient(schedule.total_duration, dt)
+    sense_time = schedule.end_of("sense") - dt
+    v_c1 = transient.at("C1", sense_time)
+    v_bo = transient.at("BO", sense_time)
+    bit = sense_amp.compare_bit(v_c1, v_bo)
+
+    return PhysicalReadWaveforms(
+        schedule=schedule,
+        transient=transient,
+        v_bl=transient["BL"],
+        v_c1=transient["C1"],
+        v_bo=transient["BO"],
+        sensed_bit=bit,
+        sense_differential=v_c1 - v_bo,
+        total_duration=schedule.total_duration,
+    )

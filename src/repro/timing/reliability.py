@@ -1,0 +1,76 @@
+"""Non-volatility reliability under power failure (ablation A4).
+
+The paper's qualitative reliability argument, quantified: during a
+destructive self-reference read, the stored value exists only on a sampling
+capacitor between the **erase** and the end of the **write-back**; a supply
+loss inside that window destroys the bit ("The original MTJ state could be
+lost if power is shut down before the write back operation completes").
+The nondestructive scheme has no such window.
+
+Model: power failures arrive as a Poisson process with rate λ; each read
+exposes a vulnerability window ``T_v`` (destructive: erase start → write-back
+end; nondestructive: 0).  Per-read loss probability is
+``1 - exp(-λ T_v) ≈ λ T_v``; a workload issuing ``f`` reads/s loses data at
+an expected rate ``f · λ · T_v``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+from repro.timing.latency import LatencyBreakdown
+
+__all__ = [
+    "PowerFailureModel",
+    "vulnerability_window",
+    "data_loss_probability_per_read",
+    "expected_data_loss_rate",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerFailureModel:
+    """Poisson supply-failure model.
+
+    Attributes
+    ----------
+    failure_rate:
+        Expected failures per second (e.g. 1e-5 ≈ one brown-out per day).
+    """
+
+    failure_rate: float = 1e-5
+
+    def __post_init__(self) -> None:
+        if self.failure_rate < 0.0:
+            raise ConfigurationError("failure_rate must be non-negative")
+
+
+def vulnerability_window(breakdown: LatencyBreakdown) -> float:
+    """The data-at-risk window of one read [s]: from erase start to
+    write-back end; zero for schedules without write phases."""
+    schedule = breakdown.schedule
+    names = [phase.name for phase in schedule.phases]
+    if "erase" not in names or "write_back" not in names:
+        return 0.0
+    return schedule.end_of("write_back") - schedule.start_of("erase")
+
+
+def data_loss_probability_per_read(
+    breakdown: LatencyBreakdown, model: PowerFailureModel
+) -> float:
+    """Probability that one read loses the stored bit to a power failure."""
+    window = vulnerability_window(breakdown)
+    return 1.0 - math.exp(-model.failure_rate * window)
+
+
+def expected_data_loss_rate(
+    breakdown: LatencyBreakdown,
+    model: PowerFailureModel,
+    reads_per_second: float,
+) -> float:
+    """Expected data-loss events per second for a read-intensive workload."""
+    if reads_per_second < 0.0:
+        raise ConfigurationError("reads_per_second must be non-negative")
+    return reads_per_second * data_loss_probability_per_read(breakdown, model)

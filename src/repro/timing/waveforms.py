@@ -1,0 +1,162 @@
+"""Transient simulation of the nondestructive read (paper Figs. 9–10).
+
+Builds the Fig. 5 netlist — read-current source, cell resistance, bit-line
+capacitance, SLT1 + C1 sampling path, SLT2 + voltage divider — drives the
+switches from the Fig. 9 phase schedule, and integrates it with the
+backward-Euler MNA solver.  The result is the Fig. 10 waveform set:
+``V_BL``, ``V_C1`` (stored first read), ``V_BO`` (divider output), and the
+latched decision, completing in about 15 ns.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.circuit.bitline import BitlineModel, PAPER_BITLINE
+from repro.circuit.divider import VoltageDivider
+from repro.circuit.mna import Circuit, TransientResult
+from repro.circuit.sense_amp import SenseAmplifier
+from repro.circuit.storage import SampleCapacitor
+from repro.core.cell import Cell1T1J
+from repro.errors import ConfigurationError
+from repro.timing.latency import TimingConfig, nondestructive_read_latency
+from repro.timing.phases import PhaseSchedule
+
+__all__ = ["ControlSignals", "ReadWaveforms", "simulate_nondestructive_read"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ControlSignals:
+    """Digitized control waveforms (the rows of paper Fig. 9)."""
+
+    times: np.ndarray
+    levels: Dict[str, np.ndarray]  #: signal name → boolean array
+
+    def __getitem__(self, signal: str) -> np.ndarray:
+        return self.levels[signal]
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadWaveforms:
+    """Analog + digital waveforms of one simulated read (paper Fig. 10)."""
+
+    schedule: PhaseSchedule
+    transient: TransientResult
+    controls: ControlSignals
+    v_bl: np.ndarray   #: bit-line voltage [V]
+    v_c1: np.ndarray   #: sampled first-read voltage on C1 [V]
+    v_bo: np.ndarray   #: divider output [V]
+    sensed_bit: Optional[int]
+    sense_differential: float  #: V_C1 - V_BO at the sense instant [V]
+    total_duration: float
+
+    @property
+    def times(self) -> np.ndarray:
+        """Simulation time axis [s]."""
+        return self.transient.times
+
+
+def _phase_lookup(schedule: PhaseSchedule):
+    """Return ``phase_at(t)`` resolving which phase a time instant lies in."""
+    starts = []
+    t = 0.0
+    for phase in schedule.phases:
+        starts.append((t, t + phase.duration, phase))
+        t += phase.duration
+    def phase_at(time: float):
+        for start, end, phase in starts:
+            if start <= time < end:
+                return phase
+        return starts[-1][2]
+    return phase_at
+
+
+def simulate_nondestructive_read(
+    cell: Cell1T1J,
+    i_read2: float = 200e-6,
+    beta: float = 2.13,
+    divider: Optional[VoltageDivider] = None,
+    sense_amp: Optional[SenseAmplifier] = None,
+    config: Optional[TimingConfig] = None,
+    bitline: Optional[BitlineModel] = None,
+    dt: float = 20e-12,
+) -> ReadWaveforms:
+    """Transient-simulate one full nondestructive read of ``cell``.
+
+    The cell keeps its stored state throughout (that is the point of the
+    scheme); the cell resistance element tracks the phase read current.
+    The sense decision is taken at the end of the ``sense`` phase from the
+    simulated ``V_C1``/``V_BO``.
+    """
+    if dt <= 0.0:
+        raise ConfigurationError("dt must be positive")
+    if divider is None:
+        divider = VoltageDivider(ratio=0.5)
+    if sense_amp is None:
+        sense_amp = SenseAmplifier()
+    if config is None:
+        config = TimingConfig()
+    if bitline is None:
+        bitline = PAPER_BITLINE
+
+    breakdown = nondestructive_read_latency(cell, i_read2, beta, config)
+    schedule = breakdown.schedule
+    phase_at = _phase_lookup(schedule)
+
+    def read_current(time: float) -> float:
+        return phase_at(time).read_current
+
+    def cell_resistance(time: float) -> float:
+        current = phase_at(time).read_current
+        return cell.series_resistance(max(current, 1e-9))
+
+    def slt1_closed(time: float) -> bool:
+        return phase_at(time).signals.get("SLT1", False)
+
+    def slt2_closed(time: float) -> bool:
+        return phase_at(time).signals.get("SLT2", False)
+
+    capacitor = config.capacitor
+    circuit = Circuit()
+    circuit.add_current_source("gnd", "BL", read_current, name="I_read")
+    circuit.add_resistor("BL", "gnd", cell_resistance, name="R_cell")
+    circuit.add_capacitor("BL", "gnd", bitline.total_capacitance, name="C_BL")
+    circuit.add_switch(
+        "BL", "C1", slt1_closed, r_on=capacitor.switch_resistance, name="SLT1"
+    )
+    circuit.add_capacitor("C1", "gnd", capacitor.capacitance, name="C1")
+    circuit.add_switch(
+        "BL", "DIV", slt2_closed, r_on=capacitor.switch_resistance, name="SLT2"
+    )
+    circuit.add_resistor("DIV", "BO", divider.upper_resistance, name="R_div_up")
+    circuit.add_resistor("BO", "gnd", divider.lower_resistance, name="R_div_lo")
+
+    transient = circuit.solve_transient(schedule.total_duration, dt)
+
+    sense_time = schedule.end_of("sense") - dt
+    v_c1_sense = transient.at("C1", sense_time)
+    v_bo_sense = transient.at("BO", sense_time)
+    bit = sense_amp.compare_bit(v_c1_sense, v_bo_sense)
+
+    levels = {
+        signal: np.array(
+            [phase_at(float(t)).signals.get(signal, False) for t in transient.times]
+        )
+        for signal in ("WL", "SLT1", "SLT2", "SenEn", "Data_latch")
+    }
+    controls = ControlSignals(times=transient.times, levels=levels)
+
+    return ReadWaveforms(
+        schedule=schedule,
+        transient=transient,
+        controls=controls,
+        v_bl=transient["BL"],
+        v_c1=transient["C1"],
+        v_bo=transient["BO"],
+        sensed_bit=bit,
+        sense_differential=v_c1_sense - v_bo_sense,
+        total_duration=schedule.total_duration,
+    )

@@ -1,0 +1,99 @@
+"""Unit helpers and physical constants.
+
+Everything inside :mod:`repro` uses base SI units: ohms, amperes, volts,
+seconds, farads, kelvin.  These helpers exist so that call sites can say
+``ua(200)`` instead of ``200e-6`` and stay readable, and so that reports can
+format values back into engineering notation.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+#: Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Room temperature used throughout the paper's experiments [K].
+ROOM_TEMPERATURE = 300.0
+
+
+def ua(value: float) -> float:
+    """Convert microamperes to amperes."""
+    return value * 1e-6
+
+def ma(value: float) -> float:
+    """Convert milliamperes to amperes."""
+    return value * 1e-3
+
+def mv(value: float) -> float:
+    """Convert millivolts to volts."""
+    return value * 1e-3
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * 1e-9
+
+def ps(value: float) -> float:
+    """Convert picoseconds to seconds."""
+    return value * 1e-12
+
+def ff(value: float) -> float:
+    """Convert femtofarads to farads."""
+    return value * 1e-15
+
+def pf(value: float) -> float:
+    """Convert picofarads to farads."""
+    return value * 1e-12
+
+def kohm(value: float) -> float:
+    """Convert kiloohms to ohms."""
+    return value * 1e3
+
+def mohm(value: float) -> float:
+    """Convert megaohms to ohms."""
+    return value * 1e6
+
+def nm(value: float) -> float:
+    """Convert nanometers to meters."""
+    return value * 1e-9
+
+def angstrom(value: float) -> float:
+    """Convert angstroms to meters."""
+    return value * 1e-10
+
+
+_PREFIXES = (
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "µ"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+)
+
+
+def format_si(value: float, unit: str, digits: int = 3) -> str:
+    """Format ``value`` with an engineering SI prefix, e.g. ``format_si(2e-4,
+    'A')`` returns ``'200 µA'``.
+    """
+    if value == 0.0:
+        return f"0 {unit}"
+    if math.isnan(value):
+        return f"nan {unit}"
+    if math.isinf(value):
+        sign = "-" if value < 0 else ""
+        return f"{sign}inf {unit}"
+    magnitude = abs(value)
+    scale, prefix = _PREFIXES[-1]
+    for candidate_scale, candidate_prefix in _PREFIXES:
+        if magnitude < candidate_scale * 1000.0:
+            scale, prefix = candidate_scale, candidate_prefix
+            break
+    scaled = value / scale
+    return f"{scaled:.{digits}g} {prefix}{unit}"

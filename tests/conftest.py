@@ -1,0 +1,61 @@
+"""Shared fixtures.
+
+The calibration fit is deterministic and cached inside the library, but the
+cell objects are mutable (they carry MTJ state), so cell fixtures are
+function-scoped fresh copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import calibrate, calibrated_cell
+from repro.core.cell import Cell1T1J
+from repro.device.mtj import MTJDevice, MTJParams
+from repro.device.rolloff import PowerLawRollOff
+from repro.device.transistor import FixedResistanceTransistor
+from repro.device.variation import CellPopulation, VariationModel
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    """The cached calibration result (paper-fitted device model)."""
+    return calibrate()
+
+
+@pytest.fixture
+def paper_cell():
+    """A fresh calibrated 1T1J cell (917 Ω transistor)."""
+    return calibrated_cell()
+
+
+@pytest.fixture
+def linear_cell():
+    """A cell with exactly linear roll-offs — the regime where the paper's
+    closed-form Eqs. (5)/(10) are exact."""
+    params = MTJParams(dr_low_max=100.0)
+    device = MTJDevice(params, PowerLawRollOff(1.0), PowerLawRollOff(1.0))
+    return Cell1T1J(device, FixedResistanceTransistor(917.0))
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for stochastic tests."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_population(rng):
+    """A modest sampled population for Monte-Carlo tests."""
+    return CellPopulation.sample(
+        size=512,
+        variation=VariationModel(),
+        rng=rng,
+    )
+
+
+@pytest.fixture
+def nominal_population():
+    """A variation-free population (used for scalar/vector consistency)."""
+    return CellPopulation.nominal_population(16)

@@ -1,0 +1,147 @@
+"""Analysis-layer tests: figure series, table rows, report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    fig2_ri_curve,
+    fig6_beta_sweep,
+    fig7_rtr_sweep,
+    fig8_alpha_sweep,
+)
+from repro.analysis.report import format_table, render_series
+from repro.analysis.tables import table1_rows, table2_rows
+from repro.calibration import calibrated_device
+
+
+class TestFig2:
+    def test_series_shapes(self, calibration):
+        series = fig2_ri_curve(calibration.device(), points=32)
+        assert series.currents.shape == (32,)
+        assert series.r_high.shape == (32,)
+
+    def test_tmr_collapse_substantial(self, calibration):
+        # The high state loses a large share of its TMR at I_max — the
+        # physical effect the scheme exploits (paper Fig. 2).
+        series = fig2_ri_curve(calibration.device())
+        assert series.tmr_collapse > 0.2
+
+    def test_hysteresis_included(self, calibration):
+        series = fig2_ri_curve(calibration.device())
+        assert len(series.hysteresis.switch_points) >= 2
+
+
+class TestFig6:
+    def test_crossings_match_calibration(self, paper_cell, calibration):
+        series = fig6_beta_sweep(paper_cell)
+        assert series.crossing_destructive() == pytest.approx(
+            calibration.beta_destructive, abs=0.01
+        )
+        assert series.crossing_nondestructive() == pytest.approx(
+            calibration.beta_nondestructive, abs=0.01
+        )
+
+    def test_margin_monotonicity(self, paper_cell):
+        series = fig6_beta_sweep(paper_cell)
+        assert np.all(np.diff(series.sm0_destructive) > 0)
+        assert np.all(np.diff(series.sm1_destructive) < 0)
+        assert np.all(np.diff(series.sm0_nondestructive) > 0)
+        assert np.all(np.diff(series.sm1_nondestructive) < 0)
+
+    def test_windows_ordered(self, paper_cell):
+        series = fig6_beta_sweep(paper_cell)
+        assert series.window_destructive[0] < series.window_destructive[1]
+        assert series.window_nondestructive[0] < series.window_nondestructive[1]
+
+    def test_custom_beta_grid(self, paper_cell):
+        grid = np.linspace(1.1, 2.5, 10)
+        series = fig6_beta_sweep(paper_cell, betas=grid)
+        assert np.array_equal(series.betas, grid)
+
+    def test_no_crossing_raises(self, paper_cell):
+        grid = np.linspace(1.05, 1.1, 5)  # destructive optimum not inside
+        series = fig6_beta_sweep(paper_cell, betas=grid)
+        with pytest.raises(ValueError):
+            series.crossing_destructive()
+
+
+class TestFig7:
+    def test_linear_in_shift(self, paper_cell, calibration):
+        series = fig7_rtr_sweep(
+            paper_cell, calibration.beta_destructive, calibration.beta_nondestructive
+        )
+        # Second differences vanish: exactly linear.
+        assert np.allclose(np.diff(series.sm0_nondestructive, 2), 0.0, atol=1e-12)
+
+    def test_windows_inside_sweep(self, paper_cell, calibration):
+        series = fig7_rtr_sweep(
+            paper_cell, calibration.beta_destructive, calibration.beta_nondestructive
+        )
+        low, high = series.window_nondestructive
+        assert series.shifts[0] < low < high < series.shifts[-1]
+
+    def test_slopes_opposite(self, paper_cell, calibration):
+        series = fig7_rtr_sweep(
+            paper_cell, calibration.beta_destructive, calibration.beta_nondestructive
+        )
+        assert series.sm0_destructive[0] > series.sm0_destructive[-1]
+        assert series.sm1_destructive[0] < series.sm1_destructive[-1]
+
+
+class TestFig8:
+    def test_window_edges_are_zero_crossings(self, paper_cell, calibration):
+        series = fig8_alpha_sweep(paper_cell, calibration.beta_nondestructive)
+        low, high = series.window
+        sm1_at_high = np.interp(high, series.deviations, series.sm1)
+        sm0_at_low = np.interp(low, series.deviations, series.sm0)
+        assert sm1_at_high == pytest.approx(0.0, abs=1e-5)
+        assert sm0_at_low == pytest.approx(0.0, abs=1e-5)
+
+    def test_sm1_decreasing_in_alpha(self, paper_cell, calibration):
+        series = fig8_alpha_sweep(paper_cell, calibration.beta_nondestructive)
+        assert np.all(np.diff(series.sm1) < 0)
+        assert np.all(np.diff(series.sm0) > 0)
+
+
+class TestTables:
+    def test_table1_has_core_rows(self):
+        rows = table1_rows()
+        labels = [row[0] for row in rows]
+        assert "R_H (I→0)" in labels
+        assert "β (nondestructive)" in labels
+        assert all(len(row) == 3 for row in rows)
+
+    def test_table1_reproduced_matches_paper_anchors(self):
+        rows = {row[0]: row for row in table1_rows()}
+        assert rows["R_H (I→0)"][1] == rows["R_H (I→0)"][2]
+        assert rows["R_TR"][1] == rows["R_TR"][2]
+
+    def test_table2_rows(self, paper_cell):
+        rows = table2_rows(cell=paper_cell)
+        labels = [row[0] for row in rows]
+        assert "Δα window (nondestructive)" in labels
+        assert ("Δα window (destructive)", "N/A", "N/A") in rows
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_content(self):
+        text = format_table(["x"], [["hello"]])
+        assert "hello" in text
+        assert "x" in text
+
+    def test_render_series_downsamples(self):
+        x = np.linspace(0, 1, 100)
+        text = render_series(x, {"y": x**2}, "x", max_rows=5)
+        # Header + separator + at most 6 data rows (5 + final point).
+        assert len(text.splitlines()) <= 9
+
+    def test_render_series_scaling(self):
+        x = np.array([0.0, 1.0])
+        text = render_series(x, {"y": np.array([0.0, 0.0121])}, "x", y_scale=1e3)
+        assert "12.1" in text

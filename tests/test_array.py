@@ -1,0 +1,113 @@
+"""Behavioural STT-RAM array tests."""
+
+import numpy as np
+import pytest
+
+from repro.array.array import STTRAMArray
+from repro.core.conventional import ConventionalSensing
+from repro.core.destructive import DestructiveSelfReference
+from repro.core.nondestructive import NondestructiveSelfReference
+from repro.device.variation import CellPopulation, VariationModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def array(rng):
+    population = CellPopulation.sample(64, VariationModel(), rng=rng)
+    return STTRAMArray(population, word_width=8)
+
+
+@pytest.fixture
+def nondestructive():
+    return NondestructiveSelfReference(beta=2.13)
+
+
+class TestGeometry:
+    def test_sizes(self, array):
+        assert array.size_bits == 64
+        assert array.size_words == 8
+
+    def test_rejects_bad_word_width(self, rng):
+        population = CellPopulation.sample(8, VariationModel(), rng=rng)
+        with pytest.raises(ConfigurationError):
+            STTRAMArray(population, word_width=0)
+        with pytest.raises(ConfigurationError):
+            STTRAMArray(population, word_width=16)
+
+    def test_address_bounds(self, array, nondestructive):
+        with pytest.raises(IndexError):
+            array.write_word(8, 0)
+        with pytest.raises(IndexError):
+            array.read_word(-1, nondestructive)
+
+    def test_value_bounds(self, array):
+        with pytest.raises(ValueError):
+            array.write_word(0, 256)
+
+
+class TestDataPath:
+    def test_roundtrip_nondestructive(self, array, nondestructive, rng):
+        for address, value in enumerate([0x00, 0xFF, 0xA5, 0x5A, 0x01]):
+            array.write_word(address, value)
+            assert array.read_word(address, nondestructive, rng) == value
+
+    def test_roundtrip_destructive(self, array, rng):
+        scheme = DestructiveSelfReference(beta=1.22)
+        for address, value in enumerate([0x3C, 0xC3, 0x81]):
+            array.write_word(address, value)
+            assert array.read_word(address, scheme, rng) == value
+            # Write-back must leave the stored word intact.
+            assert array.read_word(address, scheme, rng) == value
+
+    def test_roundtrip_conventional_nominal_bits(self, rng, nominal_population):
+        # Variation-free bits read fine conventionally.
+        array = STTRAMArray(nominal_population, word_width=8)
+        cell = nominal_population.device(0)
+        from repro.core.cell import Cell1T1J
+        from repro.device.transistor import FixedResistanceTransistor
+
+        reference_cell = Cell1T1J(cell, FixedResistanceTransistor(917.0))
+        scheme = ConventionalSensing(nominal_cell=reference_cell)
+        array.write_word(0, 0xB7)
+        assert array.read_word(0, scheme, rng) == 0xB7
+
+    def test_nondestructive_preserves_state(self, array, nondestructive, rng):
+        array.write_word(2, 0x7E)
+        before = array.stored_bits()
+        array.read_word(2, nondestructive, rng)
+        assert np.array_equal(array.stored_bits(), before)
+
+    def test_read_bit_result(self, array, nondestructive, rng):
+        array.write_word(0, 0x01)
+        result = array.read_bit(0, nondestructive, rng)
+        assert result.bit == 1
+        assert result.expected_bit == 1
+
+    def test_read_bit_bounds(self, array, nondestructive):
+        with pytest.raises(IndexError):
+            array.read_bit(64, nondestructive)
+
+    def test_stored_bits_is_copy(self, array):
+        snapshot = array.stored_bits()
+        snapshot[0] = 1
+        assert array.stored_bits()[0] == 0
+
+
+class TestBulkAnalysis:
+    def test_margin_survey(self, array):
+        survey = array.margin_survey(beta_nondestructive=2.13)
+        assert survey["nondestructive"].sm0.shape == (64,)
+
+    def test_failing_bits_conventional_tail(self, rng):
+        # Crank variation: conventional sensing must lose some bits.
+        population = CellPopulation.sample(
+            2048, VariationModel().scaled(3.0), rng=rng
+        )
+        array = STTRAMArray(population)
+        failing = array.failing_bits("conventional")
+        assert len(failing) > 0
+        assert all(0 <= index < 2048 for index in failing)
+
+    def test_failing_bits_empty_for_destructive_nominal(self, nominal_population):
+        array = STTRAMArray(nominal_population, word_width=8)
+        assert array.failing_bits("destructive", required_margin=1e-3) == []

@@ -1,0 +1,123 @@
+"""Tests for the read-BER budget and the stochastic LLG extension."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ber import read_error_budget
+from repro.array.montecarlo import run_margin_monte_carlo
+from repro.array.testchip import TESTCHIP_VARIATION
+from repro.device.llg import MacrospinLLG
+from repro.device.variation import CellPopulation
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def budget():
+    from repro.calibration import calibrate
+
+    calibration = calibrate()
+    rng = np.random.default_rng(23)
+    population = CellPopulation.sample(
+        8192,
+        TESTCHIP_VARIATION,
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=rng,
+    )
+    monte_carlo = run_margin_monte_carlo(
+        population,
+        beta_destructive=calibration.beta_destructive,
+        beta_nondestructive=calibration.beta_nondestructive,
+        include_sa_offset=False,
+    )
+    return read_error_budget(monte_carlo)
+
+
+class TestReadErrorBudget:
+    def test_all_schemes_present(self, budget):
+        assert set(budget) == {"conventional", "destructive", "nondestructive"}
+
+    def test_conventional_dominated_by_margin_failures(self, budget):
+        conventional = budget["conventional"]
+        assert conventional.margin_failure > 0.0
+        assert conventional.margin_failure > conventional.noise_flip
+
+    def test_self_reference_sensing_ber_far_below_conventional(self, budget):
+        assert budget["destructive"].sensing_ber < budget["conventional"].sensing_ber
+        assert (
+            budget["nondestructive"].sensing_ber
+            < budget["conventional"].sensing_ber
+        )
+
+    def test_only_destructive_has_write_term(self, budget):
+        assert budget["destructive"].write_error > 0.0
+        assert budget["nondestructive"].write_error == 0.0
+        assert budget["conventional"].write_error == 0.0
+
+    def test_noise_negligible_for_self_reference(self, budget):
+        # The variation-limited claim: noise contributes << the margin and
+        # metastability terms for the destructive scheme (76 mV margins).
+        destructive = budget["destructive"]
+        assert destructive.noise_flip < 1e-12
+
+    def test_totals_are_bounded(self, budget):
+        for entry in budget.values():
+            assert 0.0 <= entry.sensing_ber <= 1.0
+            assert entry.total_per_read >= entry.sensing_ber
+
+    def test_rejects_negative_window(self, budget):
+        from repro.calibration import calibrate
+
+        calibration = calibrate()
+        rng = np.random.default_rng(5)
+        population = CellPopulation.sample(
+            256, TESTCHIP_VARIATION,
+            params=calibration.params,
+            rolloff_high=calibration.rolloff_high(),
+            rolloff_low=calibration.rolloff_low(),
+            rng=rng,
+        )
+        monte_carlo = run_margin_monte_carlo(population)
+        with pytest.raises(ConfigurationError):
+            read_error_budget(monte_carlo, resolution_window=-1.0)
+
+
+class TestStochasticLLG:
+    @pytest.fixture(scope="class")
+    def llg(self):
+        return MacrospinLLG()
+
+    def test_probability_grows_with_duration(self, llg):
+        rng = np.random.default_rng(1)
+        short = llg.switching_probability_mc(1.3, 5e-9, rng, trials=12)
+        rng = np.random.default_rng(1)
+        long = llg.switching_probability_mc(1.3, 40e-9, rng, trials=12)
+        assert long >= short
+
+    def test_subcritical_never_switches(self, llg):
+        rng = np.random.default_rng(2)
+        assert llg.switching_probability_mc(0.7, 30e-9, rng, trials=8) == 0.0
+
+    def test_strong_overdrive_always_switches(self, llg):
+        rng = np.random.default_rng(3)
+        assert llg.switching_probability_mc(2.5, 15e-9, rng, trials=8) == 1.0
+
+    def test_thermal_spread_produces_intermediate_probabilities(self, llg):
+        # Near the threshold the thermal initial-angle spread produces
+        # genuinely probabilistic switching — the physical origin of WER.
+        rng = np.random.default_rng(4)
+        p = llg.switching_probability_mc(1.3, 9e-9, rng, trials=24)
+        assert 0.05 < p < 0.95
+
+    def test_reproducible_with_seed(self, llg):
+        a = llg.switching_probability_mc(1.3, 9e-9, np.random.default_rng(7), trials=8)
+        b = llg.switching_probability_mc(1.3, 9e-9, np.random.default_rng(7), trials=8)
+        assert a == b
+
+    def test_rejects_invalid(self, llg):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            llg.switching_probability_mc(1.3, 9e-9, rng, trials=0)
+        with pytest.raises(ConfigurationError):
+            llg.integrate_stochastic(1.3, 9e-9, rng, thermal_angle=0.0)

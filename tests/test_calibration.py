@@ -1,0 +1,108 @@
+"""Calibration tests: targets, fit quality, Table I derivation."""
+
+import pytest
+
+from repro.calibration.fit import calibrate, calibrated_cell, calibrated_device
+from repro.calibration.table1 import derive_table1
+from repro.calibration.targets import PAPER_TARGETS, PaperTargets
+
+
+class TestTargets:
+    def test_tmr_about_105_percent(self):
+        assert PAPER_TARGETS.tmr == pytest.approx(1.049, abs=1e-3)
+
+    def test_read_disturb_fraction(self):
+        assert PAPER_TARGETS.i_read_max / PAPER_TARGETS.i_switching == pytest.approx(
+            PAPER_TARGETS.read_disturb_fraction
+        )
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_TARGETS.r_high = 3000.0
+
+    def test_consistency_of_rtr_windows(self):
+        # DESIGN.md §2 cross-check: window ≈ SM / I_R1.
+        t = PAPER_TARGETS
+        i_r1 = t.i_read_max / t.beta_destructive
+        assert t.margin_destructive / i_r1 == pytest.approx(
+            t.rtr_window_destructive, rel=0.01
+        )
+        i_r1 = t.i_read_max / t.beta_nondestructive
+        assert t.margin_nondestructive / i_r1 == pytest.approx(
+            t.rtr_window_nondestructive, rel=0.01
+        )
+
+
+class TestFit:
+    def test_margins_hit_paper_values(self, calibration):
+        assert calibration.margin_destructive == pytest.approx(76.6e-3, rel=0.005)
+        assert calibration.margin_nondestructive == pytest.approx(12.1e-3, rel=0.005)
+
+    def test_betas_near_paper_values(self, calibration):
+        assert calibration.beta_destructive == pytest.approx(1.22, abs=0.03)
+        assert calibration.beta_nondestructive == pytest.approx(2.13, abs=0.02)
+
+    def test_anchored_parameters_unchanged(self, calibration):
+        assert calibration.params.r_high == PAPER_TARGETS.r_high
+        assert calibration.params.r_low == PAPER_TARGETS.r_low
+        assert calibration.params.dr_high_max == PAPER_TARGETS.dr_high_max
+
+    def test_low_state_rolloff_small(self, calibration):
+        # "R_L1 is close to R_L2" (paper Eq. 9's justification).
+        assert calibration.params.dr_low_max < 0.5 * calibration.params.dr_high_max
+
+    def test_cached(self):
+        assert calibrate() is calibrate()
+
+    def test_device_construction(self, calibration):
+        device = calibration.device()
+        assert device.resistance(0.0) == pytest.approx(1220.0)
+
+    def test_cell_construction(self, calibration):
+        cell = calibration.cell(917.0)
+        assert cell.transistor.resistance(0.0) == pytest.approx(917.0)
+
+    def test_convenience_wrappers(self):
+        assert calibrated_device().params.r_high == 2500.0
+        assert calibrated_cell().stored_bit == 0
+
+    def test_rolloff_shapes_valid(self, calibration):
+        calibration.rolloff_high().validate()
+        calibration.rolloff_low().validate()
+
+    def test_custom_targets_produce_different_fit(self):
+        custom = PaperTargets(margin_nondestructive=15e-3)
+        result = calibrate(custom)
+        assert result.margin_nondestructive == pytest.approx(15e-3, rel=0.02)
+
+
+class TestTable1:
+    def test_operating_points_consistent_with_fit(self, calibration):
+        table = derive_table1()
+        assert table.destructive.beta == pytest.approx(calibration.beta_destructive)
+        assert table.nondestructive.beta == pytest.approx(
+            calibration.beta_nondestructive
+        )
+
+    def test_resistances_ordered(self):
+        table = derive_table1()
+        for point in (table.destructive, table.nondestructive):
+            assert point.r_high_1 > point.r_low_1
+            assert point.r_high_2 > point.r_low_2
+            assert point.r_high_1 > point.r_high_2  # roll-off
+
+    def test_rolloff_between_reads_larger_for_high_state(self):
+        table = derive_table1()
+        n = table.nondestructive
+        assert n.dr_high_12 > 10 * abs(n.dr_low_12)
+
+    def test_nondestructive_uses_larger_beta(self):
+        table = derive_table1()
+        assert table.nondestructive.beta > table.destructive.beta
+
+    def test_read_currents(self):
+        table = derive_table1()
+        assert table.destructive.i_read2 == pytest.approx(200e-6)
+        assert table.destructive.i_read1 == pytest.approx(
+            200e-6 / table.destructive.beta
+        )

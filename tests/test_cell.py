@@ -1,0 +1,83 @@
+"""1T1J cell tests."""
+
+import pytest
+
+from repro.circuit.bitline import PAPER_BITLINE
+from repro.core.cell import Cell1T1J
+from repro.device.mtj import MTJDevice, MTJState
+from repro.device.transistor import FixedResistanceTransistor
+
+
+@pytest.fixture
+def cell():
+    return Cell1T1J(MTJDevice(), FixedResistanceTransistor(917.0))
+
+
+class TestState:
+    def test_default_stored_bit(self, cell):
+        assert cell.stored_bit == 0
+
+    def test_write(self, cell):
+        cell.write(1)
+        assert cell.stored_bit == 1
+        assert cell.state is MTJState.ANTIPARALLEL
+
+    def test_state_setter(self, cell):
+        cell.state = MTJState.ANTIPARALLEL
+        assert cell.mtj.state is MTJState.ANTIPARALLEL
+
+
+class TestElectrical:
+    def test_series_resistance(self, cell):
+        r = cell.series_resistance(0.0, MTJState.ANTIPARALLEL)
+        assert r == pytest.approx(2500.0 + 917.0)
+
+    def test_series_resistance_uses_stored_state(self, cell):
+        cell.write(1)
+        assert cell.series_resistance(0.0) == pytest.approx(3417.0)
+
+    def test_bitline_voltage_eq1(self, cell):
+        # Paper Eq. 1: V_BL = I (R_MTJ(I) + R_TR).
+        current = 200e-6
+        r_mtj = cell.mtj.resistance(current, MTJState.PARALLEL)
+        assert cell.bitline_voltage(current, MTJState.PARALLEL) == pytest.approx(
+            current * (r_mtj + 917.0)
+        )
+
+    def test_high_state_voltage_larger(self, cell):
+        current = 100e-6
+        v_high = cell.bitline_voltage(current, MTJState.ANTIPARALLEL)
+        v_low = cell.bitline_voltage(current, MTJState.PARALLEL)
+        assert v_high > v_low
+
+    def test_bitline_leakage_reduces_voltage(self):
+        bare = Cell1T1J(MTJDevice(), FixedResistanceTransistor(917.0))
+        leaky = Cell1T1J(
+            MTJDevice(), FixedResistanceTransistor(917.0), bitline=PAPER_BITLINE
+        )
+        current = 200e-6
+        assert leaky.bitline_voltage(current) < bare.bitline_voltage(current)
+
+    def test_leakage_effect_is_small(self):
+        leaky = Cell1T1J(
+            MTJDevice(), FixedResistanceTransistor(917.0), bitline=PAPER_BITLINE
+        )
+        current = 200e-6
+        bare_v = current * leaky.series_resistance(current)
+        assert leaky.bitline_voltage(current) == pytest.approx(bare_v, rel=1e-3)
+
+
+class TestCopy:
+    def test_copy_independent_state(self, cell):
+        clone = cell.copy()
+        clone.write(1)
+        assert cell.stored_bit == 0
+
+    def test_copy_shares_electrical_model(self, cell):
+        clone = cell.copy()
+        assert clone.series_resistance(0.0, MTJState.PARALLEL) == cell.series_resistance(
+            0.0, MTJState.PARALLEL
+        )
+
+    def test_repr(self, cell):
+        assert "bit=0" in repr(cell)

@@ -1,0 +1,245 @@
+"""Tests for the sensing peripherals: divider, sample capacitor, sense
+amplifier, bit line."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.bitline import BitlineModel, PAPER_BITLINE
+from repro.circuit.divider import VoltageDivider
+from repro.circuit.sense_amp import SenseAmplifier, SenseDecision
+from repro.circuit.storage import SampleCapacitor
+from repro.errors import ConfigurationError
+
+
+class TestVoltageDivider:
+    def test_ideal_output(self):
+        d = VoltageDivider(ratio=0.5)
+        assert d.output(0.4) == pytest.approx(0.2)
+
+    def test_deviation_scales_ratio(self):
+        d = VoltageDivider(ratio=0.5, ratio_deviation=0.04)
+        assert d.realized_ratio == pytest.approx(0.52)
+        assert d.output(1.0) == pytest.approx(0.52)
+
+    def test_resistance_split(self):
+        d = VoltageDivider(ratio=0.5, total_resistance=20e6)
+        assert d.upper_resistance == pytest.approx(10e6)
+        assert d.lower_resistance == pytest.approx(10e6)
+        assert d.upper_resistance + d.lower_resistance == pytest.approx(20e6)
+
+    def test_asymmetric_split(self):
+        d = VoltageDivider(ratio=0.25, total_resistance=20e6)
+        assert d.lower_resistance == pytest.approx(5e6)
+
+    def test_leakage_current_small(self):
+        # Tens-of-MΩ impedance: leakage at 0.5 V is tens of nA, far below
+        # the 200 µA read current (paper §V design intent).
+        d = VoltageDivider(total_resistance=20e6)
+        assert d.leakage_current(0.5) < 1e-7
+
+    def test_loading_error_negligible_for_cell_impedance(self):
+        d = VoltageDivider(total_resistance=20e6)
+        error = d.loading_error(3000.0)
+        assert error < 2e-4
+
+    def test_loading_error_monotone_in_source_resistance(self):
+        d = VoltageDivider()
+        assert d.loading_error(10e3) > d.loading_error(1e3)
+
+    def test_loading_error_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            VoltageDivider().loading_error(-1.0)
+
+    def test_with_deviation(self):
+        d = VoltageDivider(ratio=0.5).with_deviation(-0.05)
+        assert d.realized_ratio == pytest.approx(0.475)
+
+    @pytest.mark.parametrize("ratio", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_bad_ratio(self, ratio):
+        with pytest.raises(ConfigurationError):
+            VoltageDivider(ratio=ratio)
+
+    def test_rejects_deviation_pushing_ratio_out(self):
+        with pytest.raises(ConfigurationError):
+            VoltageDivider(ratio=0.5, ratio_deviation=1.5)
+
+    def test_rejects_nonpositive_resistance(self):
+        with pytest.raises(ConfigurationError):
+            VoltageDivider(total_resistance=0.0)
+
+
+class TestSampleCapacitor:
+    def test_full_sample(self):
+        cap = SampleCapacitor()
+        cap.sample(0.3, duration=20 * cap.charge_time_constant)
+        assert cap.stored_voltage == pytest.approx(0.3, rel=1e-6)
+
+    def test_partial_sample_follows_rc(self):
+        cap = SampleCapacitor()
+        tau = cap.charge_time_constant
+        cap.sample(1.0, duration=tau)
+        assert cap.stored_voltage == pytest.approx(1.0 - math.exp(-1.0))
+
+    def test_hold_droop(self):
+        cap = SampleCapacitor(leakage_resistance=1e9)
+        cap.sample(0.5, duration=20 * cap.charge_time_constant)
+        tau_leak = cap.leakage_resistance * cap.capacitance
+        cap.hold(tau_leak)
+        assert cap.stored_voltage == pytest.approx(0.5 * math.exp(-1.0))
+
+    def test_droop_negligible_over_read(self):
+        # The default leakage keeps the stored value essentially intact over
+        # a 15 ns read — a design requirement of both self-ref schemes.
+        cap = SampleCapacitor()
+        cap.sample(0.3, duration=20 * cap.charge_time_constant)
+        assert cap.droop_after(15e-9) < 1e-6
+
+    def test_settling_time(self):
+        cap = SampleCapacitor(capacitance=100e-15, switch_resistance=5e3)
+        tau = 100e-15 * 5e3
+        assert cap.settling_time(0.001) == pytest.approx(-tau * math.log(0.001))
+
+    def test_reset(self):
+        cap = SampleCapacitor()
+        cap.sample(0.5, 1e-6)
+        cap.reset()
+        assert cap.stored_voltage == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ConfigurationError):
+            SampleCapacitor().sample(0.5, -1.0)
+        with pytest.raises(ConfigurationError):
+            SampleCapacitor().hold(-1.0)
+
+    def test_rejects_bad_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            SampleCapacitor().settling_time(0.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacitance": 0.0},
+            {"switch_resistance": 0.0},
+            {"leakage_resistance": 0.0},
+        ],
+    )
+    def test_rejects_nonpositive_parameters(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SampleCapacitor(**kwargs)
+
+
+class TestSenseAmplifier:
+    def test_clear_decisions(self):
+        amp = SenseAmplifier(resolution=8e-3)
+        assert amp.compare(0.5, 0.4) is SenseDecision.HIGH
+        assert amp.compare(0.4, 0.5) is SenseDecision.LOW
+
+    def test_metastable_inside_window(self):
+        amp = SenseAmplifier(resolution=8e-3)
+        assert amp.compare(0.500, 0.503) is SenseDecision.METASTABLE
+
+    def test_metastable_resolves_with_rng(self, rng):
+        amp = SenseAmplifier(resolution=8e-3)
+        decisions = {amp.compare(0.5, 0.5, rng) for _ in range(64)}
+        assert decisions == {SenseDecision.HIGH, SenseDecision.LOW}
+
+    def test_compare_bit(self):
+        amp = SenseAmplifier(resolution=1e-3)
+        assert amp.compare_bit(0.5, 0.4) == 1
+        assert amp.compare_bit(0.4, 0.5) == 0
+        assert amp.compare_bit(0.5, 0.5) is None
+
+    def test_offset_shifts_decision(self):
+        amp = SenseAmplifier(offset=-20e-3, resolution=8e-3)
+        # True differential +10 mV is overpowered by the -20 mV offset.
+        assert amp.compare(0.51, 0.50) is SenseDecision.LOW
+
+    def test_auto_zero_shrinks_offset(self):
+        amp = SenseAmplifier(raw_offset=20e-3, auto_zero_rejection=100.0)
+        amp.auto_zero()
+        assert amp.offset == pytest.approx(0.2e-3)
+
+    def test_sampled_instances_vary(self, rng):
+        amps = [SenseAmplifier.sampled(rng) for _ in range(8)]
+        offsets = {amp.raw_offset for amp in amps}
+        assert len(offsets) == 8
+
+    def test_sampled_auto_zeroed_by_default(self, rng):
+        amp = SenseAmplifier.sampled(rng, raw_offset_sigma=20e-3)
+        assert abs(amp.offset) <= abs(amp.raw_offset) / 100.0 + 1e-12
+
+    def test_sampled_without_auto_zero(self, rng):
+        amp = SenseAmplifier.sampled(rng, auto_zeroed=False)
+        assert amp.offset == amp.raw_offset
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            SenseAmplifier(resolution=-1.0)
+        with pytest.raises(ConfigurationError):
+            SenseAmplifier(auto_zero_rejection=0.5)
+
+
+class TestBitline:
+    def test_paper_organization(self):
+        assert PAPER_BITLINE.cells_per_bitline == 128
+
+    def test_totals(self):
+        bl = BitlineModel(
+            cells_per_bitline=128,
+            wire_resistance_per_cell=2.0,
+            wire_capacitance_per_cell=0.4e-15,
+        )
+        assert bl.total_wire_resistance == pytest.approx(256.0)
+        assert bl.total_capacitance == pytest.approx(51.2e-15)
+
+    def test_leakage_conductance_counts_unselected_cells(self):
+        bl = BitlineModel(cells_per_bitline=128, off_cell_leakage_resistance=5e9)
+        assert bl.leakage_conductance == pytest.approx(127 / 5e9)
+
+    def test_single_cell_bitline_has_no_leakage(self):
+        bl = BitlineModel(cells_per_bitline=1)
+        assert bl.leakage_conductance == 0.0
+
+    def test_leakage_current_small_vs_read_current(self):
+        # The paper's simulation "considered" this leakage; it must be a
+        # small correction, not a dominant term.
+        current = PAPER_BITLINE.leakage_current(0.6)
+        assert current < 0.01 * 200e-6
+
+    def test_voltage_error_first_order(self):
+        bl = PAPER_BITLINE
+        error = bl.voltage_error(0.5, 3000.0)
+        assert error == pytest.approx(0.5 * 3000.0 * bl.leakage_conductance)
+
+    def test_elmore_delay_grows_with_end_capacitor(self):
+        bare = PAPER_BITLINE.elmore_delay()
+        loaded = PAPER_BITLINE.elmore_delay(extra_capacitance=100e-15)
+        assert loaded > bare
+
+    def test_settling_slower_with_sampling_capacitor(self):
+        # The §V argument: the destructive scheme's second read charges C2,
+        # the nondestructive one only drives the high-impedance divider.
+        with_cap = PAPER_BITLINE.settling_time(
+            3000.0, extra_capacitance=100e-15, switch_resistance=5e3
+        )
+        without = PAPER_BITLINE.settling_time(3000.0)
+        assert with_cap > 2 * without
+
+    def test_settling_time_scales_with_tolerance(self):
+        fast = PAPER_BITLINE.settling_time(3000.0, tolerance=0.1)
+        slow = PAPER_BITLINE.settling_time(3000.0, tolerance=0.001)
+        assert slow > fast
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            BitlineModel(cells_per_bitline=0)
+        with pytest.raises(ConfigurationError):
+            BitlineModel(off_cell_leakage_resistance=0.0)
+        with pytest.raises(ConfigurationError):
+            PAPER_BITLINE.settling_time(0.0)
+        with pytest.raises(ConfigurationError):
+            PAPER_BITLINE.settling_time(1000.0, tolerance=1.5)
+        with pytest.raises(ConfigurationError):
+            PAPER_BITLINE.elmore_delay(extra_capacitance=-1.0)

@@ -1,0 +1,70 @@
+"""CLI tests: every experiment subcommand runs and prints its headline."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        parser = build_parser()
+        for name in EXPERIMENTS:
+            args = parser.parse_args([name] if name != "fig10" else [name, "--bit", "0"])
+            assert args.experiment == name
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestCommands:
+    @pytest.mark.parametrize(
+        "command, expect",
+        [
+            (["table1"], "Table I"),
+            (["table2"], "Table II"),
+            (["fig2"], "R–I"),
+            (["fig6"], "optima"),
+            (["fig7"], "windows"),
+            (["fig8"], "window"),
+            (["fig9"], "SLT1"),
+            (["latency"], "faster"),
+            (["energy"], "lower"),
+            (["corners"], "Temperature corners"),
+            (["disturb"], "read-disturb budget"),
+            (["trim"], "compensating divider skew"),
+            (["capacity"], "capacity projection"),
+            (["sensitivity"], "sensitivity"),
+            (["ber"], "error budget"),
+            (["list"], "available experiments"),
+        ],
+    )
+    def test_command_output(self, command, expect, capsys):
+        assert main(command) == 0
+        assert expect in capsys.readouterr().out
+
+    def test_fig10_both_bits(self, capsys):
+        assert main(["fig10", "--bit", "1"]) == 0
+        assert "sensed: 1" in capsys.readouterr().out
+        assert main(["fig10", "--bit", "0"]) == 0
+        assert "sensed: 0" in capsys.readouterr().out
+
+    def test_fig11_runs(self, capsys):
+        assert main(["fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "nondestructive" in out
+        assert "16kb" in out
+
+    def test_fig10_rejects_bad_bit(self):
+        with pytest.raises(SystemExit):
+            main(["fig10", "--bit", "2"])
+
+    def test_export_writes_csv(self, capsys, tmp_path):
+        assert main(["export", "--directory", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "CSV files" in out
+        assert (tmp_path / "fig6_beta_sweep.csv").exists()

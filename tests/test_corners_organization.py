@@ -1,0 +1,121 @@
+"""Temperature-corner sweep and array-organization tests."""
+
+import pytest
+
+from repro.analysis.corners import temperature_corner_sweep
+from repro.array.organization import (
+    ArrayOrganization,
+    bank_throughput,
+    throughput_comparison,
+)
+from repro.errors import ConfigurationError
+from repro.timing.latency import nondestructive_read_latency
+
+
+class TestTemperatureCorners:
+    @pytest.fixture(scope="class")
+    def corners(self):
+        from repro.calibration import calibrate
+
+        calibration = calibrate()
+        return temperature_corner_sweep(
+            calibration.params,
+            calibration.rolloff_high(),
+            calibration.rolloff_low(),
+            temperatures=(250.0, 300.0, 360.0, 390.0),
+        )
+
+    def test_room_temperature_matches_calibration(self, corners, calibration):
+        room = next(c for c in corners if c.temperature == 300.0)
+        assert room.nondestructive.max_sense_margin == pytest.approx(
+            calibration.margin_nondestructive, rel=1e-6
+        )
+
+    def test_margins_shrink_with_temperature(self, corners):
+        margins = [c.nondestructive.max_sense_margin for c in corners]
+        assert all(b < a for a, b in zip(margins, margins[1:]))
+
+    def test_tmr_shrinks_with_temperature(self, corners):
+        tmrs = [c.tmr for c in corners]
+        assert all(b < a for a, b in zip(tmrs, tmrs[1:]))
+
+    def test_rtr_window_shrinks_with_temperature(self, corners):
+        windows = [c.rtr_window_nondestructive for c in corners]
+        assert all(b < a for a, b in zip(windows, windows[1:]))
+
+    def test_margin_holds_across_industrial_range(self, corners):
+        assert all(c.nondestructive_margin_ok for c in corners)
+
+    def test_rejects_empty_sweep(self, calibration):
+        with pytest.raises(ConfigurationError):
+            temperature_corner_sweep(
+                calibration.params,
+                calibration.rolloff_high(),
+                calibration.rolloff_low(),
+                temperatures=(),
+            )
+
+
+class TestArrayOrganization:
+    def test_geometry(self):
+        org = ArrayOrganization(banks=4, rows=128, columns=128)
+        assert org.bits == 4 * 128 * 128
+        assert org.row_address_bits == 7
+        assert org.bank_address_bits == 2
+
+    def test_decode_roundtrip(self):
+        org = ArrayOrganization(banks=4, rows=16, columns=8)
+        seen = set()
+        for address in range(org.banks * org.rows):
+            bank, row = org.decode(address)
+            assert 0 <= bank < org.banks
+            assert 0 <= row < org.rows
+            seen.add((bank, row))
+        assert len(seen) == org.banks * org.rows
+
+    def test_decode_bounds(self):
+        org = ArrayOrganization(banks=2, rows=4)
+        with pytest.raises(IndexError):
+            org.decode(8)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            ArrayOrganization(banks=0)
+
+
+class TestThroughput:
+    def test_nondestructive_higher_bandwidth(self, paper_cell, calibration):
+        destructive, nondestructive = throughput_comparison(
+            paper_cell,
+            beta_destructive=calibration.beta_destructive,
+            beta_nondestructive=calibration.beta_nondestructive,
+        )
+        assert nondestructive.read_bandwidth > 1.5 * destructive.read_bandwidth
+        assert nondestructive.read_power < destructive.read_power
+
+    def test_bandwidth_scales_with_banks(self, paper_cell, calibration):
+        breakdown = nondestructive_read_latency(
+            paper_cell, beta=calibration.beta_nondestructive
+        )
+        one = bank_throughput(paper_cell, ArrayOrganization(banks=1), breakdown)
+        four = bank_throughput(paper_cell, ArrayOrganization(banks=4), breakdown)
+        assert four.read_bandwidth == pytest.approx(4 * one.read_bandwidth)
+
+    def test_energy_per_bit_independent_of_organization(self, paper_cell, calibration):
+        breakdown = nondestructive_read_latency(
+            paper_cell, beta=calibration.beta_nondestructive
+        )
+        a = bank_throughput(paper_cell, ArrayOrganization(banks=1), breakdown)
+        b = bank_throughput(paper_cell, ArrayOrganization(banks=8, columns=64), breakdown)
+        assert a.energy_per_bit == pytest.approx(b.energy_per_bit)
+
+    def test_power_consistent_with_bandwidth(self, paper_cell, calibration):
+        destructive, nondestructive = throughput_comparison(
+            paper_cell,
+            beta_destructive=calibration.beta_destructive,
+            beta_nondestructive=calibration.beta_nondestructive,
+        )
+        for result in (destructive, nondestructive):
+            assert result.read_power == pytest.approx(
+                result.read_bandwidth * result.energy_per_bit
+            )

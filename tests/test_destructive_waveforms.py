@@ -1,0 +1,103 @@
+"""Destructive-read transient simulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.margins import destructive_margins
+from repro.errors import ConfigurationError
+from repro.timing.destructive_waveforms import simulate_destructive_read
+
+
+@pytest.fixture(scope="module")
+def calibration_module():
+    from repro.calibration import calibrate
+
+    return calibrate()
+
+
+@pytest.fixture(scope="module")
+def waveforms_one(calibration_module):
+    cell = calibration_module.cell(917.0)
+    cell.write(1)
+    return simulate_destructive_read(cell, beta=calibration_module.beta_destructive)
+
+
+class TestSensing:
+    def test_senses_one(self, waveforms_one):
+        assert waveforms_one.sensed_bit == 1
+        assert waveforms_one.sense_differential > 0
+
+    def test_senses_zero(self, calibration_module):
+        cell = calibration_module.cell(917.0)
+        cell.write(0)
+        waveforms = simulate_destructive_read(
+            cell, beta=calibration_module.beta_destructive
+        )
+        assert waveforms.sensed_bit == 0
+        assert waveforms.sense_differential < 0
+
+    def test_differential_matches_analytic_margin(
+        self, waveforms_one, calibration_module
+    ):
+        cell = calibration_module.cell(917.0)
+        analytic = destructive_margins(
+            cell, 200e-6, calibration_module.beta_destructive
+        ).sm1
+        assert waveforms_one.sense_differential == pytest.approx(analytic, rel=0.05)
+
+    def test_caller_cell_not_mutated(self, calibration_module):
+        cell = calibration_module.cell(917.0)
+        cell.write(1)
+        simulate_destructive_read(cell, beta=calibration_module.beta_destructive)
+        assert cell.stored_bit == 1
+
+
+class TestWaveformStructure:
+    def test_slower_than_nondestructive(self, waveforms_one, calibration_module):
+        from repro.timing.waveforms import simulate_nondestructive_read
+
+        cell = calibration_module.cell(917.0)
+        cell.write(1)
+        nondes = simulate_nondestructive_read(
+            cell, beta=calibration_module.beta_nondestructive
+        )
+        assert waveforms_one.total_duration > 1.5 * nondes.total_duration
+
+    def test_c1_sampled_during_first_read(self, waveforms_one, calibration_module):
+        cell = calibration_module.cell(917.0)
+        beta = calibration_module.beta_destructive
+        i1 = 200e-6 / beta
+        from repro.device.mtj import MTJState
+
+        expected = i1 * cell.series_resistance(i1, MTJState.ANTIPARALLEL)
+        schedule = waveforms_one.schedule
+        v_c1 = waveforms_one.transient.at("C1", schedule.end_of("first_read"))
+        assert v_c1 == pytest.approx(expected, rel=0.02)
+
+    def test_c2_samples_erased_state(self, waveforms_one, calibration_module):
+        # C2 holds the erased (parallel-state) voltage at I_R2 — the
+        # self-generated reference of the scheme.
+        cell = calibration_module.cell(917.0)
+        from repro.device.mtj import MTJState
+
+        expected = 200e-6 * cell.series_resistance(200e-6, MTJState.PARALLEL)
+        schedule = waveforms_one.schedule
+        v_c2 = waveforms_one.transient.at("C2", schedule.end_of("second_read"))
+        assert v_c2 == pytest.approx(expected, rel=0.02)
+
+    def test_bitline_spikes_during_writes(self, waveforms_one):
+        # The write pulses force ~750 µA through the cell: the bit line
+        # voltage during erase dwarfs the read-phase voltages.
+        schedule = waveforms_one.schedule
+        v_during_erase = waveforms_one.transient.at(
+            "BL", schedule.end_of("erase") - 0.5e-9
+        )
+        v_during_read = waveforms_one.transient.at(
+            "BL", schedule.end_of("first_read") - 0.5e-9
+        )
+        assert v_during_erase > 1.5 * v_during_read
+
+    def test_rejects_bad_dt(self, calibration_module):
+        cell = calibration_module.cell(917.0)
+        with pytest.raises(ConfigurationError):
+            simulate_destructive_read(cell, dt=0.0)

@@ -1,0 +1,139 @@
+"""ECC-array wrapper and noise-budget tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.array.array import STTRAMArray
+from repro.circuit.noise import NoiseBudget, johnson_noise_rms, sampled_noise_rms
+from repro.circuit.sense_amp import SenseAmplifier
+from repro.core.nondestructive import NondestructiveSelfReference
+from repro.device.variation import CellPopulation, VariationModel
+from repro.ecc.array import EccArray
+from repro.ecc.hamming import DecodeStatus
+from repro.errors import ConfigurationError
+from repro.units import BOLTZMANN, ROOM_TEMPERATURE
+
+
+@pytest.fixture
+def ecc_array(rng, calibration):
+    population = CellPopulation.sample(
+        2 * 72,
+        VariationModel(sigma_alpha_frac=0.0, sigma_beta_frac=0.0),
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=rng,
+    )
+    return EccArray(STTRAMArray(population), data_bits=64)
+
+
+@pytest.fixture
+def scheme(calibration):
+    return NondestructiveSelfReference(beta=calibration.beta_nondestructive)
+
+
+class TestEccArray:
+    def test_word_capacity(self, ecc_array):
+        assert ecc_array.size_words == 2
+
+    def test_roundtrip(self, ecc_array, scheme, rng):
+        value = 0xDEADBEEFCAFEF00D
+        ecc_array.write_word(0, value)
+        result = ecc_array.read_word(0, scheme, rng)
+        assert result.value == value
+        assert result.status is DecodeStatus.CLEAN
+        assert result.reliable
+
+    def test_corrects_single_stuck_bit(self, ecc_array, scheme, rng):
+        value = 0x0123456789ABCDEF
+        ecc_array.write_word(1, value)
+        # Flip one stored cell behind the codec's back (a stuck/marginal bit).
+        base = 1 * ecc_array.codec.codeword_bits
+        ecc_array.array._states[base + 13] ^= 1
+        result = ecc_array.read_word(1, scheme, rng)
+        assert result.value == value
+        assert result.status is DecodeStatus.CORRECTED
+        assert result.corrected_position == 13
+
+    def test_detects_double_corruption(self, ecc_array, scheme, rng):
+        value = 0xFFFFFFFFFFFFFFFF
+        ecc_array.write_word(0, value)
+        base = 0
+        ecc_array.array._states[base + 3] ^= 1
+        ecc_array.array._states[base + 40] ^= 1
+        result = ecc_array.read_word(0, scheme, rng)
+        assert result.status is DecodeStatus.DETECTED
+        assert not result.reliable
+
+    def test_statistics_accumulate(self, ecc_array, scheme, rng):
+        ecc_array.write_word(0, 1)
+        ecc_array.read_word(0, scheme, rng)
+        ecc_array.read_word(0, scheme, rng)
+        assert ecc_array.statistics[DecodeStatus.CLEAN] == 2
+
+    def test_scrub_repairs_corrected_words(self, ecc_array, scheme, rng):
+        value = 0x5555AAAA5555AAAA
+        ecc_array.write_word(0, value)
+        ecc_array.write_word(1, value)
+        ecc_array.array._states[7] ^= 1  # damage word 0
+        corrections = ecc_array.scrub(scheme, rng)
+        assert corrections == 1
+        # After the scrub the stored codeword is clean again.
+        result = ecc_array.read_word(0, scheme, rng)
+        assert result.status is DecodeStatus.CLEAN
+        assert result.value == value
+
+    def test_address_bounds(self, ecc_array, scheme):
+        with pytest.raises(IndexError):
+            ecc_array.write_word(2, 0)
+        with pytest.raises(IndexError):
+            ecc_array.read_word(-1, scheme)
+
+    def test_rejects_undersized_array(self, rng):
+        population = CellPopulation.sample(32, VariationModel(), rng=rng)
+        with pytest.raises(ConfigurationError):
+            EccArray(STTRAMArray(population), data_bits=64)
+
+
+class TestNoise:
+    def test_johnson_formula(self):
+        rms = johnson_noise_rms(1000.0, 1e9, 300.0)
+        assert rms == pytest.approx(math.sqrt(4 * BOLTZMANN * 300 * 1000 * 1e9))
+
+    def test_ktc_formula(self):
+        rms = sampled_noise_rms(100e-15)
+        assert rms == pytest.approx(math.sqrt(BOLTZMANN * ROOM_TEMPERATURE / 100e-15))
+
+    def test_ktc_magnitude(self):
+        # kT/C at 100 fF: ~0.2 mV — the textbook number.
+        assert sampled_noise_rms(100e-15) == pytest.approx(0.2e-3, rel=0.05)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            johnson_noise_rms(0.0, 1e9)
+        with pytest.raises(ConfigurationError):
+            sampled_noise_rms(-1e-15)
+        with pytest.raises(ConfigurationError):
+            NoiseBudget(margin=0.0)
+
+    def test_paper_margin_is_variation_limited(self, calibration):
+        # The core claim: at 12.1 mV margin the noise-flip probability is
+        # astronomically small — the scheme's risks are variation/mismatch,
+        # exactly what the paper's robustness analysis studies.
+        budget = NoiseBudget(margin=calibration.margin_nondestructive)
+        assert budget.margin_sigmas > 7.0
+        assert budget.is_variation_limited
+
+    def test_total_noise_is_rss(self):
+        budget = NoiseBudget(margin=12e-3)
+        assert budget.total_noise == pytest.approx(
+            math.hypot(budget.sampled_noise, budget.live_noise)
+        )
+
+    def test_hot_chip_noisier(self):
+        cold = NoiseBudget(margin=12e-3, temperature=250.0)
+        hot = NoiseBudget(margin=12e-3, temperature=400.0)
+        assert hot.total_noise > cold.total_noise
+        assert hot.margin_sigmas < cold.margin_sigmas

@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs end-to-end and prints its
+headline conclusions."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    """Import the example module fresh and run its main()."""
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "ZERO write pulses" in out
+        assert "[OK ]" in out
+        assert "FAIL" not in out.replace("[OK ]", "")
+
+    def test_yield_analysis(self, capsys):
+        out = run_example("yield_analysis", capsys)
+        assert "self-reference all-pass = True" in out
+        assert "nondestructive" in out
+
+    def test_design_space_exploration(self, capsys):
+        out = run_example("design_space_exploration", capsys)
+        assert "optimal β" in out
+        assert "read disturb" in out.lower() or "disturb" in out
+
+    def test_power_failure_reliability(self, capsys):
+        out = run_example("power_failure_reliability", capsys)
+        assert "cannot lose data" in out
+        assert "corrupted words" in out
+
+    def test_read_timing_waveforms(self, capsys):
+        out = run_example("read_timing_waveforms", capsys)
+        assert "sensed bit: 1" in out
+        assert "speedup" in out
+
+    def test_first_principles_device(self, capsys):
+        out = run_example("first_principles_device", capsys)
+        assert "emerges directly" in out
+        assert "0.00%" in out  # nonlinear circuit matches the device model
+
+    def test_write_dynamics(self, capsys):
+        out = run_example("write_dynamics", capsys)
+        assert "Sun scaling" in out
+
+    def test_memory_controller(self, capsys):
+        out = run_example("memory_controller", capsys)
+        assert "recovered message" in out
+        assert "uncorrectable=0" in out
+
+    def test_production_yield(self, capsys):
+        out = run_example("production_yield", capsys)
+        assert "yield" in out
+        assert "SATURATED" in out or "ns" in out

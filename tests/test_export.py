@@ -1,0 +1,68 @@
+"""CSV figure-export tests."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import export_all_figures, write_series_csv
+from repro.errors import ConfigurationError
+
+
+class TestWriteSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "out.csv",
+            "x",
+            [0.0, 1.0, 2.0],
+            {"a": [0.0, 1.0, 4.0], "b": [0.0, -1.0, -2.0]},
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "a", "b"]
+        assert len(rows) == 4
+        assert float(rows[2][1]) == 1.0
+
+    def test_full_precision(self, tmp_path):
+        value = 0.07659123456789012
+        path = write_series_csv(tmp_path / "p.csv", "x", [0.0], {"y": [value]})
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert float(rows[1][1]) == value
+
+    def test_creates_directories(self, tmp_path):
+        path = write_series_csv(
+            tmp_path / "a" / "b" / "c.csv", "x", [0.0], {"y": [1.0]}
+        )
+        assert path.exists()
+
+    def test_rejects_length_mismatch(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_series_csv(tmp_path / "bad.csv", "x", [0.0, 1.0], {"y": [1.0]})
+
+
+class TestExportAll:
+    def test_exports_every_figure(self, tmp_path):
+        written = export_all_figures(tmp_path)
+        names = {path.name for path in written}
+        assert "fig2_ri_curve.csv" in names
+        assert "fig6_beta_sweep.csv" in names
+        assert "fig7_rtr_sweep.csv" in names
+        assert "fig8_alpha_sweep.csv" in names
+        assert "fig11_nondestructive_scatter.csv" in names
+        assert all(path.exists() for path in written)
+
+    def test_fig11_has_16k_rows(self, tmp_path):
+        written = export_all_figures(tmp_path)
+        scatter = next(p for p in written if p.name == "fig11_conventional_scatter.csv")
+        with scatter.open() as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 16384 + 1  # header + one row per bit
+
+    def test_fig6_columns(self, tmp_path):
+        written = export_all_figures(tmp_path)
+        fig6 = next(p for p in written if p.name == "fig6_beta_sweep.csv")
+        with fig6.open() as handle:
+            header = next(csv.reader(handle))
+        assert header[0] == "beta"
+        assert "sm1_nondestructive_V" in header

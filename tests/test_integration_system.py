@@ -1,0 +1,166 @@
+"""System-level integration: the library layers composed end to end."""
+
+import numpy as np
+import pytest
+
+from repro.array.array import STTRAMArray
+from repro.array.repair import allocate_repair
+from repro.calibration import calibrate
+from repro.core.destructive import DestructiveSelfReference
+from repro.core.nondestructive import NondestructiveSelfReference
+from repro.device.variation import CellPopulation, VariationModel
+from repro.ecc.array import EccArray
+from repro.ecc.hamming import DecodeStatus
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    return calibrate()
+
+
+def make_population(rng, calibration, size, variation=None):
+    if variation is None:
+        variation = VariationModel(sigma_alpha_frac=0.001, sigma_beta_frac=0.001)
+    return CellPopulation.sample(
+        size,
+        variation,
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=rng,
+    )
+
+
+class TestEccProtectedMemory:
+    def test_message_survives_full_pipeline(self, rng, calibration):
+        """Write → fault injection → nondestructive reads → SECDED →
+        scrub → verify: a complete memory-controller round trip."""
+        memory = EccArray(
+            STTRAMArray(make_population(rng, calibration, 16 * 72)), data_bits=64
+        )
+        scheme = NondestructiveSelfReference(beta=calibration.beta_nondestructive)
+
+        payload = [int(rng.integers(0, 2**63)) for _ in range(memory.size_words)]
+        for address, word in enumerate(payload):
+            memory.write_word(address, word)
+
+        # Inject one stuck bit in every other word.
+        for address in range(0, memory.size_words, 2):
+            memory.array._states[address * 72 + (address % 72)] ^= 1
+
+        recovered = [
+            memory.read_word(address, scheme, rng) for address in range(memory.size_words)
+        ]
+        assert all(result.reliable for result in recovered)
+        assert [result.value for result in recovered] == payload
+        corrected = sum(
+            result.status is DecodeStatus.CORRECTED for result in recovered
+        )
+        assert corrected == memory.size_words // 2
+
+        # Scrub heals the stored image.
+        memory.scrub(scheme, rng)
+        post = [
+            memory.read_word(address, scheme, rng) for address in range(memory.size_words)
+        ]
+        assert all(result.status is DecodeStatus.CLEAN for result in post)
+
+    def test_destructive_scheme_through_ecc_layer(self, rng, calibration):
+        """The ECC layer is scheme-agnostic: destructive reads restore the
+        codewords they consume."""
+        memory = EccArray(
+            STTRAMArray(make_population(rng, calibration, 4 * 72)), data_bits=64
+        )
+        scheme = DestructiveSelfReference(beta=calibration.beta_destructive)
+        memory.write_word(0, 0xFEEDFACE)
+        first = memory.read_word(0, scheme, rng)
+        second = memory.read_word(0, scheme, rng)
+        assert first.value == second.value == 0xFEEDFACE
+        assert first.status is DecodeStatus.CLEAN
+
+
+class TestRepairPlusEcc:
+    def test_heavily_varied_chip_shippable_with_repair_and_ecc(self, rng, calibration):
+        """At 2x test-chip variation the nondestructive scheme has failing
+        bits; spares + SECDED together make the array shippable."""
+        from repro.array.montecarlo import run_margin_monte_carlo
+        from repro.array.testchip import TESTCHIP_VARIATION
+
+        rows = columns = 64
+        population = make_population(
+            rng, calibration, rows * columns, TESTCHIP_VARIATION.scaled(2.0)
+        )
+        margins = run_margin_monte_carlo(
+            population,
+            beta_destructive=calibration.beta_destructive,
+            beta_nondestructive=calibration.beta_nondestructive,
+            include_sa_offset=False,
+        )
+        mask = margins["nondestructive"].fail_mask(8e-3)
+        assert mask.any(), "expected failing bits at 2x variation"
+
+        plan = allocate_repair(mask, rows, columns, spare_rows=8, spare_columns=8)
+        # Spares mop up the (sparse) hard fails entirely or nearly so;
+        # anything left is within SECDED's single-error budget per word.
+        assert plan.unrepaired_fails <= mask.sum()
+        if not plan.repaired:
+            per_word = mask.reshape(-1, 8).sum(axis=1)  # pessimistic grouping
+            assert per_word.max() <= 2
+
+    def test_trim_then_repair_reduces_spare_demand(self, rng, calibration):
+        """Trimming β before repair shrinks the fail map the spares must
+        cover — the test-flow ordering used in production."""
+        from repro.array.montecarlo import run_margin_monte_carlo
+        from repro.array.testchip import TESTCHIP_VARIATION
+        from repro.core.trim import trim_population_beta
+
+        rows = columns = 32
+        population = make_population(
+            rng, calibration, rows * columns, TESTCHIP_VARIATION.scaled(2.5)
+        )
+        nominal = run_margin_monte_carlo(
+            population,
+            beta_nondestructive=calibration.beta_nondestructive,
+            include_sa_offset=False,
+        )["nondestructive"]
+        trim = trim_population_beta(population)
+        from repro.core.margins import population_nondestructive_margins
+
+        sm0, sm1 = population_nondestructive_margins(population, 200e-6, trim.beta)
+        trimmed_fails = int((np.minimum(sm0, sm1) <= 8e-3).sum())
+        nominal_fails = int(nominal.fail_mask(8e-3).sum())
+        assert trimmed_fails <= nominal_fails
+
+
+class TestSchemeAgreement:
+    def test_all_schemes_agree_on_healthy_bits(self, rng, calibration):
+        """Bits that every scheme's margins clear must read identically
+        through all three behavioural read paths."""
+        from repro.core.conventional import ConventionalSensing
+
+        population = make_population(rng, calibration, 64)
+        array = STTRAMArray(population)
+        survey = array.margin_survey(
+            beta_destructive=calibration.beta_destructive,
+            beta_nondestructive=calibration.beta_nondestructive,
+        )
+        healthy = ~(
+            survey["conventional"].fail_mask(8e-3)
+            | survey["destructive"].fail_mask(8e-3)
+            | survey["nondestructive"].fail_mask(8e-3)
+        )
+        healthy_indices = np.nonzero(healthy)[0][:16]
+        assert healthy_indices.size > 0
+
+        nominal_cell = calibration.cell(917.0)
+        schemes = [
+            ConventionalSensing(nominal_cell=nominal_cell),
+            DestructiveSelfReference(beta=calibration.beta_destructive),
+            NondestructiveSelfReference(beta=calibration.beta_nondestructive),
+        ]
+        pattern = rng.integers(0, 2, healthy_indices.size)
+        for index, bit in zip(healthy_indices, pattern):
+            for scheme in schemes:
+                array._states[index] = bit
+                result = array.read_bit(int(index), scheme, rng)
+                assert result.bit == bit, (scheme.name, int(index))

@@ -1,0 +1,98 @@
+"""Macrospin LLG dynamics tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.device.llg import MacrospinLLG
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def llg():
+    return MacrospinLLG()
+
+
+class TestConstruction:
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            MacrospinLLG(damping=0.0)
+        with pytest.raises(ConfigurationError):
+            MacrospinLLG(damping=1.5)
+        with pytest.raises(ConfigurationError):
+            MacrospinLLG(precession_period=0.0)
+        with pytest.raises(ConfigurationError):
+            MacrospinLLG(initial_angle=2.0)
+
+
+class TestDynamics:
+    def test_magnetization_stays_on_sphere(self, llg):
+        trajectory = llg.integrate(overdrive=1.5, duration=10e-9)
+        assert np.all(np.abs(trajectory.mz) <= 1.0 + 1e-9)
+
+    def test_subcritical_drive_relaxes_back(self, llg):
+        trajectory = llg.integrate(overdrive=0.5, duration=30e-9)
+        assert not trajectory.switched
+        # Damping pulls the macrospin back toward the easy axis.
+        assert trajectory.mz[-1] > 0.9
+
+    def test_supercritical_drive_switches(self, llg):
+        trajectory = llg.integrate(overdrive=2.0, duration=20e-9)
+        assert trajectory.switched
+        assert trajectory.mz[-1] < -0.9
+        assert math.isfinite(trajectory.switching_time)
+
+    def test_switching_time_decreases_with_overdrive(self, llg):
+        times = [llg.switching_time(od, 60e-9) for od in (1.3, 1.6, 2.0, 3.0)]
+        assert all(math.isfinite(t) for t in times)
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_sun_scaling(self, llg):
+        # Precessional regime: t_sw (I/I_c - 1) roughly constant — the
+        # scaling the rate model (SwitchingModel) assumes.
+        products = [
+            (od - 1.0) * llg.switching_time(od, 60e-9) for od in (1.5, 2.0, 3.0)
+        ]
+        assert max(products) / min(products) < 1.6
+
+    def test_larger_initial_angle_switches_faster(self, llg):
+        cold = llg.integrate(overdrive=1.5, duration=30e-9, initial_angle=0.02)
+        hot = llg.integrate(overdrive=1.5, duration=30e-9, initial_angle=0.3)
+        assert hot.switching_time < cold.switching_time
+
+    def test_higher_damping_relaxes_faster_subcritical(self):
+        weak = MacrospinLLG(damping=0.005)
+        strong = MacrospinLLG(damping=0.05)
+        w = weak.integrate(overdrive=0.0, duration=5e-9)
+        s = strong.integrate(overdrive=0.0, duration=5e-9)
+        assert s.mz[-1] > w.mz[-1]
+
+    def test_rejects_invalid_integration(self, llg):
+        with pytest.raises(ConfigurationError):
+            llg.integrate(1.5, duration=0.0)
+        with pytest.raises(ConfigurationError):
+            llg.integrate(1.5, duration=1e-9, dt=2e-9)
+        with pytest.raises(ConfigurationError):
+            llg.integrate(1.5, duration=1e-9, initial_angle=4.0)
+
+
+class TestCriticalCurrent:
+    def test_critical_overdrive_above_one(self, llg):
+        critical = llg.critical_overdrive(duration=20e-9)
+        assert critical > 1.0
+
+    def test_critical_overdrive_decreases_with_duration(self, llg):
+        short = llg.critical_overdrive(duration=5e-9)
+        long = llg.critical_overdrive(duration=40e-9)
+        assert long < short
+
+    def test_consistency_with_rate_model_regime(self, llg):
+        # The paper's 4 ns write pulse needs a solid overdrive in both the
+        # rate model and the macrospin dynamics.
+        critical_4ns = llg.critical_overdrive(duration=4e-9)
+        assert 1.2 < critical_4ns < 3.5
+
+    def test_unreachable_duration_raises(self, llg):
+        with pytest.raises(ConfigurationError):
+            llg.critical_overdrive(duration=10e-12)

@@ -1,0 +1,192 @@
+"""MNA solver tests: DC against hand calculations, transient against
+analytic RC responses."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import Capacitor, Resistor, Switch
+from repro.circuit.mna import Circuit
+from repro.errors import CircuitError
+
+
+class TestElements:
+    def test_resistor_conductance(self):
+        r = Resistor("a", "b", 100.0)
+        assert r.conductance(0.0) == pytest.approx(0.01)
+
+    def test_resistor_time_dependent(self):
+        r = Resistor("a", "b", lambda t: 100.0 if t < 1.0 else 200.0)
+        assert r.conductance(0.0) == pytest.approx(0.01)
+        assert r.conductance(2.0) == pytest.approx(0.005)
+
+    def test_resistor_rejects_nonpositive(self):
+        r = Resistor("a", "b", 0.0)
+        with pytest.raises(CircuitError):
+            r.conductance(0.0)
+
+    def test_capacitor_rejects_nonpositive(self):
+        with pytest.raises(CircuitError):
+            Capacitor("a", "b", 0.0)
+
+    def test_switch_states(self):
+        s = Switch("a", "b", closed=lambda t: t > 1.0, r_on=10.0, r_off=1e9)
+        assert s.conductance(0.0) == pytest.approx(1e-9)
+        assert s.conductance(2.0) == pytest.approx(0.1)
+
+    def test_switch_rejects_bad_resistances(self):
+        with pytest.raises(CircuitError):
+            Switch("a", "b", closed=lambda t: True, r_on=100.0, r_off=50.0)
+
+
+class TestDC:
+    def test_voltage_divider(self):
+        c = Circuit()
+        c.add_voltage_source("in", "gnd", 1.0)
+        c.add_resistor("in", "mid", 1000.0)
+        c.add_resistor("mid", "gnd", 1000.0)
+        result = c.solve_dc()
+        assert result["mid"] == pytest.approx(0.5)
+
+    def test_current_source_into_resistor(self):
+        c = Circuit()
+        c.add_current_source("gnd", "n", 200e-6)
+        c.add_resistor("n", "gnd", 2500.0)
+        assert c.solve_dc()["n"] == pytest.approx(0.5)
+
+    def test_cell_bitline_voltage(self):
+        # The paper's Eq. 1: V_BL = I (R_MTJ + R_TR).
+        c = Circuit()
+        c.add_current_source("gnd", "BL", 200e-6)
+        c.add_resistor("BL", "SL", 1900.0, name="MTJ")
+        c.add_resistor("SL", "gnd", 917.0, name="NMOS")
+        result = c.solve_dc()
+        assert result["BL"] == pytest.approx(200e-6 * 2817.0)
+        assert result["SL"] == pytest.approx(200e-6 * 917.0)
+
+    def test_voltage_source_current_reported(self):
+        c = Circuit()
+        c.add_voltage_source("a", "gnd", 2.0, name="V1")
+        c.add_resistor("a", "gnd", 100.0)
+        result = c.solve_dc()
+        # MNA convention: the source current flows from + through the source.
+        assert abs(result.source_currents["V1"]) == pytest.approx(0.02)
+
+    def test_superposition(self):
+        def build(i_value, v_value):
+            c = Circuit()
+            c.add_current_source("gnd", "n", i_value)
+            c.add_voltage_source("s", "gnd", v_value)
+            c.add_resistor("s", "n", 1000.0)
+            c.add_resistor("n", "gnd", 1000.0)
+            return c.solve_dc()["n"]
+
+        both = build(1e-3, 1.0)
+        only_i = build(1e-3, 0.0)
+        only_v = build(0.0, 1.0)
+        assert both == pytest.approx(only_i + only_v)
+
+    def test_floating_node_is_singular(self):
+        c = Circuit()
+        c.add_resistor("a", "b", 100.0)  # neither node grounded
+        with pytest.raises(CircuitError):
+            c.solve_dc()
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit().solve_dc()
+
+    def test_ground_aliases(self):
+        c = Circuit()
+        c.add_current_source("GND", "n", 1e-3)
+        c.add_resistor("n", "0", 100.0)
+        assert c.solve_dc()["n"] == pytest.approx(0.1)
+
+    def test_node_names(self):
+        c = Circuit()
+        c.add_resistor("x", "y", 10.0)
+        c.add_resistor("y", "gnd", 10.0)
+        assert c.node_names == ["x", "y"]
+
+
+class TestTransient:
+    def test_rc_charge_matches_analytic(self):
+        r_value, c_value = 1000.0, 1e-9  # tau = 1 µs
+        c = Circuit()
+        c.add_voltage_source("in", "gnd", 1.0)
+        c.add_resistor("in", "out", r_value)
+        c.add_capacitor("out", "gnd", c_value)
+        tau = r_value * c_value
+        result = c.solve_transient(t_stop=5 * tau, dt=tau / 200)
+        expected = 1.0 - np.exp(-result.times / tau)
+        assert np.allclose(result["out"], expected, atol=0.01)
+
+    def test_initial_condition_respected(self):
+        c = Circuit()
+        c.add_resistor("n", "gnd", 1000.0)
+        c.add_capacitor("n", "gnd", 1e-9, initial_voltage=1.0)
+        result = c.solve_transient(t_stop=1e-8, dt=1e-10)
+        assert result["n"][0] == pytest.approx(1.0, abs=0.01)
+
+    def test_rc_discharge(self):
+        r_value, c_value = 1000.0, 1e-9
+        c = Circuit()
+        c.add_resistor("n", "gnd", r_value)
+        c.add_capacitor("n", "gnd", c_value, initial_voltage=1.0)
+        tau = r_value * c_value
+        result = c.solve_transient(t_stop=3 * tau, dt=tau / 200)
+        expected = np.exp(-result.times / tau)
+        assert np.allclose(result["n"], expected, atol=0.01)
+
+    def test_switch_controlled_sampling(self):
+        # Close a switch at t=0.5µs; the capacitor then charges to the rail.
+        c = Circuit()
+        c.add_voltage_source("in", "gnd", 1.0)
+        c.add_switch("in", "cap", closed=lambda t: t >= 0.5e-6, r_on=100.0)
+        c.add_capacitor("cap", "gnd", 1e-9)
+        result = c.solve_transient(t_stop=2e-6, dt=2e-9)
+        assert result.at("cap", 0.4e-6) == pytest.approx(0.0, abs=0.01)
+        assert result.at("cap", 2e-6) == pytest.approx(1.0, abs=0.01)
+
+    def test_time_dependent_current_source(self):
+        c = Circuit()
+        c.add_current_source("gnd", "n", lambda t: 1e-3 if t > 1e-6 else 0.0)
+        c.add_resistor("n", "gnd", 1000.0)
+        c.add_capacitor("n", "gnd", 1e-12)
+        result = c.solve_transient(t_stop=2e-6, dt=1e-8)
+        assert result.at("n", 0.5e-6) == pytest.approx(0.0, abs=1e-3)
+        assert result.at("n", 2e-6) == pytest.approx(1.0, abs=0.01)
+
+    def test_settling_time(self):
+        r_value, c_value = 1000.0, 1e-9
+        c = Circuit()
+        c.add_voltage_source("in", "gnd", 1.0)
+        c.add_resistor("in", "out", r_value)
+        c.add_capacitor("out", "gnd", c_value)
+        tau = r_value * c_value
+        result = c.solve_transient(t_stop=10 * tau, dt=tau / 100)
+        settle = result.settling_time("out", final_tolerance=0.01)
+        # 1% settling of an RC is ~4.6 tau.
+        assert settle == pytest.approx(4.6 * tau, rel=0.1)
+
+    def test_rejects_bad_time_grid(self):
+        c = Circuit()
+        c.add_resistor("n", "gnd", 1.0)
+        with pytest.raises(CircuitError):
+            c.solve_transient(t_stop=1.0, dt=0.0)
+        with pytest.raises(CircuitError):
+            c.solve_transient(t_stop=0.0, dt=0.1)
+
+    def test_stiff_circuit_stable(self):
+        # Mix a nanosecond and a millisecond constant; backward Euler must
+        # not blow up at the coarse step.
+        c = Circuit()
+        c.add_voltage_source("in", "gnd", 1.0)
+        c.add_resistor("in", "fast", 10.0)
+        c.add_capacitor("fast", "gnd", 1e-12)   # tau = 10 ps
+        c.add_resistor("fast", "slow", 1e6)
+        c.add_capacitor("slow", "gnd", 1e-9)    # tau = 1 ms
+        result = c.solve_transient(t_stop=1e-6, dt=1e-8)
+        assert np.all(np.isfinite(result["slow"]))
+        assert np.all(result["slow"] <= 1.0 + 1e-9)

@@ -1,0 +1,118 @@
+"""Monte-Carlo margin engine and yield-analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.array.montecarlo import run_margin_monte_carlo
+from repro.array.yield_analysis import analyze_margins
+from repro.core.cell import Cell1T1J
+from repro.core.margins import destructive_margins, nondestructive_margins
+from repro.device.mtj import MTJDevice
+from repro.device.transistor import FixedResistanceTransistor
+from repro.device.variation import CellPopulation, VariationModel
+from repro.errors import ConfigurationError
+
+
+class TestRunMonteCarlo:
+    def test_all_three_schemes_present(self, small_population):
+        result = run_margin_monte_carlo(small_population)
+        assert set(result.schemes) == {"conventional", "destructive", "nondestructive"}
+        assert result.size == small_population.size
+
+    def test_nominal_population_matches_scalar(self, nominal_population):
+        result = run_margin_monte_carlo(
+            nominal_population,
+            beta_destructive=1.22,
+            beta_nondestructive=2.13,
+            include_sa_offset=False,
+        )
+        cell = Cell1T1J(MTJDevice(), FixedResistanceTransistor(917.0))
+        expected_d = destructive_margins(cell, 200e-6, 1.22)
+        expected_n = nondestructive_margins(cell, 200e-6, 2.13, alpha=0.5)
+        assert np.allclose(result["destructive"].sm0, expected_d.sm0)
+        assert np.allclose(result["nondestructive"].sm1, expected_n.sm1)
+
+    def test_default_reference_balances_nominal_bits(self, nominal_population):
+        result = run_margin_monte_carlo(nominal_population, include_sa_offset=False)
+        conv = result["conventional"]
+        assert np.allclose(conv.sm0, conv.sm1)
+
+    def test_sa_offset_reduces_margins(self, small_population):
+        with_offset = run_margin_monte_carlo(small_population, include_sa_offset=True)
+        without = run_margin_monte_carlo(small_population, include_sa_offset=False)
+        assert np.all(
+            with_offset["nondestructive"].min_margin
+            <= without["nondestructive"].min_margin + 1e-15
+        )
+
+    def test_explicit_reference(self, small_population):
+        result = run_margin_monte_carlo(small_population, v_ref=0.5)
+        assert result["conventional"].sm0.shape == (small_population.size,)
+
+    def test_rejects_empty_population(self, small_population):
+        empty = small_population.subset(np.array([], dtype=int))
+        with pytest.raises(ConfigurationError):
+            run_margin_monte_carlo(empty)
+
+    def test_fail_mask_and_fraction(self, small_population):
+        margins = run_margin_monte_carlo(small_population)["conventional"]
+        mask = margins.fail_mask(8e-3)
+        assert mask.dtype == bool
+        assert margins.fail_fraction(8e-3) == pytest.approx(np.mean(mask))
+
+    def test_min_margin_is_elementwise_min(self, small_population):
+        margins = run_margin_monte_carlo(small_population)["destructive"]
+        assert np.array_equal(
+            margins.min_margin, np.minimum(margins.sm0, margins.sm1)
+        )
+
+
+class TestYieldAnalysis:
+    def test_statistics_fields(self, small_population):
+        report = analyze_margins(run_margin_monte_carlo(small_population))
+        stats = report["nondestructive"]
+        assert stats.bits == small_population.size
+        assert stats.fail_count == round(stats.fail_fraction * stats.bits)
+        assert stats.yield_fraction == pytest.approx(1.0 - stats.fail_fraction)
+        assert stats.min_margin <= stats.percentile_1 <= stats.mean_margin
+
+    def test_self_reference_beats_conventional_mean_relative_spread(
+        self, small_population
+    ):
+        report = analyze_margins(run_margin_monte_carlo(small_population))
+        conv = report["conventional"]
+        dest = report["destructive"]
+        # Self-referencing: much higher margin-to-sigma ratio.
+        assert dest.sigma_margin > conv.sigma_margin
+
+    def test_best_scheme_returns_known_name(self, small_population):
+        report = analyze_margins(run_margin_monte_carlo(small_population))
+        assert report.best_scheme() in ("conventional", "destructive", "nondestructive")
+
+    def test_self_reference_wins_under_heavy_variation(self, rng):
+        heavy = CellPopulation.sample(2048, VariationModel().scaled(3.0), rng=rng)
+        report = analyze_margins(run_margin_monte_carlo(heavy))
+        assert report.best_scheme() in ("destructive", "nondestructive")
+        assert (
+            report["destructive"].yield_fraction
+            > report["conventional"].yield_fraction
+        )
+
+    def test_sigma_margin_infinite_for_uniform(self, nominal_population):
+        report = analyze_margins(
+            run_margin_monte_carlo(nominal_population, include_sa_offset=False)
+        )
+        assert report["destructive"].sigma_margin == float("inf")
+
+    def test_rejects_negative_window(self, small_population):
+        with pytest.raises(ConfigurationError):
+            analyze_margins(run_margin_monte_carlo(small_population), -1.0)
+
+    def test_tight_window_fails_more(self, small_population):
+        mc = run_margin_monte_carlo(small_population)
+        loose = analyze_margins(mc, required_margin=1e-3)
+        tight = analyze_margins(mc, required_margin=20e-3)
+        assert (
+            tight["nondestructive"].fail_fraction
+            >= loose["nondestructive"].fail_fraction
+        )

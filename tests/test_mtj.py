@@ -1,0 +1,152 @@
+"""MTJ device and parameter tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.mtj import MTJDevice, MTJParams, MTJState, PAPER_MTJ_PARAMS
+from repro.device.rolloff import PowerLawRollOff
+from repro.errors import ConfigurationError
+
+
+class TestMTJState:
+    def test_bit_mapping(self):
+        assert MTJState.PARALLEL.bit == 0
+        assert MTJState.ANTIPARALLEL.bit == 1
+
+    def test_from_bit(self):
+        assert MTJState.from_bit(0) is MTJState.PARALLEL
+        assert MTJState.from_bit(1) is MTJState.ANTIPARALLEL
+
+    def test_from_bit_rejects_other_values(self):
+        with pytest.raises(ValueError):
+            MTJState.from_bit(2)
+
+    def test_opposite(self):
+        assert MTJState.PARALLEL.opposite is MTJState.ANTIPARALLEL
+        assert MTJState.ANTIPARALLEL.opposite is MTJState.PARALLEL
+
+
+class TestMTJParams:
+    def test_paper_defaults(self):
+        p = PAPER_MTJ_PARAMS
+        assert p.r_low == 1220.0
+        assert p.r_high == 2500.0
+        assert p.tmr == pytest.approx(1.049, abs=1e-3)
+        assert p.read_disturb_ratio == pytest.approx(0.4)
+
+    def test_area(self):
+        assert PAPER_MTJ_PARAMS.area == pytest.approx(90e-9 * 180e-9)
+
+    def test_replace(self):
+        p = PAPER_MTJ_PARAMS.replace(r_high=3000.0)
+        assert p.r_high == 3000.0
+        assert p.r_low == PAPER_MTJ_PARAMS.r_low
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"r_low": -1.0},
+            {"r_low": 3000.0},                    # r_high <= r_low
+            {"dr_low_max": 1300.0},               # exceeds r_low
+            {"dr_high_max": 2600.0},              # exceeds r_high
+            {"dr_high_max": 1400.0},              # states collapse at i_max
+            {"i_read_max": 0.0},
+            {"i_read_max": 600e-6},               # above switching current
+            {"pulse_width_write": 0.0},
+            {"thermal_stability": -1.0},
+            {"cell_width": 0.0},
+        ],
+    )
+    def test_validation_rejects_unphysical(self, changes):
+        with pytest.raises(ConfigurationError):
+            PAPER_MTJ_PARAMS.replace(**changes)
+
+
+class TestMTJDevice:
+    def test_zero_current_resistances(self):
+        device = MTJDevice()
+        assert device.resistance(0.0, MTJState.PARALLEL) == pytest.approx(1220.0)
+        assert device.resistance(0.0, MTJState.ANTIPARALLEL) == pytest.approx(2500.0)
+
+    def test_full_current_rolloff(self):
+        device = MTJDevice()
+        i_max = device.params.i_read_max
+        assert device.resistance(i_max, MTJState.ANTIPARALLEL) == pytest.approx(1900.0)
+        assert device.resistance(i_max, MTJState.PARALLEL) == pytest.approx(
+            1220.0 - device.params.dr_low_max
+        )
+
+    def test_default_state_used_when_omitted(self):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        assert device.resistance(0.0) == pytest.approx(2500.0)
+
+    def test_resistance_is_even_in_current(self):
+        device = MTJDevice()
+        assert device.resistance(-100e-6) == device.resistance(100e-6)
+
+    def test_vectorized_resistance(self):
+        device = MTJDevice()
+        currents = np.linspace(0, 200e-6, 5)
+        values = device.resistance(currents, MTJState.ANTIPARALLEL)
+        assert values.shape == (5,)
+        assert np.all(np.diff(values) < 0)  # strictly rolling off
+
+    def test_voltage(self):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        current = 100e-6
+        expected = current * device.resistance(current)
+        assert device.voltage(current) == pytest.approx(expected)
+
+    def test_conductance_inverse(self):
+        device = MTJDevice()
+        current = 50e-6
+        assert device.conductance(current) == pytest.approx(1.0 / device.resistance(current))
+
+    def test_tmr_collapses_with_current(self):
+        device = MTJDevice()
+        assert device.tmr(device.params.i_read_max) < device.tmr(0.0)
+
+    def test_delta_r(self):
+        device = MTJDevice()
+        i_max = device.params.i_read_max
+        assert device.delta_r(i_max, MTJState.ANTIPARALLEL) == pytest.approx(600.0)
+        assert device.delta_r(0.0, MTJState.ANTIPARALLEL) == pytest.approx(0.0)
+
+    def test_high_state_rolls_off_faster(self):
+        device = MTJDevice()
+        i_max = device.params.i_read_max
+        assert device.delta_r(i_max, MTJState.ANTIPARALLEL) > device.delta_r(
+            i_max, MTJState.PARALLEL
+        )
+
+    def test_write_and_read_bit(self):
+        device = MTJDevice()
+        device.write(1)
+        assert device.state is MTJState.ANTIPARALLEL
+        assert device.read_bit() == 1
+        device.write(0)
+        assert device.read_bit() == 0
+
+    def test_copy_is_independent(self):
+        device = MTJDevice()
+        clone = device.copy()
+        clone.write(1)
+        assert device.read_bit() == 0
+
+    def test_custom_rolloff_models(self):
+        device = MTJDevice(rolloff_high=PowerLawRollOff(2.0))
+        half = device.params.i_read_max / 2
+        assert device.delta_r(half, MTJState.ANTIPARALLEL) == pytest.approx(150.0)
+
+    def test_repr_mentions_state(self):
+        assert "PARALLEL" in repr(MTJDevice())
+
+    @given(st.floats(0.0, 200e-6))
+    @settings(max_examples=50)
+    def test_states_always_distinguishable(self, current):
+        device = MTJDevice()
+        r_h = device.resistance(current, MTJState.ANTIPARALLEL)
+        r_l = device.resistance(current, MTJState.PARALLEL)
+        assert r_h > r_l

@@ -1,0 +1,130 @@
+"""Nonlinear (Newton) MNA tests: self-consistent tunnel-junction solves."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.nonlinear import (
+    NonlinearCircuit,
+    VoltageDependentResistor,
+    mtj_branch_current,
+)
+from repro.device.bias import junction_voltage
+from repro.errors import CircuitError, ConvergenceError
+
+
+class TestElement:
+    def test_linear_law_conductance(self):
+        element = VoltageDependentResistor("a", "b", lambda v: v / 1000.0)
+        assert element.conductance(0.3) == pytest.approx(1e-3, rel=1e-4)
+
+    def test_quadratic_law_conductance_grows(self):
+        element = VoltageDependentResistor("a", "b", mtj_branch_current(2500.0, 0.45))
+        assert element.conductance(0.4) > element.conductance(0.0)
+
+    def test_non_passive_rejected(self):
+        element = VoltageDependentResistor("a", "b", lambda v: -v)
+        with pytest.raises(CircuitError):
+            element.conductance(0.1)
+
+    def test_branch_law_validation(self):
+        with pytest.raises(CircuitError):
+            mtj_branch_current(0.0, 0.45)
+        with pytest.raises(CircuitError):
+            mtj_branch_current(2500.0, -1.0)
+
+
+class TestNonlinearDC:
+    def test_reduces_to_linear_without_nonlinear_elements(self):
+        circuit = NonlinearCircuit()
+        circuit.add_current_source("gnd", "n", 1e-3)
+        circuit.add_resistor("n", "gnd", 1000.0)
+        assert circuit.solve_dc()["n"] == pytest.approx(1.0)
+
+    def test_matches_analytic_junction_voltage(self):
+        # Current source into the tunnel junction: the node voltage must be
+        # the closed-form self-consistent junction voltage.
+        r0, vh, current = 2500.0, 0.45, 200e-6
+        circuit = NonlinearCircuit()
+        circuit.add_current_source("gnd", "mtj", current)
+        circuit.add_nonlinear_resistor("mtj", "gnd", mtj_branch_current(r0, vh))
+        result = circuit.solve_dc()
+        assert result["mtj"] == pytest.approx(
+            junction_voltage(current, r0, vh), rel=1e-6
+        )
+
+    def test_series_cell_with_transistor(self):
+        # 1T1J bit-line voltage solved self-consistently: MTJ voltage obeys
+        # the junction law; the transistor adds its linear drop.
+        r0, vh, r_tr, current = 2500.0, 0.45, 917.0, 200e-6
+        circuit = NonlinearCircuit()
+        circuit.add_current_source("gnd", "BL", current)
+        circuit.add_nonlinear_resistor("BL", "SL", mtj_branch_current(r0, vh))
+        circuit.add_resistor("SL", "gnd", r_tr)
+        result = circuit.solve_dc()
+        v_mtj = result["BL"] - result["SL"]
+        assert v_mtj == pytest.approx(junction_voltage(current, r0, vh), rel=1e-6)
+        assert result["SL"] == pytest.approx(current * r_tr, rel=1e-9)
+
+    def test_voltage_driven_junction(self):
+        # Voltage source across the junction: the source current must be
+        # the branch law evaluated at the source voltage.
+        r0, vh = 2500.0, 0.45
+        law = mtj_branch_current(r0, vh)
+        circuit = NonlinearCircuit()
+        circuit.add_voltage_source("in", "gnd", 0.4, name="V1")
+        circuit.add_nonlinear_resistor("in", "gnd", law)
+        result = circuit.solve_dc()
+        assert abs(result.source_currents["V1"]) == pytest.approx(law(0.4), rel=1e-6)
+
+    def test_divergence_raises(self):
+        circuit = NonlinearCircuit(max_iterations=2)
+        circuit.add_current_source("gnd", "n", 1e-3)
+        # An extremely stiff law that two iterations cannot settle.
+        circuit.add_nonlinear_resistor("n", "gnd", lambda v: (v / 10.0) ** 9 + v * 1e-12)
+        with pytest.raises(ConvergenceError):
+            circuit.solve_dc()
+
+    def test_parameter_validation(self):
+        with pytest.raises(CircuitError):
+            NonlinearCircuit(max_iterations=0)
+        with pytest.raises(CircuitError):
+            NonlinearCircuit(damping=0.0)
+
+
+class TestNonlinearTransient:
+    def test_rc_with_junction_settles_to_dc(self):
+        r0, vh, current = 2500.0, 0.45, 200e-6
+        circuit = NonlinearCircuit()
+        circuit.add_current_source("gnd", "BL", current)
+        circuit.add_nonlinear_resistor("BL", "gnd", mtj_branch_current(r0, vh))
+        circuit.add_capacitor("BL", "gnd", 50e-15)
+        result = circuit.solve_transient(t_stop=5e-9, dt=10e-12)
+        expected = junction_voltage(current, r0, vh)
+        assert result["BL"][-1] == pytest.approx(expected, rel=1e-3)
+
+    def test_transient_without_nonlinear_falls_back(self):
+        circuit = NonlinearCircuit()
+        circuit.add_voltage_source("in", "gnd", 1.0)
+        circuit.add_resistor("in", "out", 1000.0)
+        circuit.add_capacitor("out", "gnd", 1e-12)
+        result = circuit.solve_transient(t_stop=1e-8, dt=1e-10)
+        assert result["out"][-1] == pytest.approx(1.0, abs=0.01)
+
+    def test_step_current_tracks_junction_law(self):
+        # Step the read current mid-transient; the settled voltages before
+        # and after must both satisfy the junction law.
+        r0, vh = 2500.0, 0.45
+        i1, i2 = 94e-6, 200e-6
+        circuit = NonlinearCircuit()
+        circuit.add_current_source(
+            "gnd", "BL", lambda t: i1 if t < 10e-9 else i2
+        )
+        circuit.add_nonlinear_resistor("BL", "gnd", mtj_branch_current(r0, vh))
+        circuit.add_capacitor("BL", "gnd", 20e-15)
+        result = circuit.solve_transient(t_stop=20e-9, dt=20e-12)
+        assert result.at("BL", 9.9e-9) == pytest.approx(
+            junction_voltage(i1, r0, vh), rel=1e-3
+        )
+        assert result.at("BL", 20e-9) == pytest.approx(
+            junction_voltage(i2, r0, vh), rel=1e-3
+        )

@@ -1,0 +1,106 @@
+"""Read-current-ratio optimizer tests (paper Eqs. 5/10)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cell import Cell1T1J
+from repro.core.margins import destructive_margins, nondestructive_margins
+from repro.core.optimize import (
+    closed_form_beta_destructive,
+    closed_form_beta_nondestructive,
+    optimize_beta_destructive,
+    optimize_beta_nondestructive,
+)
+from repro.device.mtj import MTJDevice, MTJParams
+from repro.device.rolloff import PowerLawRollOff
+from repro.device.transistor import FixedResistanceTransistor
+from repro.errors import ConfigurationError, ConvergenceError
+
+I2 = 200e-6
+
+
+class TestNumericDestructive:
+    def test_balanced_at_optimum(self, linear_cell):
+        opt = optimize_beta_destructive(linear_cell, I2)
+        assert opt.margins.is_balanced
+
+    def test_optimum_maximizes_min_margin(self, linear_cell):
+        opt = optimize_beta_destructive(linear_cell, I2)
+        for delta in (-0.05, 0.05):
+            perturbed = destructive_margins(linear_cell, I2, opt.beta + delta)
+            assert perturbed.min_margin < opt.max_sense_margin
+
+    def test_currents_consistent(self, linear_cell):
+        opt = optimize_beta_destructive(linear_cell, I2)
+        assert opt.i_read2 == I2
+        assert opt.i_read1 == pytest.approx(I2 / opt.beta)
+
+    def test_paper_cell_near_paper_beta(self, paper_cell):
+        opt = optimize_beta_destructive(paper_cell, I2)
+        assert opt.beta == pytest.approx(1.22, abs=0.03)
+        assert opt.max_sense_margin == pytest.approx(76.6e-3, rel=0.01)
+
+
+class TestNumericNondestructive:
+    def test_balanced_at_optimum(self, linear_cell):
+        opt = optimize_beta_nondestructive(linear_cell, I2, alpha=0.5)
+        assert opt.margins.is_balanced
+
+    def test_paper_cell_near_paper_beta(self, paper_cell):
+        opt = optimize_beta_nondestructive(paper_cell, I2, alpha=0.5)
+        assert opt.beta == pytest.approx(2.13, abs=0.02)
+        assert opt.max_sense_margin == pytest.approx(12.1e-3, rel=0.01)
+
+    def test_optimum_beyond_one_over_alpha(self, paper_cell):
+        # SM0 > 0 requires αβ ≳ 1, so the optimum must sit above 1/α.
+        opt = optimize_beta_nondestructive(paper_cell, I2, alpha=0.5)
+        assert opt.beta > 2.0
+
+    def test_different_alpha_shifts_optimum(self, paper_cell):
+        low = optimize_beta_nondestructive(paper_cell, I2, alpha=0.45)
+        high = optimize_beta_nondestructive(paper_cell, I2, alpha=0.55)
+        assert low.beta > high.beta  # smaller α needs a larger β
+
+
+class TestClosedForms:
+    """With exactly linear roll-off the paper's quadratics are exact."""
+
+    def test_destructive_matches_numeric(self, linear_cell):
+        closed = closed_form_beta_destructive(linear_cell, I2)
+        numeric = optimize_beta_destructive(linear_cell, I2).beta
+        assert closed == pytest.approx(numeric, rel=1e-9)
+
+    def test_nondestructive_matches_numeric(self, linear_cell):
+        closed = closed_form_beta_nondestructive(linear_cell, I2, alpha=0.5)
+        numeric = optimize_beta_nondestructive(linear_cell, I2, alpha=0.5).beta
+        assert closed == pytest.approx(numeric, rel=1e-9)
+
+    def test_known_hand_computed_value(self):
+        # DESIGN.md §2 hand calculation: ΔR_Lmax = 10 Ω, linear roll-off,
+        # Eq. (10) gives β = 2.131.
+        params = MTJParams(dr_low_max=10.0)
+        cell = Cell1T1J(
+            MTJDevice(params, PowerLawRollOff(1.0), PowerLawRollOff(1.0)),
+            FixedResistanceTransistor(917.0),
+        )
+        assert closed_form_beta_nondestructive(cell, I2, 0.5) == pytest.approx(
+            2.131, abs=0.002
+        )
+
+    def test_closed_form_approximates_calibrated_device(self, paper_cell):
+        # On the calibrated (non-linear) device the closed form is only an
+        # approximation, but must stay in the right neighbourhood.
+        closed = closed_form_beta_destructive(paper_cell, I2)
+        numeric = optimize_beta_destructive(paper_cell, I2).beta
+        assert closed == pytest.approx(numeric, rel=0.05)
+
+    def test_rejects_bad_alpha(self, linear_cell):
+        with pytest.raises(ConfigurationError):
+            closed_form_beta_nondestructive(linear_cell, I2, alpha=1.2)
+
+
+class TestConvergenceFailures:
+    def test_no_crossing_raises(self, linear_cell):
+        with pytest.raises(ConvergenceError):
+            # Restrict the bracket so the margins never cross inside it.
+            optimize_beta_destructive(linear_cell, I2, beta_bounds=(1.0 + 1e-6, 1.05))

@@ -1,0 +1,112 @@
+"""Tests for the nonlinear physical read simulation and spare repair."""
+
+import numpy as np
+import pytest
+
+from repro.array.repair import allocate_repair
+from repro.array.testchip import run_testchip_experiment
+from repro.array.testchip import TestChip as ChipConfig
+from repro.errors import ConfigurationError
+from repro.timing.physical import simulate_physical_read
+
+
+class TestPhysicalRead:
+    def test_senses_both_bits(self):
+        one = simulate_physical_read(1)
+        zero = simulate_physical_read(0)
+        assert one.sensed_bit == 1 and one.sense_differential > 0
+        assert zero.sensed_bit == 0 and zero.sense_differential < 0
+
+    def test_margin_near_first_principles_value(self):
+        # The analytic first-principles margin is ~14 mV (EXPERIMENTS.md).
+        one = simulate_physical_read(1)
+        assert one.sense_differential == pytest.approx(14.2e-3, rel=0.1)
+
+    def test_completes_within_paper_budget(self):
+        assert simulate_physical_read(1).total_duration < 20e-9
+
+    def test_bo_is_half_bitline_when_settled(self):
+        waveforms = simulate_physical_read(1)
+        schedule = waveforms.schedule
+        t = schedule.end_of("sense") - 1e-10
+        assert waveforms.transient.at("BO", t) == pytest.approx(
+            0.5 * waveforms.transient.at("BL", t), rel=0.01
+        )
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            simulate_physical_read(2)
+        with pytest.raises(ConfigurationError):
+            simulate_physical_read(1, dt=0.0)
+
+
+class TestRepairAllocator:
+    def test_no_fails_no_spares_needed(self):
+        plan = allocate_repair(np.zeros(64, dtype=bool), 8, 8, 2, 2)
+        assert plan.repaired
+        assert plan.spares_used == 0
+
+    def test_single_fail_uses_one_spare(self):
+        mask = np.zeros(64, dtype=bool)
+        mask[3 * 8 + 5] = True
+        plan = allocate_repair(mask, 8, 8, 1, 1)
+        assert plan.repaired
+        assert plan.spares_used == 1
+
+    def test_row_of_fails_forces_row_spare(self):
+        mask = np.zeros(64, dtype=bool)
+        mask[2 * 8: 3 * 8] = True  # entire row 2 fails
+        plan = allocate_repair(mask, 8, 8, 1, 2)
+        assert plan.repaired
+        assert plan.spare_rows_used == [2]
+        assert plan.spare_columns_used == []
+
+    def test_column_of_fails_forces_column_spare(self):
+        mask = np.zeros(64, dtype=bool)
+        mask[5::8] = True  # entire column 5 fails
+        plan = allocate_repair(mask, 8, 8, 2, 1)
+        assert plan.repaired
+        assert plan.spare_columns_used == [5]
+
+    def test_insufficient_spares_reported(self):
+        mask = np.zeros(64, dtype=bool)
+        # Three fails on a diagonal: needs three spares.
+        for index in range(3):
+            mask[index * 8 + index] = True
+        plan = allocate_repair(mask, 8, 8, 1, 1)
+        assert not plan.repaired
+        assert plan.unrepaired_fails == 1
+
+    def test_cross_pattern(self):
+        mask = np.zeros(64, dtype=bool)
+        mask[3 * 8: 4 * 8] = True  # row 3
+        mask[6::8] = True          # column 6
+        plan = allocate_repair(mask, 8, 8, 1, 1)
+        assert plan.repaired
+        assert plan.spare_rows_used == [3]
+        assert plan.spare_columns_used == [6]
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            allocate_repair(np.zeros(10, dtype=bool), 8, 8, 1, 1)
+        with pytest.raises(ConfigurationError):
+            allocate_repair(np.zeros(64, dtype=bool), 8, 8, -1, 1)
+
+
+class TestRepairOnTestchip:
+    def test_conventional_chip_repairable_with_modest_spares(self):
+        # The ~1% conventional fails of a 32x32 slice: count the spares the
+        # greedy allocator needs and check a realistic budget covers it.
+        result = run_testchip_experiment(ChipConfig(rows=32, columns=32))
+        mask = result.margins["conventional"].fail_mask(8e-3)
+        fails = int(mask.sum())
+        plan = allocate_repair(mask, 32, 32, spare_rows=16, spare_columns=16)
+        assert plan.repaired
+        assert plan.spares_used <= fails  # never worse than one spare/fail
+
+    def test_self_reference_chip_needs_no_repair(self):
+        result = run_testchip_experiment(ChipConfig(rows=32, columns=32))
+        mask = result.margins["nondestructive"].fail_mask(8e-3)
+        plan = allocate_repair(mask, 32, 32, spare_rows=0, spare_columns=0)
+        assert plan.repaired
+        assert plan.spares_used == 0

@@ -1,0 +1,171 @@
+"""Hypothesis property tests on cross-cutting invariants of the core
+sensing mathematics."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.cell import Cell1T1J
+from repro.core.margins import (
+    conventional_margins,
+    destructive_margins,
+    nondestructive_margins,
+)
+from repro.core.optimize import optimize_beta_destructive, optimize_beta_nondestructive
+from repro.device.mtj import MTJDevice, MTJParams, MTJState
+from repro.device.rolloff import PowerLawRollOff, RationalRollOff
+from repro.device.transistor import FixedResistanceTransistor
+from repro.errors import ConvergenceError
+
+I2 = 200e-6
+
+
+def build_cell(r_low, tmr, dr_high_frac, dr_low_frac, p_high, p_low, r_tr):
+    """Construct a physically-valid cell from dimensionless knobs."""
+    r_high = r_low * (1.0 + tmr)
+    params = MTJParams(
+        r_low=r_low,
+        r_high=r_high,
+        dr_high_max=dr_high_frac * (r_high - r_low),
+        dr_low_max=dr_low_frac * r_low,
+    )
+    device = MTJDevice(params, PowerLawRollOff(p_high), PowerLawRollOff(p_low))
+    return Cell1T1J(device, FixedResistanceTransistor(r_tr))
+
+
+cell_strategy = st.builds(
+    build_cell,
+    r_low=st.floats(500.0, 3000.0),
+    tmr=st.floats(0.5, 2.0),
+    dr_high_frac=st.floats(0.2, 0.8),
+    dr_low_frac=st.floats(0.0, 0.15),
+    p_high=st.floats(0.5, 3.0),
+    p_low=st.floats(0.5, 3.0),
+    r_tr=st.floats(300.0, 2000.0),
+)
+
+
+class TestMarginStructure:
+    @given(cell=cell_strategy, beta=st.floats(1.05, 3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_destructive_margin_sum_independent_of_split(self, cell, beta):
+        """SM0 + SM1 = I_R1 (R_H1 - R_L1): the total window depends only on
+        the first-read resistance split, not on the reference placement."""
+        margins = destructive_margins(cell, I2, beta)
+        i1 = I2 / beta
+        split = cell.mtj.resistance(i1, MTJState.ANTIPARALLEL) - cell.mtj.resistance(
+            i1, MTJState.PARALLEL
+        )
+        assert margins.sm0 + margins.sm1 == pytest.approx(i1 * split, rel=1e-9)
+
+    @given(cell=cell_strategy, beta=st.floats(1.5, 3.0), alpha=st.floats(0.3, 0.7))
+    @settings(max_examples=60, deadline=None)
+    def test_nondestructive_margin_sum(self, cell, alpha, beta):
+        """SM0 + SM1 = I_R1 (R_H1 - R_L1) - α I_R2 (R_H2 - R_L2)."""
+        margins = nondestructive_margins(cell, I2, beta, alpha=alpha)
+        i1 = I2 / beta
+        split1 = cell.mtj.resistance(i1, MTJState.ANTIPARALLEL) - cell.mtj.resistance(
+            i1, MTJState.PARALLEL
+        )
+        split2 = cell.mtj.resistance(I2, MTJState.ANTIPARALLEL) - cell.mtj.resistance(
+            I2, MTJState.PARALLEL
+        )
+        expected = i1 * split1 - alpha * I2 * split2
+        assert margins.sm0 + margins.sm1 == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    @given(cell=cell_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_conventional_margin_sum_is_full_swing(self, cell):
+        v_ref = 0.5  # arbitrary: the sum must not depend on it
+        margins = conventional_margins(cell, I2, v_ref)
+        swing = I2 * (
+            cell.mtj.resistance(I2, MTJState.ANTIPARALLEL)
+            - cell.mtj.resistance(I2, MTJState.PARALLEL)
+        )
+        assert margins.sm0 + margins.sm1 == pytest.approx(swing, rel=1e-9)
+
+    @given(cell=cell_strategy, beta=st.floats(1.05, 3.0), scale=st.floats(0.5, 2.0))
+    @settings(max_examples=40, deadline=None)
+    def test_self_reference_margins_scale_with_resistance(self, cell, beta, scale):
+        """With a negligible access-transistor resistance, scaling every MTJ
+        resistance by c scales both destructive margins by exactly c — the
+        self-referencing property (the bit is compared against itself, so
+        common-mode resistance variation cancels into a pure gain factor).
+        The finite R_T term is what breaks exact scaling in practice."""
+        params = cell.mtj.params
+        tiny_transistor = FixedResistanceTransistor(1e-6)
+        base_cell = Cell1T1J(cell.mtj, tiny_transistor)
+        scaled_params = MTJParams(
+            r_low=params.r_low * scale,
+            r_high=params.r_high * scale,
+            dr_low_max=params.dr_low_max * scale,
+            dr_high_max=params.dr_high_max * scale,
+        )
+        scaled_cell = Cell1T1J(
+            MTJDevice(scaled_params, cell.mtj.rolloff_high, cell.mtj.rolloff_low),
+            tiny_transistor,
+        )
+        base = destructive_margins(base_cell, I2, beta)
+        scaled = destructive_margins(scaled_cell, I2, beta)
+        assert scaled.sm0 == pytest.approx(scale * base.sm0, rel=1e-6, abs=1e-10)
+        assert scaled.sm1 == pytest.approx(scale * base.sm1, rel=1e-6, abs=1e-10)
+
+
+class TestOptimizerProperties:
+    @given(cell=cell_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_destructive_optimum_balances_and_is_positive(self, cell):
+        try:
+            opt = optimize_beta_destructive(cell, I2)
+        except ConvergenceError:
+            assume(False)
+        assert opt.margins.is_balanced
+        assert opt.max_sense_margin > 0
+        assert opt.beta > 1.0
+
+    @given(cell=cell_strategy, alpha=st.floats(0.35, 0.65))
+    @settings(max_examples=30, deadline=None)
+    def test_nondestructive_optimum_above_one_over_alpha_region(self, cell, alpha):
+        try:
+            opt = optimize_beta_nondestructive(cell, I2, alpha=alpha)
+        except ConvergenceError:
+            assume(False)
+        assert opt.margins.is_balanced
+        # SM0 > 0 needs αβ > (R_L1 + R_T)/(R_L2 + R_T) ≈ 1.
+        assert opt.beta * alpha > 0.95
+
+    @given(cell=cell_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_destructive_beats_nondestructive_margin(self, cell):
+        """The destructive scheme's erased-state reference always yields a
+        larger balanced margin than the roll-off-difference reference (the
+        price the nondestructive scheme pays for keeping the data)."""
+        try:
+            dest = optimize_beta_destructive(cell, I2)
+            nond = optimize_beta_nondestructive(cell, I2, alpha=0.5)
+        except ConvergenceError:
+            assume(False)
+        assert dest.max_sense_margin > nond.max_sense_margin
+
+
+class TestRollOffFamilyInvariance:
+    @given(
+        exponent=st.floats(0.5, 3.0),
+        knee=st.floats(0.05, 50.0),
+        x=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60)
+    def test_rational_bounded_by_saturation(self, exponent, knee, x):
+        model = RationalRollOff(exponent, knee)
+        assert 0.0 - 1e-12 <= model.fraction(x) <= 1.0 + knee  # below asymptote
+
+    @given(exponent=st.floats(0.5, 3.0), x=st.floats(0.0, 1.0))
+    @settings(max_examples=60)
+    def test_power_law_below_identity_iff_exponent_above_one(self, exponent, x):
+        assume(0.0 < x < 1.0)
+        value = PowerLawRollOff(exponent).fraction(x)
+        if exponent > 1.0:
+            assert value <= x + 1e-12
+        elif exponent < 1.0:
+            assert value >= x - 1e-12

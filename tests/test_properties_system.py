@@ -1,0 +1,142 @@
+"""System-level hypothesis property tests spanning multiple layers."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.mna import Circuit
+from repro.core.margins import (
+    population_destructive_margins,
+    population_nondestructive_margins,
+)
+from repro.core.trim import trim_population_beta
+from repro.device.variation import CellPopulation, VariationModel
+from repro.ecc.hamming import DecodeStatus, HammingSECDED
+
+I2 = 200e-6
+
+
+class TestEccProperties:
+    @given(
+        k=st.sampled_from([4, 8, 16, 32, 64]),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_single_flip_is_corrected(self, k, data):
+        code = HammingSECDED(k)
+        bits = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=k, max_size=k)),
+            dtype=np.uint8,
+        )
+        position = data.draw(st.integers(0, code.codeword_bits - 1))
+        codeword = code.encode(bits)
+        codeword[position] ^= 1
+        result = code.decode(codeword)
+        assert result.status is DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, bits)
+
+    @given(
+        k=st.sampled_from([8, 16, 64]),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_any_double_flip_is_detected_not_miscorrected(self, k, data):
+        code = HammingSECDED(k)
+        bits = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=k, max_size=k)),
+            dtype=np.uint8,
+        )
+        a = data.draw(st.integers(0, code.codeword_bits - 1))
+        b = data.draw(
+            st.integers(0, code.codeword_bits - 1).filter(lambda x: x != a)
+        )
+        codeword = code.encode(bits)
+        codeword[a] ^= 1
+        codeword[b] ^= 1
+        result = code.decode(codeword)
+        assert result.status is DecodeStatus.DETECTED
+
+    @given(st.integers(1, 100))
+    @settings(max_examples=30)
+    def test_code_rate_improves_with_width(self, k):
+        # Wider data words amortize the check bits: overhead is
+        # non-increasing when the parity count stays flat.
+        code = HammingSECDED(k)
+        assert code.codeword_bits > k
+        assert code.parity_bits <= 8  # for k <= 100
+
+
+class TestMnaProperties:
+    @given(
+        r1=st.floats(10.0, 1e5),
+        r2=st.floats(10.0, 1e5),
+        v=st.floats(0.1, 5.0),
+    )
+    @settings(max_examples=50)
+    def test_divider_rule(self, r1, r2, v):
+        circuit = Circuit()
+        circuit.add_voltage_source("in", "gnd", v)
+        circuit.add_resistor("in", "mid", r1)
+        circuit.add_resistor("mid", "gnd", r2)
+        result = circuit.solve_dc()
+        assert result["mid"] == pytest.approx(v * r2 / (r1 + r2), rel=1e-9)
+
+    @given(
+        resistances=st.lists(st.floats(100.0, 1e4), min_size=2, max_size=6),
+        current=st.floats(1e-6, 1e-3),
+    )
+    @settings(max_examples=40)
+    def test_series_chain_sums(self, resistances, current):
+        circuit = Circuit()
+        nodes = [f"n{i}" for i in range(len(resistances))] + ["gnd"]
+        circuit.add_current_source("gnd", nodes[0], current)
+        for index, resistance in enumerate(resistances):
+            circuit.add_resistor(nodes[index], nodes[index + 1], resistance)
+        result = circuit.solve_dc()
+        assert result[nodes[0]] == pytest.approx(
+            current * sum(resistances), rel=1e-9
+        )
+
+    @given(scale=st.floats(0.1, 10.0))
+    @settings(max_examples=30)
+    def test_linearity_in_source(self, scale):
+        def solve(current):
+            circuit = Circuit()
+            circuit.add_current_source("gnd", "n", current)
+            circuit.add_resistor("n", "gnd", 1234.0)
+            return circuit.solve_dc()["n"]
+
+        base = solve(1e-4)
+        assert solve(scale * 1e-4) == pytest.approx(scale * base, rel=1e-9)
+
+
+class TestPopulationProperties:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_margin_ordering_destructive_vs_nondestructive(self, seed):
+        """For any sampled population at the paper's design points, the
+        destructive margins dominate the nondestructive ones bit-by-bit."""
+        rng = np.random.default_rng(seed)
+        population = CellPopulation.sample(128, VariationModel(), rng=rng)
+        d_sm0, d_sm1 = population_destructive_margins(
+            population, I2, 1.24, with_beta_variation=False
+        )
+        n_sm0, n_sm1 = population_nondestructive_margins(
+            population, I2, 2.136, alpha=0.5,
+            with_beta_variation=False, with_alpha_variation=False,
+        )
+        assert np.all(np.minimum(d_sm0, d_sm1) > np.minimum(n_sm0, n_sm1))
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_trim_never_hurts(self, seed):
+        """The trimmed β's worst-bit margin is never below the nominal β's."""
+        rng = np.random.default_rng(seed)
+        population = CellPopulation.sample(96, VariationModel(), rng=rng)
+        trim = trim_population_beta(population, grid_points=24)
+        sm0, sm1 = population_nondestructive_margins(population, I2, 2.136)
+        nominal_worst = float(np.min(np.minimum(sm0, sm1)))
+        assert trim.worst_margin >= nominal_worst - 1e-9

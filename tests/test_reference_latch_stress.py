@@ -1,0 +1,178 @@
+"""Tests for the reference-column generator, regenerative latch, and
+read-stress campaign."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.array.array import STTRAMArray
+from repro.array.stress import run_read_stress
+from repro.circuit.latch import RegenerativeLatch
+from repro.core.destructive import DestructiveSelfReference
+from repro.core.nondestructive import NondestructiveSelfReference
+from repro.core.reference import build_reference_column, sample_reference_errors
+from repro.device.switching import SwitchingModel
+from repro.device.variation import CellPopulation, VariationModel
+from repro.errors import ConfigurationError
+
+
+class TestReferenceColumn:
+    def test_variation_free_reference_is_ideal(self, nominal_population, rng):
+        column = build_reference_column(nominal_population, pairs=2, i_read=200e-6, rng=rng)
+        assert column.error == pytest.approx(0.0, abs=1e-12)
+
+    def test_error_shrinks_with_averaging(self, rng, calibration):
+        variation = VariationModel(sigma_vref=0.0)
+        population = CellPopulation.sample(
+            8192, variation,
+            params=calibration.params,
+            rolloff_high=calibration.rolloff_high(),
+            rolloff_low=calibration.rolloff_low(),
+            rng=rng,
+        )
+        few = sample_reference_errors(
+            variation, pairs=1, columns=128, rng=rng, population=population
+        )
+        many = sample_reference_errors(
+            variation, pairs=16, columns=128, rng=rng, population=population
+        )
+        assert np.std(many) < np.std(few) / 2  # ~1/sqrt(16) ideally
+
+    def test_error_scale_grounds_sigma_vref(self, rng, calibration):
+        # With the test chip's MTJ variation and a single reference pair
+        # per column, the reference error sigma lands in the tens of mV —
+        # the physical origin of TESTCHIP_VARIATION.sigma_vref = 25 mV.
+        from repro.array.testchip import TESTCHIP_VARIATION
+
+        population = CellPopulation.sample(
+            8192, TESTCHIP_VARIATION,
+            params=calibration.params,
+            rolloff_high=calibration.rolloff_high(),
+            rolloff_low=calibration.rolloff_low(),
+            rng=rng,
+        )
+        errors = sample_reference_errors(
+            TESTCHIP_VARIATION, pairs=1, columns=256, rng=rng, population=population
+        )
+        assert 10e-3 < np.std(errors) < 50e-3
+
+    def test_mean_error_near_zero(self, rng, small_population):
+        errors = sample_reference_errors(
+            VariationModel(), pairs=4, columns=64, rng=rng,
+            population=small_population,
+        )
+        assert abs(np.mean(errors)) < 3 * np.std(errors) / math.sqrt(64) + 1e-3
+
+    def test_rejects_invalid(self, rng, small_population):
+        with pytest.raises(ConfigurationError):
+            build_reference_column(small_population, pairs=0, i_read=200e-6, rng=rng)
+        with pytest.raises(ConfigurationError):
+            build_reference_column(
+                small_population, pairs=small_population.size, i_read=200e-6, rng=rng
+            )
+        with pytest.raises(ConfigurationError):
+            sample_reference_errors(VariationModel(), pairs=2, columns=0, rng=rng)
+
+
+class TestRegenerativeLatch:
+    def test_resolution_shrinks_exponentially(self):
+        latch = RegenerativeLatch(regeneration_tau=100e-12, logic_swing=1.0)
+        w1 = latch.resolution_window(1e-9)
+        w2 = latch.resolution_window(2e-9)
+        assert w2 / w1 == pytest.approx(math.exp(-10.0), rel=1e-6)
+
+    def test_paper_window_from_sense_phase(self):
+        # ~8 mV at a 0.5 ns budget: τ ≈ 0.5ns / ln(1/0.008) ≈ 104 ps — the
+        # paper's 8 mV window is consistent with a 1.5 ns SenEn phase
+        # including setup overheads.
+        latch = RegenerativeLatch(regeneration_tau=104e-12, logic_swing=1.0)
+        assert latch.resolution_window(0.5e-9) == pytest.approx(8e-3, rel=0.05)
+
+    def test_resolve_time_inverse(self):
+        latch = RegenerativeLatch()
+        differential = 5e-3
+        t = latch.resolve_time(differential)
+        assert latch.resolution_window(t) == pytest.approx(differential, rel=1e-9)
+
+    def test_resolve_time_edge_cases(self):
+        latch = RegenerativeLatch(logic_swing=1.0)
+        assert latch.resolve_time(0.0) == math.inf
+        assert latch.resolve_time(2.0) == 0.0
+
+    def test_resolves_within(self):
+        latch = RegenerativeLatch(regeneration_tau=100e-12)
+        assert latch.resolves_within(12e-3, 1.5e-9)
+        assert not latch.resolves_within(1e-9, 0.1e-9)
+
+    def test_metastability_probability_decreases_with_time(self):
+        latch = RegenerativeLatch()
+        p_short = latch.metastability_probability(10e-3, 0.2e-9)
+        p_long = latch.metastability_probability(10e-3, 2e-9)
+        assert p_long < p_short
+
+    def test_metastability_bounds(self):
+        latch = RegenerativeLatch()
+        p = latch.metastability_probability(10e-3, 1e-9)
+        assert 0.0 <= p <= 1.0
+
+    def test_required_sense_time_margin(self):
+        latch = RegenerativeLatch()
+        base = latch.required_sense_time(5e-3, margin=1.0)
+        padded = latch.required_sense_time(5e-3, margin=2.0)
+        assert padded == pytest.approx(2 * base)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            RegenerativeLatch(regeneration_tau=0.0)
+        with pytest.raises(ConfigurationError):
+            RegenerativeLatch(logic_swing=-1.0)
+        latch = RegenerativeLatch()
+        with pytest.raises(ConfigurationError):
+            latch.resolution_window(-1.0)
+        with pytest.raises(ConfigurationError):
+            latch.metastability_probability(0.0, 1e-9)
+        with pytest.raises(ConfigurationError):
+            latch.required_sense_time(5e-3, margin=0.5)
+
+
+class TestReadStress:
+    @pytest.fixture
+    def array(self, rng, calibration):
+        population = CellPopulation.sample(
+            128,
+            VariationModel(sigma_alpha_frac=0.0, sigma_beta_frac=0.0),
+            params=calibration.params,
+            rolloff_high=calibration.rolloff_high(),
+            rolloff_low=calibration.rolloff_low(),
+            rng=rng,
+        )
+        return STTRAMArray(population)
+
+    def test_nondestructive_stress_is_clean(self, array, rng, calibration):
+        scheme = NondestructiveSelfReference(beta=calibration.beta_nondestructive)
+        report = run_read_stress(array, scheme, reads=300, rng=rng)
+        assert report.misreads == 0
+        assert report.corruptions == 0
+        assert report.final_data_intact
+
+    def test_destructive_with_solid_writes_is_clean(self, array, rng, calibration):
+        scheme = DestructiveSelfReference(beta=calibration.beta_destructive)
+        report = run_read_stress(array, scheme, reads=200, rng=rng)
+        assert report.corruptions == 0
+        assert report.final_data_intact
+
+    def test_destructive_with_weak_writes_corrupts(self, array, rng, calibration):
+        # A write driver at ~1.02x I_c0: per-pulse WER is tens of percent,
+        # so a few hundred destructive reads corrupt stored data.
+        scheme = DestructiveSelfReference(
+            beta=calibration.beta_destructive, write_overdrive=1.02
+        )
+        report = run_read_stress(array, scheme, reads=300, rng=rng)
+        assert report.corruptions > 0
+        assert not report.final_data_intact
+
+    def test_rejects_bad_reads(self, array, rng, calibration):
+        scheme = NondestructiveSelfReference(beta=calibration.beta_nondestructive)
+        with pytest.raises(ConfigurationError):
+            run_read_stress(array, scheme, reads=0, rng=rng)

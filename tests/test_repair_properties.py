@@ -1,0 +1,73 @@
+"""Hypothesis property tests for the spare-repair allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array.repair import allocate_repair
+
+
+@st.composite
+def fail_grids(draw, max_dim=12, max_fails=10):
+    rows = draw(st.integers(2, max_dim))
+    columns = draw(st.integers(2, max_dim))
+    count = draw(st.integers(0, min(max_fails, rows * columns)))
+    indices = draw(
+        st.lists(
+            st.integers(0, rows * columns - 1),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    mask = np.zeros(rows * columns, dtype=bool)
+    mask[indices] = True
+    return mask, rows, columns
+
+
+class TestAllocatorProperties:
+    @given(grid=fail_grids(), spare_rows=st.integers(0, 6), spare_columns=st.integers(0, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_never_reports_negative_or_excess_fails(
+        self, grid, spare_rows, spare_columns
+    ):
+        mask, rows, columns = grid
+        plan = allocate_repair(mask, rows, columns, spare_rows, spare_columns)
+        assert 0 <= plan.unrepaired_fails <= int(mask.sum())
+        assert len(plan.spare_rows_used) <= spare_rows
+        assert len(plan.spare_columns_used) <= spare_columns
+
+    @given(grid=fail_grids())
+    @settings(max_examples=60, deadline=None)
+    def test_enough_row_spares_always_repair(self, grid):
+        # One spare row per failing bit is always sufficient (each failing
+        # bit lives in some row).
+        mask, rows, columns = grid
+        fails = int(mask.sum())
+        plan = allocate_repair(mask, rows, columns, spare_rows=fails, spare_columns=0)
+        assert plan.repaired
+
+    @given(grid=fail_grids())
+    @settings(max_examples=60, deadline=None)
+    def test_spares_only_consumed_when_useful(self, grid):
+        # Every consumed spare removed at least one failing bit, so the
+        # total spares used never exceeds the number of fails.
+        mask, rows, columns = grid
+        plan = allocate_repair(mask, rows, columns, spare_rows=8, spare_columns=8)
+        assert plan.spares_used <= int(mask.sum())
+
+    @given(grid=fail_grids(), spare_rows=st.integers(0, 4), spare_columns=st.integers(0, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_spares(self, grid, spare_rows, spare_columns):
+        # More spares never leave more unrepaired fails.
+        mask, rows, columns = grid
+        fewer = allocate_repair(mask, rows, columns, spare_rows, spare_columns)
+        more = allocate_repair(mask, rows, columns, spare_rows + 1, spare_columns + 1)
+        assert more.unrepaired_fails <= fewer.unrepaired_fails
+
+    @given(grid=fail_grids())
+    @settings(max_examples=40, deadline=None)
+    def test_used_lines_are_valid_indices(self, grid):
+        mask, rows, columns = grid
+        plan = allocate_repair(mask, rows, columns, 4, 4)
+        assert all(0 <= row < rows for row in plan.spare_rows_used)
+        assert all(0 <= col < columns for col in plan.spare_columns_used)

@@ -1,0 +1,117 @@
+"""Retention and read-disturb accumulation tests."""
+
+import math
+
+import pytest
+
+from repro.device.mtj import MTJParams
+from repro.device.retention import SECONDS_PER_YEAR, RetentionAnalysis
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def analysis():
+    return RetentionAnalysis(MTJParams())
+
+
+class TestRetention:
+    def test_zero_bake_is_safe(self, analysis):
+        assert analysis.retention_failure_probability(0.0) == 0.0
+
+    def test_probability_grows_with_time(self, analysis):
+        p1 = analysis.retention_failure_probability(SECONDS_PER_YEAR)
+        p10 = analysis.retention_failure_probability(10 * SECONDS_PER_YEAR)
+        assert p10 > p1
+
+    def test_retention_time_inverts_probability(self, analysis):
+        target = 1e-9
+        time = analysis.retention_time(target)
+        assert analysis.retention_failure_probability(time) == pytest.approx(
+            target, rel=1e-3
+        )
+
+    def test_delta_sizing_rule(self, analysis):
+        # The classic result: 10-year retention at 1e-9 needs Δ ≈ 60.
+        delta = analysis.thermal_stability_for_retention(10.0, 1e-9)
+        assert 55.0 < delta < 65.0
+
+    def test_delta_sizing_consistent(self):
+        # A device built with exactly the required Δ hits the target.
+        base = RetentionAnalysis(MTJParams())
+        delta = base.thermal_stability_for_retention(10.0, 1e-9)
+        sized = RetentionAnalysis(MTJParams(thermal_stability=delta))
+        p = sized.retention_failure_probability(10 * SECONDS_PER_YEAR)
+        assert p == pytest.approx(1e-9, rel=0.05)
+
+    def test_rejects_invalid(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.retention_failure_probability(-1.0)
+        with pytest.raises(ConfigurationError):
+            analysis.retention_time(0.0)
+        with pytest.raises(ConfigurationError):
+            analysis.thermal_stability_for_retention(-1.0)
+        with pytest.raises(ConfigurationError):
+            RetentionAnalysis(MTJParams(), read_pulse_width=0.0)
+
+
+class TestDisturbAccumulation:
+    def test_single_read_negligible_at_paper_point(self, analysis):
+        assert analysis.disturb_probability_per_read(200e-6) < 1e-12
+
+    def test_accumulation_monotone_in_reads(self, analysis):
+        current = 0.85 * analysis.params.i_c0
+        p1 = analysis.accumulated_disturb_probability(current, 1e3)
+        p2 = analysis.accumulated_disturb_probability(current, 1e6)
+        assert p2 > p1
+
+    def test_accumulation_stable_for_tiny_probabilities(self, analysis):
+        # 1e9 reads in the linear (p·N ≪ 1) regime: the accumulator must
+        # equal N·p instead of rounding to zero.
+        p = analysis.accumulated_disturb_probability(200e-6, 1e9)
+        expected = 1e9 * analysis.disturb_probability_per_read(200e-6)
+        assert 0.0 < p == pytest.approx(expected, rel=1e-3)
+
+    def test_extreme_read_counts_saturate_honestly(self, analysis):
+        # 1e15 reads at 40% I_c0 is 200 days of *continuous* current —
+        # comparable to the thermal mean-flip time, so the cumulative
+        # probability is O(1).  This is the real read-disturb wall.
+        p = analysis.accumulated_disturb_probability(200e-6, 1e15)
+        assert 0.5 < p < 1.0
+
+    def test_accumulation_approaches_one(self, analysis):
+        current = 0.95 * analysis.params.i_c0
+        assert analysis.accumulated_disturb_probability(current, 1e12) > 0.999
+
+    def test_max_safe_current_below_critical(self, analysis):
+        safe = analysis.max_safe_read_current(reads=1e15, target_probability=1e-9)
+        assert 0.0 < safe < analysis.params.i_c0
+
+    def test_paper_operating_point_is_safe_for_realistic_lifetimes(self, analysis):
+        # A hot cell sees ~1e9 reads over a product lifetime; 40% of I_c0
+        # keeps the cumulative flip probability under 1e-4 there.
+        safe = analysis.max_safe_read_current(reads=1e9, target_probability=1e-4)
+        assert safe > 0.4 * analysis.params.i_c0
+        assert analysis.lifetime_reads(200e-6, target_probability=1e-4) > 1e9
+
+    def test_max_safe_current_shrinks_with_reads(self, analysis):
+        few = analysis.max_safe_read_current(reads=1e6)
+        many = analysis.max_safe_read_current(reads=1e18)
+        assert many <= few
+
+    def test_lifetime_reads_inverse_of_accumulation(self, analysis):
+        current = 0.8 * analysis.params.i_c0
+        reads = analysis.lifetime_reads(current, target_probability=1e-6)
+        assert analysis.accumulated_disturb_probability(
+            current, reads
+        ) == pytest.approx(1e-6, rel=1e-3)
+
+    def test_lifetime_reads_infinite_at_zero_current(self, analysis):
+        assert analysis.lifetime_reads(0.0) == math.inf
+
+    def test_rejects_invalid(self, analysis):
+        with pytest.raises(ConfigurationError):
+            analysis.accumulated_disturb_probability(100e-6, -1.0)
+        with pytest.raises(ConfigurationError):
+            analysis.max_safe_read_current(0.0)
+        with pytest.raises(ConfigurationError):
+            analysis.lifetime_reads(100e-6, target_probability=2.0)

@@ -1,0 +1,84 @@
+"""R–I sweep tests (paper Fig. 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.device.mtj import MTJDevice, MTJState
+from repro.device.ri_curve import hysteresis_sweep, static_ri_curve
+
+
+class TestStaticCurve:
+    def test_default_grid(self):
+        currents, r_high, r_low = static_ri_curve(MTJDevice())
+        assert len(currents) == 64
+        assert currents[0] == 0.0
+        assert currents[-1] == pytest.approx(200e-6)
+
+    def test_branches_ordered(self):
+        _, r_high, r_low = static_ri_curve(MTJDevice())
+        assert np.all(r_high > r_low)
+
+    def test_high_branch_steeper(self):
+        _, r_high, r_low = static_ri_curve(MTJDevice())
+        drop_high = r_high[0] - r_high[-1]
+        drop_low = r_low[0] - r_low[-1]
+        assert drop_high > 3 * drop_low
+
+    def test_custom_currents(self):
+        grid = np.array([0.0, 100e-6])
+        currents, r_high, _ = static_ri_curve(MTJDevice(), grid)
+        assert np.array_equal(currents, grid)
+        assert len(r_high) == 2
+
+
+class TestHysteresis:
+    def test_antiparallel_start_switches_three_times(self):
+        # Starting anti-parallel: the initial up-leg flips at +I_c, the
+        # down-leg flips back at -I_c, the return leg flips again at +I_c.
+        sweep = hysteresis_sweep(MTJDevice(state=MTJState.ANTIPARALLEL))
+        assert len(sweep.switch_points) == 3
+
+    def test_parallel_start_switches_twice(self):
+        # Starting parallel, the initial up-leg is in the favourable state
+        # already; only the down and return legs switch.
+        sweep = hysteresis_sweep(MTJDevice(state=MTJState.PARALLEL))
+        assert len(sweep.switch_points) == 2
+
+    def test_positive_leg_switches_to_parallel(self):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        sweep = hysteresis_sweep(device)
+        first_switch = sweep.switch_points[0]
+        assert sweep.currents[first_switch] > 0
+        assert sweep.states[first_switch] is MTJState.PARALLEL
+
+    def test_negative_leg_switches_back(self):
+        sweep = hysteresis_sweep(MTJDevice(state=MTJState.ANTIPARALLEL))
+        second_switch = sweep.switch_points[1]
+        assert sweep.currents[second_switch] < 0
+        assert sweep.states[second_switch] is MTJState.ANTIPARALLEL
+
+    def test_switch_occurs_near_critical_current(self):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        sweep = hysteresis_sweep(device)
+        switch_current = sweep.currents[sweep.switch_points[0]]
+        assert switch_current == pytest.approx(device.params.i_c0, rel=0.15)
+
+    def test_original_device_untouched(self):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        hysteresis_sweep(device)
+        assert device.state is MTJState.ANTIPARALLEL
+
+    def test_resistance_consistent_with_state(self):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        sweep = hysteresis_sweep(device)
+        for index in (0, len(sweep.currents) - 1):
+            expected = device.resistance(
+                sweep.currents[index], sweep.states[index]
+            )
+            assert sweep.resistance[index] == pytest.approx(expected)
+
+    def test_custom_peak_current(self):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        # Peak below the critical current: no switching at all.
+        sweep = hysteresis_sweep(device, i_peak=0.5 * device.params.i_c0)
+        assert sweep.switch_points == []

@@ -1,0 +1,151 @@
+"""Robustness-window tests (paper §IV, Table II)."""
+
+import pytest
+
+from repro.core.margins import destructive_margins, nondestructive_margins
+from repro.core.optimize import (
+    optimize_beta_destructive,
+    optimize_beta_nondestructive,
+)
+from repro.core.robustness import (
+    alpha_deviation_window,
+    robustness_summary,
+    rtr_shift_window_destructive,
+    rtr_shift_window_nondestructive,
+    valid_beta_window_destructive,
+    valid_beta_window_nondestructive,
+)
+
+I2 = 200e-6
+
+
+class TestBetaWindows:
+    def test_destructive_window_contains_optimum(self, paper_cell):
+        lower, upper = valid_beta_window_destructive(paper_cell, I2)
+        opt = optimize_beta_destructive(paper_cell, I2).beta
+        assert lower < opt < upper
+
+    def test_destructive_window_opens_at_one(self, paper_cell):
+        lower, _ = valid_beta_window_destructive(paper_cell, I2)
+        assert lower == pytest.approx(1.0, abs=1e-3)
+
+    def test_destructive_margin_vanishes_at_upper_edge(self, paper_cell):
+        _, upper = valid_beta_window_destructive(paper_cell, I2)
+        assert destructive_margins(paper_cell, I2, upper).sm1 == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_nondestructive_window_contains_optimum(self, paper_cell):
+        lower, upper = valid_beta_window_nondestructive(paper_cell, I2, 0.5)
+        opt = optimize_beta_nondestructive(paper_cell, I2, 0.5).beta
+        assert lower < opt < upper
+
+    def test_nondestructive_lower_edge_near_two(self, paper_cell):
+        # Paper Table II: "Min. β = 2" at α = 0.5.
+        lower, _ = valid_beta_window_nondestructive(paper_cell, I2, 0.5)
+        assert lower == pytest.approx(2.0, abs=0.02)
+
+    def test_nondestructive_margins_vanish_at_edges(self, paper_cell):
+        lower, upper = valid_beta_window_nondestructive(paper_cell, I2, 0.5)
+        assert nondestructive_margins(paper_cell, I2, lower, 0.5).sm0 == pytest.approx(
+            0.0, abs=1e-9
+        )
+        assert nondestructive_margins(paper_cell, I2, upper, 0.5).sm1 == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_nondestructive_window_tighter_than_destructive(self, paper_cell):
+        # The paper: "relatively tighter constraints on device variations".
+        d_lower, d_upper = valid_beta_window_destructive(paper_cell, I2)
+        n_lower, n_upper = valid_beta_window_nondestructive(paper_cell, I2, 0.5)
+        assert (n_upper - n_lower) < (d_upper - d_lower)
+
+
+class TestRtrWindows:
+    def test_destructive_symmetric_at_optimum(self, paper_cell, calibration):
+        beta = calibration.beta_destructive
+        lower, upper = rtr_shift_window_destructive(paper_cell, I2, beta)
+        assert lower == pytest.approx(-upper, rel=1e-6)
+
+    def test_destructive_matches_paper_468(self, paper_cell, calibration):
+        _, upper = rtr_shift_window_destructive(
+            paper_cell, I2, calibration.beta_destructive
+        )
+        assert upper == pytest.approx(468.0, rel=0.03)
+
+    def test_nondestructive_matches_paper_130(self, paper_cell, calibration):
+        _, upper = rtr_shift_window_nondestructive(
+            paper_cell, I2, calibration.beta_nondestructive, 0.5
+        )
+        assert upper == pytest.approx(130.0, rel=0.03)
+
+    def test_window_equals_margin_over_current(self, paper_cell, calibration):
+        # The analytic structure: ±SM/I_R1 at the balanced point.
+        beta = calibration.beta_nondestructive
+        margins = nondestructive_margins(paper_cell, I2, beta, 0.5)
+        _, upper = rtr_shift_window_nondestructive(paper_cell, I2, beta, 0.5)
+        assert upper == pytest.approx(margins.sm0 / (I2 / beta))
+
+    def test_margin_vanishes_at_window_edge(self, paper_cell, calibration):
+        beta = calibration.beta_nondestructive
+        _, upper = rtr_shift_window_nondestructive(paper_cell, I2, beta, 0.5)
+        edge = nondestructive_margins(paper_cell, I2, beta, 0.5, rtr_shift=upper)
+        assert edge.sm0 == pytest.approx(0.0, abs=1e-12)
+
+    def test_nondestructive_window_tighter(self, paper_cell, calibration):
+        _, d_upper = rtr_shift_window_destructive(
+            paper_cell, I2, calibration.beta_destructive
+        )
+        _, n_upper = rtr_shift_window_nondestructive(
+            paper_cell, I2, calibration.beta_nondestructive, 0.5
+        )
+        assert n_upper < d_upper / 3
+
+
+class TestAlphaWindow:
+    def test_matches_paper_values(self, paper_cell, calibration):
+        lower, upper = alpha_deviation_window(
+            paper_cell, I2, calibration.beta_nondestructive, 0.5
+        )
+        assert upper == pytest.approx(0.0413, abs=0.005)
+        assert lower == pytest.approx(-0.0571, abs=0.005)
+
+    def test_asymmetry_from_resistance_split(self, paper_cell, calibration):
+        # |lower| > upper because R_L2 < R_H2 (paper's -5.71% vs +4.13%).
+        lower, upper = alpha_deviation_window(
+            paper_cell, I2, calibration.beta_nondestructive, 0.5
+        )
+        assert abs(lower) > upper
+
+    def test_margin_vanishes_at_edges(self, paper_cell, calibration):
+        beta = calibration.beta_nondestructive
+        lower, upper = alpha_deviation_window(paper_cell, I2, beta, 0.5)
+        at_upper = nondestructive_margins(
+            paper_cell, I2, beta, 0.5, alpha_deviation=upper
+        )
+        at_lower = nondestructive_margins(
+            paper_cell, I2, beta, 0.5, alpha_deviation=lower
+        )
+        assert at_upper.sm1 == pytest.approx(0.0, abs=1e-12)
+        assert at_lower.sm0 == pytest.approx(0.0, abs=1e-12)
+
+    def test_rejects_bad_alpha(self, paper_cell):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            alpha_deviation_window(paper_cell, I2, 2.13, alpha=0.0)
+
+
+class TestSummary:
+    def test_table2_structure(self, paper_cell):
+        destructive, nondestructive = robustness_summary(paper_cell, I2)
+        assert destructive.alpha_window is None  # N/A in the paper
+        assert nondestructive.alpha_window is not None
+        assert destructive.max_sense_margin > nondestructive.max_sense_margin
+
+    def test_explicit_betas_respected(self, paper_cell):
+        destructive, nondestructive = robustness_summary(
+            paper_cell, I2, beta_destructive=1.25, beta_nondestructive=2.10
+        )
+        assert destructive.design_beta == 1.25
+        assert nondestructive.design_beta == 2.10

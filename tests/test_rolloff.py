@@ -1,0 +1,143 @@
+"""Roll-off model tests (incl. hypothesis property tests on the contract)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device.rolloff import (
+    PowerLawRollOff,
+    RationalRollOff,
+    TabulatedRollOff,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPowerLaw:
+    def test_boundaries(self):
+        model = PowerLawRollOff(1.5)
+        assert model.fraction(0.0) == pytest.approx(0.0)
+        assert model.fraction(1.0) == pytest.approx(1.0)
+
+    def test_linear_is_identity(self):
+        model = PowerLawRollOff(1.0)
+        x = np.linspace(0, 1, 11)
+        assert np.allclose(model.fraction(x), x)
+
+    def test_quadratic(self):
+        model = PowerLawRollOff(2.0)
+        assert model.fraction(0.5) == pytest.approx(0.25)
+
+    def test_negative_current_uses_magnitude(self):
+        model = PowerLawRollOff(2.0)
+        assert model.fraction(-0.5) == model.fraction(0.5)
+
+    def test_scalar_in_scalar_out(self):
+        assert isinstance(PowerLawRollOff(1.0).fraction(0.3), float)
+
+    def test_array_in_array_out(self):
+        out = PowerLawRollOff(1.0).fraction(np.array([0.1, 0.2]))
+        assert isinstance(out, np.ndarray)
+
+    def test_derivative_analytic(self):
+        model = PowerLawRollOff(2.0)
+        assert model.derivative(0.5) == pytest.approx(1.0)
+
+    def test_derivative_at_zero_sublinear(self):
+        model = PowerLawRollOff(0.5)
+        assert model.derivative(0.0) == np.inf
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ConfigurationError):
+            PowerLawRollOff(0.0)
+        with pytest.raises(ConfigurationError):
+            PowerLawRollOff(-1.0)
+
+    def test_validate_passes(self):
+        PowerLawRollOff(2.0).validate()
+
+    def test_repr(self):
+        assert "1.5" in repr(PowerLawRollOff(1.5))
+
+    @given(st.floats(0.1, 4.0), st.floats(0.0, 1.0))
+    @settings(max_examples=50)
+    def test_bounded_on_unit_interval(self, exponent, x):
+        value = PowerLawRollOff(exponent).fraction(x)
+        assert -1e-12 <= value <= 1.0 + 1e-12
+
+    @given(st.floats(0.1, 4.0))
+    @settings(max_examples=25)
+    def test_monotone(self, exponent):
+        model = PowerLawRollOff(exponent)
+        grid = np.linspace(0, 1.5, 64)
+        values = model.fraction(grid)
+        assert np.all(np.diff(values) >= -1e-12)
+
+
+class TestRational:
+    def test_boundaries(self):
+        model = RationalRollOff(2.0, 1.0)
+        assert model.fraction(0.0) == pytest.approx(0.0)
+        assert model.fraction(1.0) == pytest.approx(1.0)
+
+    def test_large_knee_approaches_power_law(self):
+        rational = RationalRollOff(2.0, 1e6)
+        power = PowerLawRollOff(2.0)
+        x = np.linspace(0, 1, 9)
+        assert np.allclose(rational.fraction(x), power.fraction(x), atol=1e-5)
+
+    def test_small_knee_saturates_early(self):
+        model = RationalRollOff(2.0, 0.05)
+        # Half-current already develops most of the full roll-off.
+        assert model.fraction(0.5) > 0.8
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RationalRollOff(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            RationalRollOff(2.0, 0.0)
+
+    @given(st.floats(0.3, 4.0), st.floats(0.02, 100.0))
+    @settings(max_examples=50)
+    def test_contract(self, exponent, knee):
+        RationalRollOff(exponent, knee).validate()
+
+
+class TestTabulated:
+    def test_interpolates_through_points(self):
+        model = TabulatedRollOff([0.0, 0.5, 1.0], [0.0, 0.3, 1.0])
+        assert model.fraction(0.5) == pytest.approx(0.3)
+        assert model.fraction(1.0) == pytest.approx(1.0)
+
+    def test_normalizes_ohm_valued_tables(self):
+        # A table in ohms (e.g. digitized ΔR values) is normalized to f(1)=1.
+        model = TabulatedRollOff([0.0, 0.5, 1.0], [0.0, 180.0, 600.0])
+        assert model.fraction(1.0) == pytest.approx(1.0)
+        assert model.fraction(0.5) == pytest.approx(0.3)
+
+    def test_extrapolates_linearly_beyond_table(self):
+        model = TabulatedRollOff([0.0, 1.0], [0.0, 1.0])
+        assert model.fraction(1.2) == pytest.approx(1.2)
+
+    def test_monotone_contract(self):
+        TabulatedRollOff([0.0, 0.3, 1.0], [0.0, 0.1, 1.0]).validate()
+
+    def test_rejects_decreasing_fractions(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedRollOff([0.0, 0.5, 1.0], [0.0, 0.8, 0.5])
+
+    def test_rejects_non_increasing_ratios(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedRollOff([0.0, 0.5, 0.5, 1.0], [0.0, 0.2, 0.3, 1.0])
+
+    def test_rejects_missing_origin(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedRollOff([0.1, 1.0], [0.0, 1.0])
+
+    def test_rejects_short_table(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedRollOff([0.0], [0.0])
+
+    def test_rejects_table_not_reaching_one(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedRollOff([0.0, 0.9], [0.0, 1.0])

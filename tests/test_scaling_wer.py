@@ -1,0 +1,126 @@
+"""Capacity-scaling projection and write-error-rate tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import project_fail_fraction, project_scaling
+from repro.array.montecarlo import run_margin_monte_carlo
+from repro.array.yield_analysis import MarginStatistics, analyze_margins
+from repro.device.mtj import MTJParams
+from repro.device.switching import SwitchingModel
+from repro.device.variation import CellPopulation
+from repro.errors import ConfigurationError
+
+
+def make_stats(mean, std, scheme="x") -> MarginStatistics:
+    return MarginStatistics(
+        scheme=scheme, bits=1000, fail_count=0, fail_fraction=0.0,
+        yield_fraction=1.0, mean_margin=mean, std_margin=std,
+        min_margin=mean - 3 * std, percentile_1=mean - 2.3 * std,
+        mean_sm0=mean, mean_sm1=mean,
+    )
+
+
+class TestProjectFailFraction:
+    def test_zero_std_pass(self):
+        assert project_fail_fraction(12e-3, 0.0, 8e-3) == 0.0
+
+    def test_zero_std_fail(self):
+        assert project_fail_fraction(5e-3, 0.0, 8e-3) == 1.0
+
+    def test_gaussian_tail(self):
+        # Mean 2σ above the window: P ≈ 2.28%.
+        p = project_fail_fraction(10e-3, 1e-3, 8e-3)
+        assert p == pytest.approx(0.02275, rel=0.01)
+
+    def test_monotone_in_margin(self):
+        p_tight = project_fail_fraction(9e-3, 1e-3, 8e-3)
+        p_loose = project_fail_fraction(15e-3, 1e-3, 8e-3)
+        assert p_loose < p_tight
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ConfigurationError):
+            project_fail_fraction(10e-3, -1.0, 8e-3)
+
+
+class TestProjection:
+    def test_clean_capacity_inverse_of_probability(self):
+        stats = make_stats(12e-3, 1e-3)
+        projection = project_scaling(stats)
+        assert projection.clean_capacity_bits == pytest.approx(
+            1.0 / projection.bit_fail_probability
+        )
+
+    def test_infinite_capacity_for_perfect_margins(self):
+        projection = project_scaling(make_stats(1.0, 0.0))
+        assert projection.clean_capacity_bits == math.inf
+        assert projection.supports_gigabit_without_repair
+
+    def test_per_capacity_counts(self):
+        projection = project_scaling(make_stats(11e-3, 1e-3))
+        assert projection.expected_fails_per_gigabit == pytest.approx(
+            projection.expected_fails_per_megabit * 1024
+        )
+
+    def test_destructive_scales_furthest(self, rng, calibration):
+        from repro.array.testchip import TESTCHIP_VARIATION
+
+        population = CellPopulation.sample(
+            8192,
+            TESTCHIP_VARIATION,
+            params=calibration.params,
+            rolloff_high=calibration.rolloff_high(),
+            rolloff_low=calibration.rolloff_low(),
+            rng=rng,
+        )
+        report = analyze_margins(
+            run_margin_monte_carlo(
+                population,
+                beta_destructive=calibration.beta_destructive,
+                beta_nondestructive=calibration.beta_nondestructive,
+                include_sa_offset=False,
+            )
+        )
+        destructive = project_scaling(report["destructive"])
+        nondestructive = project_scaling(report["nondestructive"])
+        conventional = project_scaling(report["conventional"])
+        assert destructive.clean_capacity_bits > nondestructive.clean_capacity_bits
+        assert nondestructive.clean_capacity_bits > conventional.clean_capacity_bits
+        # The paper's 16kb chip is comfortably inside the nondestructive
+        # scheme's clean capacity — consistent with its all-pass measurement.
+        assert nondestructive.clean_capacity_bits > 16384
+
+
+class TestWriteErrorRate:
+    @pytest.fixture
+    def model(self):
+        return SwitchingModel(MTJParams())
+
+    def test_wer_complements_switch_probability(self, model):
+        current = 700e-6
+        assert model.write_error_rate(current) == pytest.approx(
+            1.0 - model.switch_probability(current, 4e-9)
+        )
+
+    def test_wer_tiny_at_nominal_overdrive(self, model):
+        # The destructive scheme's 1.5x overdrive writes: ~2e-9 WER per
+        # pulse — negligible against its sense margins, but nonzero (every
+        # destructive read rolls these dice twice).
+        assert model.write_error_rate(1.5 * model.params.i_c0) < 1e-8
+
+    def test_wer_monotone_decreasing_in_current(self, model):
+        currents = np.linspace(0.9, 2.0, 12) * model.params.i_c0
+        wers = [model.write_error_rate(float(c)) for c in currents]
+        assert all(b <= a for a, b in zip(wers, wers[1:]))
+
+    def test_wer_half_at_marginal_current(self, model):
+        # Just below I_c0 with the nominal pulse: unreliable writes.
+        assert model.write_error_rate(0.98 * model.params.i_c0) > 0.1
+
+    def test_longer_pulse_reduces_wer(self, model):
+        current = 1.02 * model.params.i_c0
+        assert model.write_error_rate(current, 40e-9) < model.write_error_rate(
+            current, 4e-9
+        )

@@ -1,0 +1,69 @@
+"""ASCII scatter-plot renderer tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.scatter import ascii_scatter
+from repro.errors import ConfigurationError
+
+
+class TestAsciiScatter:
+    def test_renders_axes_and_labels(self):
+        x = np.array([0.01, 0.02, 0.03])
+        y = np.array([0.01, 0.02, 0.03])
+        text = ascii_scatter(x, y)
+        assert "SM0 [mV]" in text
+        assert "SM1 [mV]" in text
+        assert "+---" in text
+
+    def test_dense_region_uses_heavier_shade(self):
+        rng = np.random.default_rng(0)
+        # A tight cluster plus one outlier: the cluster cell must use a
+        # heavier shade than the outlier's single point.
+        x = np.concatenate([rng.normal(0.01, 1e-5, 500), [0.03]])
+        y = np.concatenate([rng.normal(0.01, 1e-5, 500), [0.03]])
+        text = ascii_scatter(x, y)
+        assert "@" in text or "#" in text
+        assert "." in text
+
+    def test_boundary_lines_drawn(self):
+        x = np.linspace(0.001, 0.02, 50)
+        y = np.linspace(0.001, 0.02, 50)
+        text = ascii_scatter(x, y, boundary=8e-3)
+        assert "|" in text.replace("  |", "", text.count("\n") + 1) or "-" in text
+
+    def test_boundary_outside_range_skipped(self):
+        x = np.array([0.1, 0.2])
+        y = np.array([0.1, 0.2])
+        # Boundary far below the data range: no crash, no boundary rows.
+        text = ascii_scatter(x, y, boundary=1e-6)
+        assert "SM0" in text
+
+    def test_explicit_ranges(self):
+        x = np.array([0.01])
+        y = np.array([0.01])
+        text = ascii_scatter(x, y, x_range=(0.0, 0.1), y_range=(0.0, 0.1), scale=1.0)
+        assert "0.1" in text
+
+    def test_degenerate_single_point(self):
+        text = ascii_scatter(np.array([0.01]), np.array([0.01]))
+        assert text.count("\n") > 5
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ascii_scatter(np.array([]), np.array([]))
+        with pytest.raises(ConfigurationError):
+            ascii_scatter(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ConfigurationError):
+            ascii_scatter(np.array([1.0]), np.array([1.0]), width=2)
+
+    def test_every_point_lands_on_grid(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0.01, 0.002, 200)
+        y = rng.normal(0.01, 0.002, 200)
+        text = ascii_scatter(x, y)
+        # Total shaded cells > 0 and bounded by the grid size.
+        shaded = sum(
+            1 for ch in text if ch in ".:+*#@"
+        )
+        assert 0 < shaded <= 56 * 20 + 40  # grid + label dots

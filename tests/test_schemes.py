@@ -1,0 +1,260 @@
+"""Behavioural tests of the three sensing schemes' full read operations."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.divider import VoltageDivider
+from repro.circuit.sense_amp import SenseAmplifier
+from repro.core.cell import Cell1T1J
+from repro.core.conventional import ConventionalSensing, shared_reference_voltage
+from repro.core.destructive import DestructiveSelfReference
+from repro.core.nondestructive import NondestructiveSelfReference
+from repro.device.mtj import MTJDevice, MTJParams, MTJState
+from repro.device.transistor import FixedResistanceTransistor
+from repro.errors import ConfigurationError
+
+
+def make_cell(r_scale: float = 1.0) -> Cell1T1J:
+    """A cell whose resistances are scaled by ``r_scale`` (variation)."""
+    params = MTJParams(
+        r_low=1220.0 * r_scale,
+        r_high=2500.0 * r_scale,
+        dr_low_max=10.0 * r_scale,
+        dr_high_max=600.0 * r_scale,
+    )
+    return Cell1T1J(MTJDevice(params), FixedResistanceTransistor(917.0))
+
+
+class TestConventional:
+    def test_reads_both_bits_on_nominal_cell(self):
+        cell = make_cell()
+        scheme = ConventionalSensing(nominal_cell=cell)
+        for bit in (0, 1):
+            cell.write(bit)
+            result = scheme.read(cell)
+            assert result.bit == bit
+            assert result.correct
+            assert not result.data_destroyed
+            assert result.read_pulses == 1
+            assert result.write_pulses == 0
+
+    def test_reference_midpoint(self):
+        cell = make_cell()
+        v_ref = shared_reference_voltage(cell, 200e-6)
+        v_low = cell.bitline_voltage(200e-6, MTJState.PARALLEL)
+        v_high = cell.bitline_voltage(200e-6, MTJState.ANTIPARALLEL)
+        assert v_low < v_ref < v_high
+
+    def test_tail_cell_misreads(self):
+        # A bit whose resistances sit 40% high: its LOW voltage exceeds the
+        # shared reference, so "0" always reads as "1" — the paper's §I
+        # failure mode.
+        nominal = make_cell()
+        scheme = ConventionalSensing(nominal_cell=nominal)
+        tail = make_cell(r_scale=1.4)
+        tail.write(0)
+        result = scheme.read(tail)
+        assert result.bit == 1
+        assert not result.correct
+
+    def test_requires_reference_or_cell(self):
+        with pytest.raises(ConfigurationError):
+            ConventionalSensing()
+
+    def test_explicit_reference(self):
+        scheme = ConventionalSensing(v_ref=0.45)
+        assert scheme.v_ref == 0.45
+
+    def test_margin_sign_matches_correctness(self):
+        nominal = make_cell()
+        scheme = ConventionalSensing(nominal_cell=nominal)
+        tail = make_cell(r_scale=1.4)
+        tail.write(0)
+        assert scheme.read(tail).margin < 0
+
+    def test_is_readable(self):
+        nominal = make_cell()
+        scheme = ConventionalSensing(nominal_cell=nominal)
+        assert scheme.is_readable(nominal)
+        assert not scheme.is_readable(make_cell(r_scale=1.4))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            ConventionalSensing(i_read=0.0, v_ref=0.4)
+        with pytest.raises(ConfigurationError):
+            ConventionalSensing(v_ref=-0.1)
+
+
+class TestDestructive:
+    def test_reads_and_restores_both_bits(self, rng):
+        scheme = DestructiveSelfReference(beta=1.22)
+        for bit in (0, 1):
+            cell = make_cell()
+            cell.write(bit)
+            result = scheme.read(cell, rng)
+            assert result.bit == bit
+            assert result.correct
+            assert cell.stored_bit == bit  # write-back restored it
+            assert not result.data_destroyed
+            assert result.read_pulses == 2
+            assert result.write_pulses == 2
+
+    def test_immune_to_resistance_scaling(self, rng):
+        # Self-reference: even the 40%-high tail cell reads correctly.
+        scheme = DestructiveSelfReference(beta=1.22)
+        cell = make_cell(r_scale=1.4)
+        cell.write(0)
+        assert scheme.read(cell, rng).correct
+        cell = make_cell(r_scale=0.7)
+        cell.write(1)
+        assert scheme.read(cell, rng).correct
+
+    def test_power_failure_after_erase_destroys_one(self, rng):
+        scheme = DestructiveSelfReference(beta=1.22)
+        cell = make_cell()
+        cell.write(1)
+        result = scheme.read(cell, rng, power_failure_at="after_erase")
+        assert result.data_destroyed
+        assert cell.stored_bit == 0  # erased value stuck
+
+    def test_power_failure_after_erase_keeps_zero(self, rng):
+        # A stored "0" survives by luck: the erase writes the same value.
+        scheme = DestructiveSelfReference(beta=1.22)
+        cell = make_cell()
+        cell.write(0)
+        result = scheme.read(cell, rng, power_failure_at="after_erase")
+        assert not result.data_destroyed
+
+    def test_power_failure_after_second_read(self, rng):
+        scheme = DestructiveSelfReference(beta=1.22)
+        cell = make_cell()
+        cell.write(1)
+        result = scheme.read(cell, rng, power_failure_at="after_second_read")
+        assert result.data_destroyed
+        assert result.bit is None  # never compared
+
+    def test_power_failure_after_compare_still_loses_storage(self, rng):
+        scheme = DestructiveSelfReference(beta=1.22)
+        cell = make_cell()
+        cell.write(1)
+        result = scheme.read(cell, rng, power_failure_at="after_compare")
+        assert result.bit == 1        # the latch had the value...
+        assert result.data_destroyed  # ...but the cell lost it
+
+    def test_rejects_unknown_failure_phase(self, rng):
+        scheme = DestructiveSelfReference()
+        with pytest.raises(ConfigurationError):
+            scheme.read(make_cell(), rng, power_failure_at="before_coffee")
+
+    def test_misread_propagates_into_storage(self, rng):
+        # Force a misread by a broken (huge-offset) sense amp: the scheme
+        # writes back what it sensed, corrupting the cell.
+        amp = SenseAmplifier(offset=-1.0, resolution=1e-3)
+        scheme = DestructiveSelfReference(beta=1.22, sense_amp=amp)
+        cell = make_cell()
+        cell.write(1)
+        result = scheme.read(cell, rng)
+        assert result.bit == 0
+        assert cell.stored_bit == 0
+        assert result.data_destroyed
+
+    def test_rejects_beta_at_most_one(self):
+        with pytest.raises(ConfigurationError):
+            DestructiveSelfReference(beta=1.0)
+
+    def test_margins_match_module_function(self):
+        from repro.core.margins import destructive_margins
+
+        scheme = DestructiveSelfReference(beta=1.22)
+        cell = make_cell()
+        assert scheme.sense_margins(cell) == destructive_margins(cell, 200e-6, 1.22)
+
+
+class TestNondestructive:
+    def test_reads_both_bits_without_touching_state(self, rng):
+        scheme = NondestructiveSelfReference(beta=2.13)
+        for bit in (0, 1):
+            cell = make_cell()
+            cell.write(bit)
+            result = scheme.read(cell, rng)
+            assert result.bit == bit
+            assert result.correct
+            assert cell.stored_bit == bit
+            assert not result.data_destroyed
+            assert result.write_pulses == 0
+            assert result.read_pulses == 2
+
+    def test_immune_to_resistance_scaling(self, rng):
+        # The nondestructive margin scales *with* the bit's resistance
+        # (≈12 mV × scale), so a 30%-low cell drops under the default 8 mV
+        # sense window even though its margin stays positive.  Use a finer
+        # amplifier to test the self-referencing property itself.
+        scheme = NondestructiveSelfReference(
+            beta=2.13, sense_amp=SenseAmplifier(resolution=2e-3)
+        )
+        for scale in (0.7, 1.0, 1.4):
+            cell = make_cell(r_scale=scale)
+            cell.write(1)
+            assert scheme.read(cell, rng).correct
+            cell.write(0)
+            assert scheme.read(cell, rng).correct
+
+    def test_scaled_cell_margin_positive_but_below_default_window(self, rng):
+        scheme = NondestructiveSelfReference(beta=2.13)
+        cell = make_cell(r_scale=0.7)
+        cell.write(1)
+        result = scheme.read(cell, rng)
+        assert 0.0 < result.margin < scheme.sense_amp.resolution
+
+    def test_voltages_reported(self, rng):
+        scheme = NondestructiveSelfReference(beta=2.13)
+        cell = make_cell()
+        cell.write(1)
+        result = scheme.read(cell, rng)
+        assert set(result.voltages) == {"v_bl1", "v_bl2", "v_bo"}
+        assert result.voltages["v_bo"] == pytest.approx(
+            0.5 * result.voltages["v_bl2"], rel=1e-6
+        )
+
+    def test_read_margin_matches_analytic(self, rng):
+        scheme = NondestructiveSelfReference(beta=2.13)
+        cell = make_cell()
+        cell.write(1)
+        result = scheme.read(cell, rng)
+        analytic = scheme.sense_margins(cell).sm1
+        # The behavioural read includes divider loading and capacitor
+        # droop — tiny corrections on the analytic margin.
+        assert result.margin == pytest.approx(analytic, rel=0.02)
+
+    def test_divider_deviation_shifts_margin(self, rng):
+        skewed = NondestructiveSelfReference(
+            beta=2.13, divider=VoltageDivider(ratio=0.5, ratio_deviation=0.03)
+        )
+        nominal = NondestructiveSelfReference(beta=2.13)
+        cell = make_cell()
+        cell.write(1)
+        assert skewed.read(cell, rng).margin < nominal.read(cell, rng).margin
+
+    def test_excessive_divider_deviation_breaks_read(self, rng):
+        # Beyond the Fig. 8 window (+4.3%) the "1" margin goes negative.
+        skewed = NondestructiveSelfReference(
+            beta=2.13, divider=VoltageDivider(ratio=0.5, ratio_deviation=0.10)
+        )
+        cell = make_cell()
+        cell.write(1)
+        result = skewed.read(cell, rng)
+        assert result.margin < 0
+
+    def test_alpha_property(self):
+        scheme = NondestructiveSelfReference(divider=VoltageDivider(ratio=0.4))
+        assert scheme.alpha == 0.4
+
+    def test_i_read1(self):
+        scheme = NondestructiveSelfReference(i_read2=200e-6, beta=2.0)
+        assert scheme.i_read1 == pytest.approx(100e-6)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            NondestructiveSelfReference(i_read2=0.0)
+        with pytest.raises(ConfigurationError):
+            NondestructiveSelfReference(beta=0.9)

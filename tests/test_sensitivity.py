@@ -1,0 +1,103 @@
+"""Margin-sensitivity analysis tests."""
+
+import pytest
+
+from repro.analysis.sensitivity import margin_sensitivities
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def entries():
+    from repro.calibration import calibrate, calibrated_cell
+
+    calibration = calibrate()
+    return margin_sensitivities(
+        calibrated_cell(),
+        calibration.beta_destructive,
+        calibration.beta_nondestructive,
+    )
+
+
+def lookup(entries, parameter, scheme):
+    return next(
+        e for e in entries if e.parameter == parameter and e.scheme == scheme
+    )
+
+
+class TestRanking:
+    def test_sorted_by_magnitude(self, entries):
+        magnitudes = [entry.magnitude for entry in entries]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_alpha_beta_dominate_nondestructive(self, entries):
+        # The paper's robustness worry, recovered by generic sensitivity
+        # analysis: the divider and current-ratio mismatches are the
+        # nondestructive scheme's top risks.
+        top_two = {(e.parameter, e.scheme) for e in entries[:2]}
+        assert top_two == {("alpha", "nondestructive"), ("beta", "nondestructive")}
+
+    def test_no_alpha_entry_for_destructive(self, entries):
+        assert not any(
+            e.parameter == "alpha" and e.scheme == "destructive" for e in entries
+        )
+
+
+class TestSigns:
+    def test_imax_helps_both(self, entries):
+        # "Increasing I_max improves the margin" (paper future work): the
+        # sensitivity to i_read2 is positive for both schemes.
+        assert lookup(entries, "i_read2", "nondestructive").sensitivity > 0
+        assert lookup(entries, "i_read2", "destructive").sensitivity > 0
+
+    def test_rolloff_magnitude_helps_nondestructive(self, entries):
+        # The whole scheme lives on ΔR_Hmax.
+        assert lookup(entries, "dr_high_max", "nondestructive").sensitivity > 1.0
+
+    def test_higher_alpha_hurts_at_fixed_beta(self, entries):
+        # At fixed β, raising α lifts V_BO and erodes SM1 (Fig. 8's right
+        # edge) — negative sensitivity.
+        assert lookup(entries, "alpha", "nondestructive").sensitivity < 0
+
+    def test_r_high_helps_destructive(self, entries):
+        # A larger high-state resistance directly grows the destructive
+        # swing.
+        assert lookup(entries, "r_high", "destructive").sensitivity > 1.0
+
+
+class TestConfiguration:
+    def test_custom_parameter_subset(self):
+        from repro.calibration import calibrate, calibrated_cell
+
+        calibration = calibrate()
+        entries = margin_sensitivities(
+            calibrated_cell(),
+            calibration.beta_destructive,
+            calibration.beta_nondestructive,
+            parameters=["beta"],
+        )
+        assert {e.parameter for e in entries} == {"beta"}
+        assert len(entries) == 2  # one per scheme
+
+    def test_rejects_bad_step(self):
+        from repro.calibration import calibrate, calibrated_cell
+
+        calibration = calibrate()
+        with pytest.raises(ConfigurationError):
+            margin_sensitivities(
+                calibrated_cell(),
+                calibration.beta_destructive,
+                calibration.beta_nondestructive,
+                step=0.5,
+            )
+
+    def test_rejects_unknown_parameter(self):
+        from repro.calibration import calibrate, calibrated_cell
+
+        calibration = calibrate()
+        with pytest.raises(ConfigurationError):
+            margin_sensitivities(
+                calibrated_cell(),
+                calibration.beta_destructive,
+                calibration.beta_nondestructive,
+                parameters=["flux_capacitance"],
+            )

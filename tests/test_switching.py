@@ -1,0 +1,158 @@
+"""Spin-torque switching model tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.device.mtj import MTJDevice, MTJParams, MTJState
+from repro.device.switching import SwitchingModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def model():
+    return SwitchingModel(MTJParams())
+
+
+class TestCriticalCurrent:
+    def test_nominal_pulse(self, model):
+        assert model.critical_current(4e-9) == pytest.approx(500e-6)
+
+    def test_default_is_nominal(self, model):
+        assert model.critical_current() == pytest.approx(500e-6)
+
+    def test_longer_pulse_lowers_threshold(self, model):
+        assert model.critical_current(1e-6) < model.critical_current(4e-9)
+
+    def test_shorter_pulse_raises_threshold(self, model):
+        assert model.critical_current(1e-9) > model.critical_current(4e-9)
+
+    def test_rejects_nonpositive_pulse(self, model):
+        with pytest.raises(ConfigurationError):
+            model.critical_current(0.0)
+
+
+class TestSwitchProbability:
+    def test_monotone_in_current(self, model):
+        currents = np.linspace(0, 800e-6, 30)
+        probs = model.switch_probability(currents, 4e-9)
+        assert np.all(np.diff(probs) >= -1e-12)
+
+    def test_monotone_in_pulse_width(self, model):
+        p_short = model.switch_probability(450e-6, 1e-9)
+        p_long = model.switch_probability(450e-6, 100e-9)
+        assert p_long >= p_short
+
+    def test_write_current_switches_reliably(self, model):
+        assert model.switch_probability(750e-6, 4e-9) > 0.999
+
+    def test_read_current_never_switches(self, model):
+        # 200 µA = 40% of I_c0 with Δ = 60: astronomically safe.
+        p = model.read_disturb_probability(200e-6, 15e-9)
+        assert p < 1e-12
+
+    def test_probability_bounded(self, model):
+        probs = model.switch_probability(np.linspace(0, 2e-3, 50), 4e-9)
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+    def test_rejects_nonpositive_pulse(self, model):
+        with pytest.raises(ConfigurationError):
+            model.switch_probability(100e-6, 0.0)
+
+    def test_mean_time_to_disturb_long_at_read_current(self, model):
+        # Barrier Δ(1 - 0.4) = 36 kT → τ0 e^36 ≈ 50 days of *continuous*
+        # read current; a 15 ns read pulse is therefore harmless.
+        t = model.mean_time_to_disturb(200e-6)
+        assert t > 86400.0  # more than a day of continuous stress
+        assert t == pytest.approx(1e-9 * math.exp(36.0), rel=1e-6)
+
+    def test_mean_time_to_disturb_short_above_critical(self, model):
+        assert model.mean_time_to_disturb(600e-6) == pytest.approx(
+            model.params.attempt_time
+        )
+
+
+class TestApplyPulse:
+    def test_positive_current_writes_zero(self, model):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        result = model.apply_pulse(device, +750e-6, 4e-9)
+        assert result.switched
+        assert device.state is MTJState.PARALLEL
+
+    def test_negative_current_writes_one(self, model):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        result = model.apply_pulse(device, -750e-6, 4e-9)
+        assert result.switched
+        assert device.state is MTJState.ANTIPARALLEL
+
+    def test_unfavourable_direction_never_switches(self, model):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        result = model.apply_pulse(device, +750e-6, 4e-9)
+        assert not result.switched
+        assert result.probability == 0.0
+        assert device.state is MTJState.PARALLEL
+
+    def test_subcritical_pulse_does_not_switch_deterministically(self, model):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        result = model.apply_pulse(device, +200e-6, 4e-9)
+        assert not result.switched
+
+    def test_stochastic_with_rng(self, model, rng):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        result = model.apply_pulse(device, +750e-6, 4e-9, rng=rng)
+        assert result.switched  # probability ~1
+
+
+class TestWriteBit:
+    def test_write_one(self, model):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        result = model.write_bit(device, 1)
+        assert result.switched
+        assert device.read_bit() == 1
+
+    def test_write_zero(self, model):
+        device = MTJDevice(state=MTJState.ANTIPARALLEL)
+        model.write_bit(device, 0)
+        assert device.read_bit() == 0
+
+    def test_write_same_value_is_noop(self, model):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        result = model.write_bit(device, 0)
+        assert not result.switched
+        assert result.probability == 1.0
+
+    def test_custom_write_current(self, model):
+        device = MTJDevice(state=MTJState.PARALLEL)
+        result = model.write_bit(device, 1, write_current=900e-6)
+        assert result.switched
+
+    def test_invalid_sharpness(self):
+        with pytest.raises(ConfigurationError):
+            SwitchingModel(MTJParams(), precessional_sharpness=0.0)
+
+
+class TestThermalActivationPhysics:
+    def test_long_pulse_switches_below_critical(self):
+        # With a low barrier, thermal activation over seconds flips the bit
+        # well below I_c0 — retention physics.
+        params = MTJParams(thermal_stability=40.0)
+        model = SwitchingModel(params)
+        p = model.switch_probability(0.9 * params.i_c0, 1.0)
+        assert p > 0.99
+
+    def test_retention_at_zero_current(self):
+        # Δ = 60 gives a ten-year retention failure probability of
+        # ~3e-9 per bit — the standard nonvolatile-retention budget.
+        params = MTJParams(thermal_stability=60.0)
+        model = SwitchingModel(params)
+        ten_years = 10 * 3.156e7
+        assert model.switch_probability(0.0, ten_years) < 1e-8
+
+    def test_barrier_scales_with_delta(self):
+        weak = SwitchingModel(MTJParams(thermal_stability=30.0))
+        strong = SwitchingModel(MTJParams(thermal_stability=80.0))
+        current, width = 300e-6, 1e-3
+        assert weak.switch_probability(current, width) > strong.switch_probability(
+            current, width
+        )

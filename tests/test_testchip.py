@@ -1,0 +1,137 @@
+"""16kb test-chip experiment tests (paper Fig. 11)."""
+
+import numpy as np
+import pytest
+
+from repro.array.testchip import TESTCHIP_VARIATION, run_testchip_experiment
+from repro.array.testchip import TestChip as ChipConfig
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def result():
+    """One full 16kb run (module-scoped: it is the expensive fixture)."""
+    return run_testchip_experiment()
+
+
+class TestChipGeometry:
+    def test_paper_dimensions(self):
+        chip = ChipConfig()
+        assert chip.bits == 16384
+        assert chip.rows == 128
+        assert chip.columns == 128
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ConfigurationError):
+            ChipConfig(rows=0)
+
+
+class TestFig11Outcome:
+    def test_conventional_fails_about_one_percent(self, result):
+        # Paper §V: "about 1% of bits failed to be readout by conventional
+        # sensing scheme".
+        assert 0.005 < result.conventional_fail_fraction < 0.02
+
+    def test_both_self_reference_schemes_pass_all_bits(self, result):
+        # Paper §V: "both destructive and nondestructive self-reference
+        # schemes successfully sensed all measured bits".
+        assert result.self_reference_all_pass
+        assert result.report["destructive"].fail_count == 0
+        assert result.report["nondestructive"].fail_count == 0
+
+    def test_destructive_margins_larger_than_nondestructive(self, result):
+        assert (
+            result.report["destructive"].mean_margin
+            > 3 * result.report["nondestructive"].mean_margin
+        )
+
+    def test_nondestructive_margins_cluster_above_window(self, result):
+        stats = result.report["nondestructive"]
+        assert stats.min_margin > 8e-3
+        assert stats.mean_margin == pytest.approx(12.1e-3, rel=0.2)
+
+    def test_conventional_failures_are_tail_bits(self, result):
+        # Failing bits sit in the resistance tails, not uniformly.
+        conv = result.margins["conventional"]
+        fail_mask = conv.fail_mask(8e-3)
+        r_low = result.population.r_low0
+        spread_all = np.std(r_low)
+        spread_fail = np.std(r_low[fail_mask])
+        # Tail bits: wider spread (bimodal high/low tails + vref errors).
+        assert spread_fail > spread_all
+
+    def test_scatter_shapes(self, result):
+        sm0, sm1 = result.scatter("nondestructive")
+        assert sm0.shape == (16384,)
+        assert sm1.shape == (16384,)
+
+    def test_scatter_unknown_scheme(self, result):
+        with pytest.raises(KeyError):
+            result.scatter("quantum")
+
+
+class TestReproducibility:
+    def test_default_seed_reproducible(self):
+        a = run_testchip_experiment(ChipConfig(rows=16, columns=16))
+        b = run_testchip_experiment(ChipConfig(rows=16, columns=16))
+        assert a.report["conventional"].fail_count == b.report["conventional"].fail_count
+        assert np.array_equal(a.population.r_high0, b.population.r_high0)
+
+    def test_custom_rng(self):
+        small = ChipConfig(rows=16, columns=16)
+        a = run_testchip_experiment(small, rng=np.random.default_rng(1))
+        b = run_testchip_experiment(small, rng=np.random.default_rng(2))
+        assert not np.array_equal(a.population.r_high0, b.population.r_high0)
+
+    def test_custom_required_margin(self):
+        small = ChipConfig(rows=16, columns=16)
+        strict = run_testchip_experiment(small, required_margin=50e-3)
+        # A 50 mV requirement kills every nondestructive bit (~12 mV margins).
+        assert strict.report["nondestructive"].fail_fraction == 1.0
+
+
+class TestPhysicalReferenceMode:
+    def test_reference_pairs_mode_runs(self):
+        result = run_testchip_experiment(
+            ChipConfig(rows=32, columns=32),
+            rng=np.random.default_rng(9),
+            reference_pairs=1,
+        )
+        # Column-correlated reference errors: bits in the same column share
+        # one error value.
+        errors = result.population.vref_error.reshape(32, 32)
+        assert np.allclose(errors, errors[0][None, :])
+
+    def test_more_pairs_reduce_reference_error(self):
+        few = run_testchip_experiment(
+            ChipConfig(rows=16, columns=64),
+            rng=np.random.default_rng(4),
+            reference_pairs=1,
+        )
+        many = run_testchip_experiment(
+            ChipConfig(rows=16, columns=64),
+            rng=np.random.default_rng(4),
+            reference_pairs=16,
+        )
+        assert np.std(many.population.vref_error) < np.std(few.population.vref_error)
+
+    def test_self_reference_immune_to_reference_construction(self):
+        result = run_testchip_experiment(
+            ChipConfig(rows=32, columns=32),
+            rng=np.random.default_rng(9),
+            reference_pairs=1,
+        )
+        assert result.self_reference_all_pass
+
+
+class TestVariationScaling:
+    def test_double_variation_fails_more_conventional_bits(self):
+        base = ChipConfig(rows=32, columns=32)
+        doubled = ChipConfig(
+            rows=32, columns=32, variation=TESTCHIP_VARIATION.scaled(2.0)
+        )
+        rng_a = np.random.default_rng(3)
+        rng_b = np.random.default_rng(3)
+        base_fail = run_testchip_experiment(base, rng_a).conventional_fail_fraction
+        doubled_fail = run_testchip_experiment(doubled, rng_b).conventional_fail_fraction
+        assert doubled_fail > base_fail

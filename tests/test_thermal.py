@@ -1,0 +1,76 @@
+"""Temperature-derating tests."""
+
+import pytest
+
+from repro.device.mtj import MTJParams
+from repro.device.thermal import ThermalModel, derate_params
+from repro.errors import ConfigurationError
+from repro.units import ROOM_TEMPERATURE
+
+
+class TestThermalModel:
+    def test_room_temperature_identity(self):
+        model = ThermalModel()
+        assert model.tmr_at(1.05, ROOM_TEMPERATURE) == pytest.approx(1.05)
+        assert model.thermal_stability_at(60.0, ROOM_TEMPERATURE) == pytest.approx(60.0)
+
+    def test_tmr_decreases_with_temperature(self):
+        model = ThermalModel()
+        assert model.tmr_at(1.05, 350.0) < 1.05
+
+    def test_tmr_clamped_nonnegative(self):
+        model = ThermalModel(tmr_temp_coefficient=0.1)
+        assert model.tmr_at(1.0, 400.0) == 0.0
+
+    def test_thermal_stability_shrinks(self):
+        model = ThermalModel()
+        assert model.thermal_stability_at(60.0, 400.0) < 60.0
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel(tmr_temp_coefficient=-1e-3)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ConfigurationError):
+            ThermalModel().thermal_stability_at(60.0, 0.0)
+
+
+class TestDerating:
+    def test_room_temperature_roundtrip(self):
+        params = MTJParams()
+        derated = derate_params(params, ROOM_TEMPERATURE)
+        assert derated.r_low == pytest.approx(params.r_low)
+        assert derated.r_high == pytest.approx(params.r_high)
+
+    def test_hot_device_loses_tmr(self):
+        params = MTJParams()
+        hot = derate_params(params, 360.0)
+        assert hot.tmr < params.tmr
+        assert hot.r_low > params.r_low  # small positive coefficient
+
+    def test_rolloff_scales_with_split(self):
+        params = MTJParams()
+        hot = derate_params(params, 360.0)
+        ratio = (hot.r_high - hot.r_low) / (params.r_high - params.r_low)
+        assert hot.dr_high_max == pytest.approx(params.dr_high_max * ratio)
+
+    def test_thermal_stability_derated(self):
+        params = MTJParams()
+        hot = derate_params(params, 360.0)
+        assert hot.thermal_stability < params.thermal_stability
+
+    def test_collapse_raises(self):
+        params = MTJParams()
+        model = ThermalModel(tmr_temp_coefficient=0.05)
+        with pytest.raises(ConfigurationError):
+            derate_params(params, 400.0, model)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ConfigurationError):
+            derate_params(MTJParams(), -10.0)
+
+    def test_cold_device_gains_margin(self):
+        params = MTJParams()
+        cold = derate_params(params, 250.0)
+        assert cold.tmr > params.tmr
+        assert cold.thermal_stability > params.thermal_stability

@@ -1,0 +1,190 @@
+"""Timing, latency, energy and reliability tests (paper §V, Figs. 9–10)."""
+
+import numpy as np
+import pytest
+
+from repro.timing.energy import read_energy_comparison, scheme_read_energy
+from repro.timing.latency import (
+    TimingConfig,
+    destructive_read_latency,
+    latency_comparison,
+    nondestructive_read_latency,
+)
+from repro.timing.phases import destructive_schedule, nondestructive_schedule
+from repro.timing.reliability import (
+    PowerFailureModel,
+    data_loss_probability_per_read,
+    expected_data_loss_rate,
+    vulnerability_window,
+)
+from repro.errors import ConfigurationError
+
+
+def make_nondestructive_schedule():
+    return nondestructive_schedule(
+        i_read1=94e-6, i_read2=200e-6,
+        t_wordline=2e-9, t_first_read=6e-9, t_second_read=2e-9,
+        t_sense=1.5e-9, t_latch=1e-9,
+    )
+
+
+class TestPhaseSchedule:
+    def test_total_duration(self):
+        schedule = make_nondestructive_schedule()
+        assert schedule.total_duration == pytest.approx(12.5e-9)
+
+    def test_phase_lookup(self):
+        schedule = make_nondestructive_schedule()
+        assert schedule.phase("first_read").read_current == pytest.approx(94e-6)
+        assert schedule.start_of("second_read") == pytest.approx(8e-9)
+        assert schedule.end_of("second_read") == pytest.approx(10e-9)
+
+    def test_unknown_phase(self):
+        schedule = make_nondestructive_schedule()
+        with pytest.raises(KeyError):
+            schedule.phase("erase")
+        with pytest.raises(KeyError):
+            schedule.start_of("erase")
+
+    def test_signal_intervals_fig9(self):
+        # Fig. 9: SLT1 during the first read, SLT2 spanning second read and
+        # sense, SenEn only during sense.
+        schedule = make_nondestructive_schedule()
+        assert schedule.signal_intervals("SLT1") == [(pytest.approx(2e-9), pytest.approx(8e-9))]
+        (slt2_interval,) = schedule.signal_intervals("SLT2")
+        assert slt2_interval[0] == pytest.approx(8e-9)
+        assert slt2_interval[1] == pytest.approx(11.5e-9)
+        (sen_interval,) = schedule.signal_intervals("SenEn")
+        assert sen_interval == (pytest.approx(10e-9), pytest.approx(11.5e-9))
+
+    def test_destructive_has_write_phases(self):
+        schedule = destructive_schedule(
+            i_read1=164e-6, i_read2=200e-6, i_write=750e-6,
+            t_wordline=2e-9, t_first_read=6e-9, t_erase=5e-9,
+            t_second_read=6e-9, t_sense=1.5e-9, t_latch=1e-9, t_write_back=5e-9,
+        )
+        assert schedule.phase("erase").write_current == pytest.approx(750e-6)
+        assert schedule.phase("write_back").write_current == pytest.approx(-750e-6)
+
+    def test_negative_duration_rejected(self):
+        from repro.timing.phases import Phase
+
+        with pytest.raises(ConfigurationError):
+            Phase("bad", -1e-9)
+
+
+class TestLatency:
+    def test_nondestructive_about_15ns(self, paper_cell, calibration):
+        breakdown = nondestructive_read_latency(
+            paper_cell, beta=calibration.beta_nondestructive
+        )
+        # Paper: "the whole read operation can complete in about 15ns".
+        assert 8e-9 < breakdown.total < 20e-9
+
+    def test_destructive_much_slower(self, paper_cell, calibration):
+        d, n, speedup = latency_comparison(
+            paper_cell,
+            beta_destructive=calibration.beta_destructive,
+            beta_nondestructive=calibration.beta_nondestructive,
+        )
+        assert speedup > 1.5
+        assert d.total > n.total
+
+    def test_second_read_faster_than_first(self, paper_cell, calibration):
+        # §V: the divider does not load the bit line, so the 2nd read is
+        # faster than a capacitor-sampled read.
+        breakdown = nondestructive_read_latency(
+            paper_cell, beta=calibration.beta_nondestructive
+        )
+        assert breakdown.phase_duration("second_read") < breakdown.phase_duration(
+            "first_read"
+        )
+
+    def test_destructive_second_read_slower_than_nondestructive(
+        self, paper_cell, calibration
+    ):
+        d = destructive_read_latency(paper_cell, beta=calibration.beta_destructive)
+        n = nondestructive_read_latency(
+            paper_cell, beta=calibration.beta_nondestructive
+        )
+        assert d.phase_duration("second_read") > n.phase_duration("second_read")
+
+    def test_write_phases_include_pulse_width(self, paper_cell):
+        breakdown = destructive_read_latency(paper_cell)
+        assert breakdown.phase_duration("erase") >= 4e-9
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            TimingConfig(settle_tolerance=0.0)
+
+
+class TestEnergy:
+    def test_destructive_dominated_by_writes(self, paper_cell, calibration):
+        d, n, ratio = read_energy_comparison(
+            paper_cell,
+            beta_destructive=calibration.beta_destructive,
+            beta_nondestructive=calibration.beta_nondestructive,
+        )
+        assert d.write_energy > 0.8 * d.total
+        assert n.write_energy == 0.0
+        assert ratio > 5.0
+
+    def test_energy_positive_per_phase(self, paper_cell):
+        breakdown = scheme_read_energy(
+            paper_cell, nondestructive_read_latency(paper_cell)
+        )
+        read_phases = {"first_read", "second_read", "sense"}
+        for name, energy in breakdown.per_phase.items():
+            if name in read_phases:
+                assert energy > 0.0
+            else:
+                assert energy == 0.0
+
+    def test_read_energy_matches_i2rt(self, paper_cell):
+        breakdown = nondestructive_read_latency(paper_cell, beta=2.0)
+        energy = scheme_read_energy(paper_cell, breakdown)
+        phase = breakdown.schedule.phase("second_read")
+        from repro.device.mtj import MTJState
+
+        expected = (
+            phase.read_current**2
+            * paper_cell.series_resistance(phase.read_current, MTJState.ANTIPARALLEL)
+            * phase.duration
+        )
+        assert energy.per_phase["second_read"] == pytest.approx(expected)
+
+
+class TestReliability:
+    def test_nondestructive_has_no_vulnerability(self, paper_cell):
+        breakdown = nondestructive_read_latency(paper_cell)
+        assert vulnerability_window(breakdown) == 0.0
+        assert data_loss_probability_per_read(breakdown, PowerFailureModel(1.0)) == 0.0
+
+    def test_destructive_window_spans_erase_to_writeback(self, paper_cell):
+        breakdown = destructive_read_latency(paper_cell)
+        window = vulnerability_window(breakdown)
+        schedule = breakdown.schedule
+        expected = schedule.end_of("write_back") - schedule.start_of("erase")
+        assert window == pytest.approx(expected)
+        assert window > 10e-9
+
+    def test_loss_probability_linear_in_rate(self, paper_cell):
+        breakdown = destructive_read_latency(paper_cell)
+        p1 = data_loss_probability_per_read(breakdown, PowerFailureModel(1e-3))
+        p2 = data_loss_probability_per_read(breakdown, PowerFailureModel(2e-3))
+        assert p2 == pytest.approx(2 * p1, rel=1e-6)
+
+    def test_expected_loss_rate(self, paper_cell):
+        breakdown = destructive_read_latency(paper_cell)
+        model = PowerFailureModel(1e-5)
+        rate = expected_data_loss_rate(breakdown, model, reads_per_second=1e8)
+        assert rate == pytest.approx(
+            1e8 * data_loss_probability_per_read(breakdown, model)
+        )
+
+    def test_rejects_negative_inputs(self, paper_cell):
+        with pytest.raises(ConfigurationError):
+            PowerFailureModel(-1.0)
+        breakdown = destructive_read_latency(paper_cell)
+        with pytest.raises(ConfigurationError):
+            expected_data_loss_rate(breakdown, PowerFailureModel(), -1.0)

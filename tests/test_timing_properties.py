@@ -1,0 +1,108 @@
+"""Hypothesis property tests for the timing layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.timing.phases import destructive_schedule, nondestructive_schedule
+
+duration = st.floats(0.1e-9, 20e-9)
+
+
+class TestScheduleInvariants:
+    @given(
+        t_wl=duration, t_r1=duration, t_r2=duration, t_sen=duration, t_lat=duration
+    )
+    @settings(max_examples=50)
+    def test_total_is_sum_of_phases(self, t_wl, t_r1, t_r2, t_sen, t_lat):
+        schedule = nondestructive_schedule(
+            i_read1=94e-6, i_read2=200e-6,
+            t_wordline=t_wl, t_first_read=t_r1, t_second_read=t_r2,
+            t_sense=t_sen, t_latch=t_lat,
+        )
+        assert schedule.total_duration == pytest.approx(
+            sum(p.duration for p in schedule.phases)
+        )
+        assert schedule.total_duration == pytest.approx(
+            t_wl + t_r1 + t_r2 + t_sen + t_lat
+        )
+
+    @given(
+        t_wl=duration, t_r1=duration, t_r2=duration, t_sen=duration, t_lat=duration
+    )
+    @settings(max_examples=50)
+    def test_phases_tile_the_timeline(self, t_wl, t_r1, t_r2, t_sen, t_lat):
+        schedule = nondestructive_schedule(
+            i_read1=94e-6, i_read2=200e-6,
+            t_wordline=t_wl, t_first_read=t_r1, t_second_read=t_r2,
+            t_sense=t_sen, t_latch=t_lat,
+        )
+        cursor = 0.0
+        for phase in schedule.phases:
+            assert schedule.start_of(phase.name) == pytest.approx(cursor)
+            assert schedule.end_of(phase.name) == pytest.approx(
+                cursor + phase.duration
+            )
+            cursor += phase.duration
+
+    @given(
+        t_wl=duration, t_r1=duration, t_r2=duration, t_sen=duration, t_lat=duration
+    )
+    @settings(max_examples=50)
+    def test_signal_intervals_within_operation(
+        self, t_wl, t_r1, t_r2, t_sen, t_lat
+    ):
+        schedule = nondestructive_schedule(
+            i_read1=94e-6, i_read2=200e-6,
+            t_wordline=t_wl, t_first_read=t_r1, t_second_read=t_r2,
+            t_sense=t_sen, t_latch=t_lat,
+        )
+        total = schedule.total_duration
+        for signal in ("WL", "SLT1", "SLT2", "SenEn", "Data_latch"):
+            for start, end in schedule.signal_intervals(signal):
+                assert 0.0 <= start < end <= total + 1e-18
+
+    @given(
+        t_wl=duration, t_r1=duration, t_erase=duration, t_r2=duration,
+        t_sen=duration, t_lat=duration, t_wb=duration,
+    )
+    @settings(max_examples=50)
+    def test_destructive_write_phases_bracket_second_read(
+        self, t_wl, t_r1, t_erase, t_r2, t_sen, t_lat, t_wb
+    ):
+        schedule = destructive_schedule(
+            i_read1=164e-6, i_read2=200e-6, i_write=750e-6,
+            t_wordline=t_wl, t_first_read=t_r1, t_erase=t_erase,
+            t_second_read=t_r2, t_sense=t_sen, t_latch=t_lat,
+            t_write_back=t_wb,
+        )
+        assert schedule.end_of("erase") <= schedule.start_of("second_read")
+        assert schedule.end_of("second_read") <= schedule.start_of("write_back")
+        # Vulnerability window (reliability model) equals erase→write-back.
+        window = schedule.end_of("write_back") - schedule.start_of("erase")
+        assert window == pytest.approx(t_erase + t_r2 + t_sen + t_lat + t_wb)
+
+
+class TestLatencyScaling:
+    @given(factor=st.floats(0.5, 3.0))
+    @settings(max_examples=20, deadline=None)
+    def test_latency_monotone_in_capacitor(self, factor):
+        from repro.calibration import calibrated_cell
+        from repro.circuit.storage import SampleCapacitor
+        from repro.timing.latency import TimingConfig, nondestructive_read_latency
+
+        cell = calibrated_cell()
+        base_config = TimingConfig()
+        scaled_config = TimingConfig(
+            capacitor=SampleCapacitor(
+                capacitance=base_config.capacitor.capacitance * factor,
+                switch_resistance=base_config.capacitor.switch_resistance,
+            )
+        )
+        base = nondestructive_read_latency(cell, config=base_config)
+        scaled = nondestructive_read_latency(cell, config=scaled_config)
+        if factor > 1.0:
+            assert scaled.total > base.total
+        elif factor < 1.0:
+            assert scaled.total < base.total

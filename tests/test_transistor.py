@@ -1,0 +1,103 @@
+"""Access-transistor model tests."""
+
+import numpy as np
+import pytest
+
+from repro.device.transistor import (
+    FixedResistanceTransistor,
+    LinearRegionTransistor,
+    PAPER_TRANSISTOR,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFixedResistance:
+    def test_paper_value(self):
+        assert PAPER_TRANSISTOR.resistance(100e-6) == pytest.approx(917.0)
+
+    def test_current_independent(self):
+        t = FixedResistanceTransistor(917.0)
+        assert t.resistance(1e-6) == t.resistance(200e-6)
+
+    def test_shift(self):
+        t = FixedResistanceTransistor(917.0, shift=130.0)
+        assert t.resistance(0.0) == pytest.approx(1047.0)
+
+    def test_shifted_returns_copy(self):
+        base = FixedResistanceTransistor(917.0)
+        shifted = base.shifted(-100.0)
+        assert shifted.resistance(0.0) == pytest.approx(817.0)
+        assert base.resistance(0.0) == pytest.approx(917.0)
+
+    def test_vectorized(self):
+        t = FixedResistanceTransistor(917.0)
+        out = t.resistance(np.array([1e-6, 2e-6, 3e-6]))
+        assert out.shape == (3,)
+        assert np.all(out == 917.0)
+
+    def test_voltage(self):
+        t = FixedResistanceTransistor(1000.0)
+        assert t.voltage(100e-6) == pytest.approx(0.1)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FixedResistanceTransistor(0.0)
+        with pytest.raises(ConfigurationError):
+            FixedResistanceTransistor(100.0, shift=-200.0)
+
+    def test_repr(self):
+        assert "917" in repr(FixedResistanceTransistor(917.0))
+
+
+class TestLinearRegion:
+    def test_zero_current_resistance(self):
+        t = LinearRegionTransistor(r_zero=900.0, v_overdrive=0.9)
+        assert t.resistance(0.0) == pytest.approx(900.0)
+
+    def test_resistance_rises_with_current(self):
+        t = LinearRegionTransistor(r_zero=900.0, v_overdrive=0.9)
+        r_small = t.resistance(50e-6)
+        r_large = t.resistance(200e-6)
+        assert r_large > r_small > 900.0
+
+    def test_consistency_with_triode_equation(self):
+        t = LinearRegionTransistor(r_zero=900.0, v_overdrive=0.9)
+        current = 150e-6
+        r = t.resistance(current)
+        v_ds = current * r
+        k = 1.0 / (t.r_zero * t.v_overdrive)
+        reconstructed = k * (t.v_overdrive * v_ds - 0.5 * v_ds**2)
+        assert reconstructed == pytest.approx(current, rel=1e-9)
+
+    def test_clamps_at_saturation(self):
+        t = LinearRegionTransistor(r_zero=900.0, v_overdrive=0.9)
+        i_sat = 0.5 * t.v_overdrive / t.r_zero
+        # Far above saturation: resistance clamps instead of going complex.
+        r = t.resistance(10 * i_sat)
+        assert np.isfinite(r)
+
+    def test_shift_between_reads_is_positive(self):
+        t = LinearRegionTransistor(r_zero=900.0, v_overdrive=0.9)
+        # The larger second-read current sees the larger resistance, so the
+        # first-read-relative shift is negative.
+        shift = t.shift_between(200e-6 / 2.13, 200e-6)
+        assert shift < 0.0
+
+    def test_small_shift_at_paper_currents(self):
+        # The paper treats ΔR_TR as a small perturbation; check the physical
+        # model stays within the nondestructive scheme's ±130 Ω window.
+        t = LinearRegionTransistor(r_zero=900.0, v_overdrive=0.9)
+        shift = abs(t.shift_between(200e-6 / 2.13, 200e-6))
+        assert shift < 130.0
+
+    def test_vectorized(self):
+        t = LinearRegionTransistor()
+        out = t.resistance(np.linspace(0, 200e-6, 7))
+        assert out.shape == (7,)
+        assert np.all(np.diff(out) >= 0)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LinearRegionTransistor(r_zero=0.0)
+        with pytest.raises(ConfigurationError):
+            LinearRegionTransistor(v_overdrive=0.0)

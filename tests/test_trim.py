@@ -1,0 +1,112 @@
+"""Test-time β-trimming tests (the paper's §V compensation knob)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import calibrate
+from repro.core.margins import population_nondestructive_margins
+from repro.core.optimize import optimize_beta_nondestructive
+from repro.core.trim import beta_compensating_alpha, trim_population_beta
+from repro.device.variation import CellPopulation, VariationModel
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def calibrated_population(rng, calibration):
+    return CellPopulation.sample(
+        size=1024,
+        variation=VariationModel(sigma_alpha_frac=0.0, sigma_beta_frac=0.0),
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=rng,
+    )
+
+
+class TestAlphaCompensation:
+    def test_zero_deviation_reproduces_nominal_optimum(self, paper_cell, calibration):
+        optimum = beta_compensating_alpha(paper_cell, 0.5, 0.0)
+        assert optimum.beta == pytest.approx(calibration.beta_nondestructive, rel=1e-6)
+
+    def test_compensation_restores_balance(self, paper_cell):
+        from repro.core.margins import nondestructive_margins
+
+        deviation = 0.03  # inside the Fig. 8 window the untrimmed SM1 ≈ 0.3 mV
+        untrimmed = nondestructive_margins(
+            paper_cell, 200e-6, 2.136, alpha=0.5, alpha_deviation=deviation
+        )
+        trimmed = beta_compensating_alpha(paper_cell, 0.5, deviation)
+        assert trimmed.margins.is_balanced
+        assert trimmed.max_sense_margin > 2 * untrimmed.min_margin
+
+    def test_compensated_beta_direction(self, paper_cell):
+        # Divider came out high (α·(1+Δ) too big): V_BO too large, so the
+        # trim must reduce β (raise I_R1) to lift V_BL1 — β* drops.
+        high = beta_compensating_alpha(paper_cell, 0.5, +0.04)
+        low = beta_compensating_alpha(paper_cell, 0.5, -0.04)
+        nominal = beta_compensating_alpha(paper_cell, 0.5, 0.0)
+        assert high.beta < nominal.beta < low.beta
+
+    def test_compensation_beyond_window_still_works(self, paper_cell):
+        # Even a +8% divider error (outside the untrimmed ±4.3%/−6.1%
+        # window) is recoverable by re-trimming β — the point of the knob.
+        trimmed = beta_compensating_alpha(paper_cell, 0.5, 0.08)
+        assert trimmed.max_sense_margin > 8e-3
+
+    def test_untrimmable_ratio_rejected(self, paper_cell):
+        with pytest.raises(ConfigurationError):
+            beta_compensating_alpha(paper_cell, 0.5, 1.5)
+
+
+class TestPopulationTrim:
+    def test_trim_at_least_as_good_as_nominal_beta(self, calibrated_population, calibration):
+        trim = trim_population_beta(calibrated_population)
+        sm0, sm1 = population_nondestructive_margins(
+            calibrated_population, 200e-6, calibration.beta_nondestructive
+        )
+        nominal_worst = float(np.min(np.minimum(sm0, sm1)))
+        assert trim.worst_margin >= nominal_worst - 1e-9
+
+    def test_trim_result_fields(self, calibrated_population):
+        trim = trim_population_beta(calibrated_population)
+        assert trim.scheme == "nondestructive"
+        assert 1.01 <= trim.beta <= 4.0
+        assert 0.0 <= trim.yield_fraction <= 1.0
+
+    def test_trim_destructive_scheme(self, calibrated_population):
+        trim = trim_population_beta(calibrated_population, scheme="destructive")
+        # The destructive trim lands near the paper's 1.22 optimum.
+        assert 1.1 < trim.beta < 1.4
+        assert trim.worst_margin > 30e-3
+
+    def test_trim_recovers_skewed_alpha(self, rng, calibration):
+        # A population whose dividers all came out 3% high: the nominal β
+        # leaves bits near zero margin; the trim recovers them.
+        population = CellPopulation.sample(
+            size=512,
+            variation=VariationModel(sigma_alpha_frac=0.0, sigma_beta_frac=0.0),
+            params=calibration.params,
+            rolloff_high=calibration.rolloff_high(),
+            rolloff_low=calibration.rolloff_low(),
+            rng=rng,
+        )
+        population.alpha_deviation = np.full(population.size, 0.03)
+        sm0, sm1 = population_nondestructive_margins(
+            population, 200e-6, calibration.beta_nondestructive
+        )
+        skewed_worst = float(np.min(np.minimum(sm0, sm1)))
+        trim = trim_population_beta(population)
+        assert trim.worst_margin > skewed_worst + 5e-3
+
+    def test_unknown_scheme_rejected(self, calibrated_population):
+        with pytest.raises(ConfigurationError):
+            trim_population_beta(calibrated_population, scheme="conventional")
+
+    def test_empty_population_rejected(self, calibrated_population):
+        empty = calibrated_population.subset(np.array([], dtype=int))
+        with pytest.raises(ConfigurationError):
+            trim_population_beta(empty)
+
+    def test_grid_validation(self, calibrated_population):
+        with pytest.raises(ConfigurationError):
+            trim_population_beta(calibrated_population, grid_points=2)

@@ -1,0 +1,76 @@
+"""Unit-helper tests."""
+
+import math
+
+import pytest
+
+from repro.units import (
+    BOLTZMANN,
+    ROOM_TEMPERATURE,
+    angstrom,
+    ff,
+    format_si,
+    kohm,
+    ma,
+    mohm,
+    mv,
+    nm,
+    ns,
+    pf,
+    ps,
+    ua,
+)
+
+
+def test_current_conversions():
+    assert ua(200) == pytest.approx(200e-6)
+    assert ma(1.5) == pytest.approx(1.5e-3)
+
+
+def test_voltage_and_time_conversions():
+    assert mv(76.6) == pytest.approx(0.0766)
+    assert ns(4) == pytest.approx(4e-9)
+    assert ps(250) == pytest.approx(2.5e-10)
+
+
+def test_capacitance_conversions():
+    assert ff(50) == pytest.approx(50e-15)
+    assert pf(1.2) == pytest.approx(1.2e-12)
+
+
+def test_resistance_conversions():
+    assert kohm(2.5) == pytest.approx(2500.0)
+    assert mohm(20) == pytest.approx(20e6)
+
+
+def test_length_conversions():
+    assert nm(90) == pytest.approx(90e-9)
+    assert angstrom(14) == pytest.approx(1.4e-9)
+
+
+def test_constants():
+    assert BOLTZMANN == pytest.approx(1.380649e-23)
+    assert ROOM_TEMPERATURE == 300.0
+
+
+def test_format_si_engineering_prefixes():
+    assert format_si(200e-6, "A") == "200 µA"
+    assert format_si(2500.0, "Ω") == "2.5 kΩ"
+    assert format_si(76.6e-3, "V") == "76.6 mV"
+    assert format_si(20e6, "Ω") == "20 MΩ"
+    assert format_si(4e-9, "s") == "4 ns"
+
+
+def test_format_si_edge_cases():
+    assert format_si(0.0, "V") == "0 V"
+    assert format_si(float("nan"), "V") == "nan V"
+    assert format_si(float("inf"), "V") == "inf V"
+    assert format_si(float("-inf"), "V") == "-inf V"
+
+
+def test_format_si_negative_values():
+    assert format_si(-130.0, "Ω") == "-130 Ω"
+
+
+def test_format_si_digits():
+    assert format_si(76.64e-3, "V", digits=4) == "76.64 mV"

@@ -1,0 +1,139 @@
+"""Verilog-A export tests plus edge-case tests for under-exercised paths."""
+
+import numpy as np
+import pytest
+
+from repro.calibration import calibrate
+from repro.circuit.sense_amp import SenseAmplifier
+from repro.circuit.storage import SampleCapacitor
+from repro.core.destructive import DestructiveSelfReference
+from repro.core.nondestructive import NondestructiveSelfReference
+from repro.device.mtj import MTJParams
+from repro.device.veriloga import export_veriloga
+from repro.errors import ConfigurationError
+
+
+class TestVerilogaExport:
+    def test_contains_module_and_parameters(self, calibration):
+        text = export_veriloga(calibration.params)
+        assert "module mtj_sttram" in text
+        assert "endmodule" in text
+        assert f"{calibration.params.r_high:.6g}" in text
+        assert f"{calibration.params.r_low:.6g}" in text
+        assert f"{calibration.params.i_c0:.6g}" in text
+
+    def test_quadratic_conductance_law_present(self, calibration):
+        text = export_veriloga(calibration.params)
+        assert "(vmtj / v_half)" in text
+        assert "I(t1, t2) <+ g * vmtj;" in text
+
+    def test_initial_state_parameter(self, calibration):
+        zero = export_veriloga(calibration.params, initial_bit=0)
+        one = export_veriloga(calibration.params, initial_bit=1)
+        assert "parameter integer init_state = 0" in zero
+        assert "parameter integer init_state = 1" in one
+
+    def test_balanced_braces(self, calibration):
+        # The template must not leak unformatted placeholders.
+        text = export_veriloga(calibration.params)
+        assert "{" not in text.replace("from", "")  # no stray format braces
+
+    def test_rejects_invalid(self, calibration):
+        with pytest.raises(ConfigurationError):
+            export_veriloga(calibration.params, initial_bit=2)
+        with pytest.raises(ConfigurationError):
+            export_veriloga(calibration.params, v_half_high=0.0)
+
+    def test_custom_params(self):
+        params = MTJParams(r_low=1000.0, r_high=2000.0)
+        text = export_veriloga(params)
+        assert "1000" in text and "2000" in text
+
+
+class TestHoldTimeDroop:
+    def test_leaky_capacitor_erodes_destructive_margin(self, rng, calibration):
+        # A badly leaky C1 held for a long second-read phase: the stored
+        # "1" voltage droops below the reference and the read fails.
+        leaky = SampleCapacitor(
+            capacitance=50e-15, switch_resistance=2e3, leakage_resistance=1e6
+        )
+        scheme = DestructiveSelfReference(
+            beta=calibration.beta_destructive, capacitor=leaky
+        )
+        cell = calibration.cell(917.0)
+        cell.write(1)
+        # tau_leak = 1e6 * 50e-15 = 50 ns; hold for 10 tau → ~full droop.
+        result = scheme.read(cell, rng, hold_time=500e-9)
+        assert result.bit == 0
+        assert not result.correct
+
+    def test_healthy_capacitor_survives_hold(self, rng, calibration):
+        scheme = DestructiveSelfReference(beta=calibration.beta_destructive)
+        cell = calibration.cell(917.0)
+        cell.write(1)
+        result = scheme.read(cell, rng, hold_time=500e-9)
+        assert result.correct
+
+    def test_nondestructive_hold_time_parameter(self, rng, calibration):
+        scheme = NondestructiveSelfReference(beta=calibration.beta_nondestructive)
+        cell = calibration.cell(917.0)
+        cell.write(1)
+        assert scheme.read(cell, rng, hold_time=100e-9).correct
+
+
+class TestMetastableWriteBack:
+    def test_metastable_destructive_read_writes_zero(self, calibration):
+        # A dead sense amp (huge resolution window) returns None; the
+        # write-back defaults to 0 — the stored '1' is lost and reported.
+        dead_amp = SenseAmplifier(resolution=10.0)
+        scheme = DestructiveSelfReference(
+            beta=calibration.beta_destructive, sense_amp=dead_amp
+        )
+        cell = calibration.cell(917.0)
+        cell.write(1)
+        result = scheme.read(cell, rng=None)
+        assert result.bit is None
+        assert cell.stored_bit == 0
+        assert result.data_destroyed
+
+    def test_metastable_nondestructive_read_keeps_data(self, calibration):
+        dead_amp = SenseAmplifier(resolution=10.0)
+        scheme = NondestructiveSelfReference(
+            beta=calibration.beta_nondestructive, sense_amp=dead_amp
+        )
+        cell = calibration.cell(917.0)
+        cell.write(1)
+        result = scheme.read(cell, rng=None)
+        assert result.bit is None
+        assert cell.stored_bit == 1       # nothing was written
+        assert not result.data_destroyed
+
+
+class TestRenderSeriesEdges:
+    def test_two_point_series(self):
+        from repro.analysis.report import render_series
+
+        text = render_series(np.array([0.0, 1.0]), {"y": np.array([1.0, 2.0])}, "x")
+        assert "y" in text and "2" in text
+
+    def test_single_series_many_points_includes_endpoints(self):
+        from repro.analysis.report import render_series
+
+        x = np.linspace(0, 9, 10)
+        text = render_series(x, {"y": x}, "x", max_rows=3)
+        lines = text.splitlines()
+        assert lines[2].startswith("0")     # first point kept
+        assert lines[-1].startswith("9")    # last point kept
+
+
+class TestFormatSiMoreCases:
+    def test_sub_femto_clamps_to_smallest_prefix(self):
+        from repro.units import format_si
+
+        assert "f" in format_si(1e-16, "F")
+
+    def test_tera_scale_uses_giga(self):
+        from repro.units import format_si
+
+        # Beyond the table the largest prefix is used with a big mantissa.
+        assert "G" in format_si(5e12, "bit/s")

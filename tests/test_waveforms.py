@@ -1,0 +1,129 @@
+"""Transient-waveform tests (paper Figs. 9–10)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.divider import VoltageDivider
+from repro.core.margins import nondestructive_margins
+from repro.device.mtj import MTJState
+from repro.errors import ConfigurationError
+from repro.timing.waveforms import simulate_nondestructive_read
+
+
+@pytest.fixture(scope="module")
+def waveforms_one(calibration_module):
+    cell = calibration_module.cell(917.0)
+    cell.write(1)
+    return simulate_nondestructive_read(
+        cell, beta=calibration_module.beta_nondestructive
+    )
+
+
+@pytest.fixture(scope="module")
+def waveforms_zero(calibration_module):
+    cell = calibration_module.cell(917.0)
+    cell.write(0)
+    return simulate_nondestructive_read(
+        cell, beta=calibration_module.beta_nondestructive
+    )
+
+
+@pytest.fixture(scope="module")
+def calibration_module():
+    from repro.calibration import calibrate
+
+    return calibrate()
+
+
+class TestSensing:
+    def test_senses_one(self, waveforms_one):
+        assert waveforms_one.sensed_bit == 1
+        assert waveforms_one.sense_differential > 0
+
+    def test_senses_zero(self, waveforms_zero):
+        assert waveforms_zero.sensed_bit == 0
+        assert waveforms_zero.sense_differential < 0
+
+    def test_differential_matches_analytic_margin(
+        self, waveforms_one, calibration_module
+    ):
+        cell = calibration_module.cell(917.0)
+        analytic = nondestructive_margins(
+            cell, 200e-6, calibration_module.beta_nondestructive, alpha=0.5
+        ).sm1
+        assert waveforms_one.sense_differential == pytest.approx(analytic, rel=0.05)
+
+    def test_completes_in_about_15ns(self, waveforms_one):
+        assert waveforms_one.total_duration < 20e-9
+
+
+class TestAnalogWaveforms:
+    def test_c1_holds_first_read_voltage(self, waveforms_one, calibration_module):
+        cell = calibration_module.cell(917.0)
+        beta = calibration_module.beta_nondestructive
+        i1 = 200e-6 / beta
+        expected = i1 * cell.series_resistance(i1, MTJState.ANTIPARALLEL)
+        schedule = waveforms_one.schedule
+        v_c1_end = waveforms_one.transient.at("C1", schedule.end_of("first_read"))
+        assert v_c1_end == pytest.approx(expected, rel=0.02)
+
+    def test_c1_holds_during_second_read(self, waveforms_one):
+        schedule = waveforms_one.schedule
+        v_start = waveforms_one.transient.at("C1", schedule.start_of("second_read"))
+        v_end = waveforms_one.transient.at("C1", schedule.end_of("sense"))
+        assert v_end == pytest.approx(v_start, rel=0.01)
+
+    def test_bo_settles_to_half_bitline(self, waveforms_one):
+        schedule = waveforms_one.schedule
+        t = schedule.end_of("sense") - 1e-10
+        v_bl = waveforms_one.transient.at("BL", t)
+        v_bo = waveforms_one.transient.at("BO", t)
+        assert v_bo == pytest.approx(0.5 * v_bl, rel=0.01)
+
+    def test_bitline_steps_up_at_second_read(self, waveforms_one):
+        schedule = waveforms_one.schedule
+        v_first = waveforms_one.transient.at("BL", schedule.end_of("first_read") - 1e-10)
+        v_second = waveforms_one.transient.at("BL", schedule.end_of("second_read"))
+        # I_R2 > I_R1 but R_H collapses; the bit-line voltage still rises
+        # (β < R ratio) — check it changed significantly.
+        assert abs(v_second - v_first) > 0.01
+
+    def test_zero_before_wordline(self, waveforms_one):
+        assert abs(waveforms_one.v_bl[0]) < 1e-6
+
+
+class TestControlSignals:
+    def test_fig9_sequence(self, waveforms_one):
+        controls = waveforms_one.controls
+        slt1 = controls["SLT1"]
+        slt2 = controls["SLT2"]
+        # SLT1 and SLT2 are never both closed.
+        assert not np.any(slt1 & slt2)
+
+    def test_sense_enable_inside_slt2(self, waveforms_one):
+        controls = waveforms_one.controls
+        assert np.all(controls["SLT2"][controls["SenEn"]])
+
+    def test_latch_after_sense(self, waveforms_one):
+        controls = waveforms_one.controls
+        times = waveforms_one.times
+        last_sense = times[controls["SenEn"]].max()
+        first_latch = times[controls["Data_latch"]].min()
+        assert first_latch >= last_sense
+
+
+class TestConfiguration:
+    def test_rejects_bad_dt(self, calibration_module):
+        cell = calibration_module.cell(917.0)
+        with pytest.raises(ConfigurationError):
+            simulate_nondestructive_read(cell, dt=0.0)
+
+    def test_divider_deviation_changes_decision_margin(self, calibration_module):
+        cell = calibration_module.cell(917.0)
+        cell.write(1)
+        beta = calibration_module.beta_nondestructive
+        nominal = simulate_nondestructive_read(cell, beta=beta)
+        skewed = simulate_nondestructive_read(
+            cell, beta=beta, divider=VoltageDivider(ratio=0.5, ratio_deviation=0.03)
+        )
+        assert skewed.sense_differential < nominal.sense_differential
