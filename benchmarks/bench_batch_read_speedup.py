@@ -1,0 +1,100 @@
+"""Batch read engine: vectorized ``read_many`` vs the per-bit scalar loop.
+
+Times a full behavioural read of the 16kb test chip (paper §V's array)
+through the batched kernel and through the sequential per-cell reference
+loop, asserting both the advertised speedup and — the part that makes the
+speedup safe to use — bit-for-bit equivalence of the two paths under the
+same RNG seed.
+"""
+
+import time
+
+import numpy as np
+
+from repro.analysis.report import format_table
+from repro.array.testchip import TESTCHIP_VARIATION, TestChip
+from repro.core import (
+    DestructiveSelfReference,
+    NondestructiveSelfReference,
+    batch_from_scalar_reads,
+)
+from repro.device.variation import CellPopulation
+
+#: Speedup floor for the vectorized nondestructive kernel over the scalar
+#: loop on the full 16kb chip.
+REQUIRED_SPEEDUP = 20.0
+
+
+def build_chip_population(calibration) -> CellPopulation:
+    chip = TestChip()
+    return CellPopulation.sample(
+        size=chip.bits,
+        variation=TESTCHIP_VARIATION,
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=np.random.default_rng(2010),
+        r_tr_nominal=chip.targets.r_transistor,
+    )
+
+
+def test_batch_read_speedup(benchmark, calibration, report):
+    population = build_chip_population(calibration)
+    pattern = np.random.default_rng(2010).integers(0, 2, population.size).astype(np.uint8)
+    schemes = {
+        "nondestructive": NondestructiveSelfReference(
+            beta=calibration.beta_nondestructive
+        ),
+        "destructive": DestructiveSelfReference(beta=calibration.beta_destructive),
+    }
+
+    rows = []
+    speedups = {}
+    for name, scheme in schemes.items():
+        start = time.perf_counter()
+        scalar_batch = batch_from_scalar_reads(
+            scheme, population, pattern.copy(), rng=np.random.default_rng(42)
+        )
+        scalar_seconds = time.perf_counter() - start
+
+        if name == "nondestructive":
+            vec_batch = benchmark(
+                lambda: scheme.read_many(
+                    population, pattern.copy(), rng=np.random.default_rng(42)
+                )
+            )
+            vec_seconds = benchmark.stats.stats.min
+        else:
+            start = time.perf_counter()
+            vec_batch = scheme.read_many(
+                population, pattern.copy(), rng=np.random.default_rng(42)
+            )
+            vec_seconds = time.perf_counter() - start
+
+        # The speedup is only meaningful because the results are identical.
+        np.testing.assert_array_equal(scalar_batch.bits, vec_batch.bits)
+        np.testing.assert_array_equal(scalar_batch.margins, vec_batch.margins)
+        np.testing.assert_array_equal(
+            scalar_batch.data_destroyed, vec_batch.data_destroyed
+        )
+
+        speedups[name] = scalar_seconds / vec_seconds
+        rows.append(
+            [
+                name,
+                f"{population.size}",
+                f"{scalar_seconds * 1e3:.0f} ms",
+                f"{vec_seconds * 1e3:.2f} ms",
+                f"{speedups[name]:.0f}x",
+            ]
+        )
+
+    report("Batched behavioural read vs per-bit scalar loop (16kb chip)")
+    report(format_table(
+        ["scheme", "bits", "per-bit loop", "batched kernel", "speedup"], rows
+    ))
+    report()
+    report("identical sensed bits, margins, and destroyed-data masks under")
+    report("the same seed — the batch engine is a drop-in replacement.")
+
+    assert speedups["nondestructive"] >= REQUIRED_SPEEDUP

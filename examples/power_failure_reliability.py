@@ -77,31 +77,24 @@ def injected() -> None:
         value = int(rng.integers(0, 256))
         array.write_word(address, value)
 
-        # Destructive read interrupted right after the erase pulse.
+        # Destructive read interrupted right after the erase pulse — the
+        # batch kernel injects the failure into the whole word at once.
         destructive = DestructiveSelfReference(beta=calibration.beta_destructive)
         base = address * 8
-        for offset in range(8):
-            cell_index = base + offset
-            cell_result = None
-            cell = array._cell(cell_index)  # reach in: we are the harness
-            cell_result = destructive.read(
-                cell, rng, power_failure_at="after_erase"
-            )
-            array._states[cell_index] = cell.stored_bit
-        restored = sum(
-            int(array._states[base + offset]) << offset for offset in range(8)
+        array.read_bits(
+            range(base, base + 8), destructive, rng, power_failure_at="after_erase"
         )
+        stored = array.stored_bits()
+        restored = sum(int(stored[base + offset]) << offset for offset in range(8))
         if restored != value:
             corrupted["destructive"] += 1
 
         # Nondestructive read "interrupted" at any point: nothing to lose.
         array.write_word(address, value)
         nondes = NondestructiveSelfReference(beta=calibration.beta_nondestructive)
-        for offset in range(8):
-            array.read_bit(base + offset, nondes, rng)
-        survived = sum(
-            int(array._states[base + offset]) << offset for offset in range(8)
-        )
+        array.read_word(address, nondes, rng)
+        stored = array.stored_bits()
+        survived = sum(int(stored[base + offset]) << offset for offset in range(8))
         if survived != value:
             corrupted["nondestructive"] += 1
 

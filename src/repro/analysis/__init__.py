@@ -12,7 +12,13 @@ from repro.analysis.figures import (
     fig8_alpha_sweep,
 )
 from repro.analysis.corners import TemperatureCorner, temperature_corner_sweep
-from repro.analysis.ber import ReadErrorBudget, read_error_budget
+from repro.analysis.ber import (
+    EmpiricalBER,
+    ReadErrorBudget,
+    expected_behavioral_ber,
+    read_error_budget,
+    sample_read_ber,
+)
 from repro.analysis.sensitivity import SensitivityEntry, margin_sensitivities
 from repro.analysis.scaling import ScalingProjection, project_fail_fraction, project_scaling
 from repro.analysis.export import export_all_figures, write_series_csv
@@ -28,6 +34,9 @@ __all__ = [
     "write_series_csv",
     "ReadErrorBudget",
     "read_error_budget",
+    "EmpiricalBER",
+    "sample_read_ber",
+    "expected_behavioral_ber",
     "SensitivityEntry",
     "margin_sensitivities",
     "ScalingProjection",

@@ -25,10 +25,18 @@ from scipy.stats import norm
 
 from repro.array.montecarlo import MonteCarloMargins
 from repro.circuit.noise import NoiseBudget
+from repro.core.base import SensingScheme
 from repro.device.switching import SwitchingModel
+from repro.device.variation import CellPopulation
 from repro.errors import ConfigurationError
 
-__all__ = ["ReadErrorBudget", "read_error_budget"]
+__all__ = [
+    "ReadErrorBudget",
+    "read_error_budget",
+    "EmpiricalBER",
+    "sample_read_ber",
+    "expected_behavioral_ber",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -103,3 +111,95 @@ def read_error_budget(
             write_error=per_read_write_error if name == "destructive" else 0.0,
         )
     return budgets
+
+
+# ----------------------------------------------------------------------
+# Sampled (behavioural) BER — the batch-kernel cross-check of the budget
+# ----------------------------------------------------------------------
+def expected_behavioral_ber(margins, resolution: float) -> float:
+    """Per-read sensing error probability implied by behavioural margins.
+
+    A read with signed margin ``m`` against a latch window ``resolution``
+    misreads deterministically when ``m <= -resolution``, resolves to a
+    random rail (½ error) when ``|m| < resolution``, and is correct
+    otherwise (electronic noise ignored — it is negligible at these
+    margins, see :func:`read_error_budget`).
+    """
+    if resolution < 0.0:
+        raise ConfigurationError("resolution must be non-negative")
+    m = np.asarray(margins, dtype=float)
+    p = np.where(m <= -resolution, 1.0, np.where(m < resolution, 0.5, 0.0))
+    return float(p.mean()) if m.size else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class EmpiricalBER:
+    """Sampled sensing BER of one scheme over a population.
+
+    ``ber`` is the observed uniform-data misread fraction;
+    ``expected_ber`` is what the observed behavioural margins predict via
+    :func:`expected_behavioral_ber` — the two must agree within binomial
+    sampling noise, and both cross-check the *worst-case* (binding-state)
+    closed-form :attr:`ReadErrorBudget.sensing_ber` from above.
+    """
+
+    scheme: str
+    trials: int
+    errors: int
+    metastable_events: int
+    expected_ber: float
+
+    @property
+    def ber(self) -> float:
+        """Observed misread fraction."""
+        return self.errors / self.trials if self.trials else 0.0
+
+    @property
+    def std_error(self) -> float:
+        """Binomial standard error of :attr:`ber`."""
+        if self.trials == 0:
+            return 0.0
+        p = self.ber
+        return float(np.sqrt(p * (1.0 - p) / self.trials))
+
+
+def sample_read_ber(
+    population: CellPopulation,
+    scheme: SensingScheme,
+    rng: np.random.Generator = None,
+    rounds: int = 1,
+    **read_kwargs,
+) -> EmpiricalBER:
+    """Measure the sensing BER by actually reading every bit.
+
+    Each round reads the whole population twice through the batch kernel —
+    once with every bit storing 0, once storing 1 (uniform data, both
+    states equally weighted) — and tallies misreads.  Destructive state
+    mutation is confined to throwaway state arrays; the caller's population
+    is never modified.
+    """
+    if rounds < 1:
+        raise ConfigurationError("rounds must be >= 1")
+    if rng is None:
+        rng = np.random.default_rng()
+    n = population.size
+    resolution = scheme.sense_amp.resolution
+    errors = 0
+    metastable = 0
+    trials = 0
+    expected_sum = 0.0
+    for _ in range(rounds):
+        for stored in (0, 1):
+            states = np.full(n, stored, dtype=np.uint8)
+            batch = scheme.read_many(population, states, rng=rng, **read_kwargs)
+            errors += batch.error_count
+            metastable += batch.metastable_count
+            expected_sum += expected_behavioral_ber(batch.margins, resolution) * n
+            trials += n
+    return EmpiricalBER(
+        scheme=scheme.name,
+        trials=trials,
+        errors=errors,
+        metastable_events=metastable,
+        expected_ber=expected_sum / trials,
+    )

@@ -1,27 +1,49 @@
 """Behavioural STT-RAM array: store data, read it back through any scheme.
 
 Where the Monte-Carlo engine computes *margins* in closed form, this class
-actually performs reads and writes bit by bit (materializing each cell),
-which lets integration tests and examples exercise the full read pipeline —
-including the destructive scheme's erase/write-back side effects and
-injected power failures.
+actually performs reads, routed through the vectorized batch kernel
+(:meth:`repro.core.base.SensingScheme.read_many`): one NumPy pass senses a
+word, a list of bits, or the whole array — including the destructive
+scheme's erase/write-back side effects and injected power failures.  The
+scalar :meth:`read_bit` is a batch of one, so every entry point shares the
+same kernel (and the same RNG stream as the historical per-cell loop).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import dataclasses
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.array.montecarlo import run_margin_monte_carlo
 from repro.core.base import ReadResult, SensingScheme
-from repro.core.cell import Cell1T1J
-from repro.device.mtj import MTJState
-from repro.device.transistor import FixedResistanceTransistor
+from repro.core.batch import BatchReadResult
 from repro.device.variation import CellPopulation
 from repro.errors import ConfigurationError
 
-__all__ = ["STTRAMArray"]
+__all__ = ["STTRAMArray", "WordReadResult"]
+
+
+@dataclasses.dataclass(frozen=True)
+class WordReadResult:
+    """One word read through the batch kernel.
+
+    ``value`` packs the sensed bits LSB-first with unresolved (metastable,
+    no-RNG) bits as 0 — the historical :meth:`STTRAMArray.read_word`
+    convention.  ``metastable_bits`` counts comparisons that landed inside
+    the sense-amplifier window, letting callers distinguish "read 0" from
+    "failed to resolve"; ``batch`` keeps the full per-bit detail.
+    """
+
+    value: int
+    metastable_bits: int
+    batch: BatchReadResult
+
+    @property
+    def resolved(self) -> bool:
+        """True when every bit latched deterministically."""
+        return self.metastable_bits == 0
 
 
 class STTRAMArray:
@@ -43,7 +65,6 @@ class STTRAMArray:
             raise ConfigurationError("population smaller than one word")
         self.population = population
         self.word_width = word_width
-        self._cells: Dict[int, Cell1T1J] = {}
         self._states = np.zeros(population.size, dtype=np.uint8)
 
     # ------------------------------------------------------------------
@@ -63,17 +84,6 @@ class STTRAMArray:
         if not 0 <= address < self.size_words:
             raise IndexError(f"address {address} out of range [0, {self.size_words})")
 
-    def _cell(self, bit_index: int) -> Cell1T1J:
-        """Materialize (and cache) the cell for one bit, syncing its state."""
-        cell = self._cells.get(bit_index)
-        if cell is None:
-            mtj = self.population.device(bit_index)
-            transistor = FixedResistanceTransistor(float(self.population.r_tr[bit_index]))
-            cell = Cell1T1J(mtj, transistor)
-            self._cells[bit_index] = cell
-        cell.state = MTJState.from_bit(int(self._states[bit_index]))
-        return cell
-
     # ------------------------------------------------------------------
     # Data operations
     # ------------------------------------------------------------------
@@ -86,26 +96,41 @@ class STTRAMArray:
         for offset in range(self.word_width):
             self._states[base + offset] = (value >> offset) & 1
 
-    def read_word(
+    def read_bits(
         self,
-        address: int,
+        bit_indices: Sequence[int],
         scheme: SensingScheme,
         rng: Optional[np.random.Generator] = None,
-    ) -> int:
-        """Read the word at ``address`` through ``scheme``.
+        **kwargs,
+    ) -> BatchReadResult:
+        """Read the given cells as one batch and sync the array state.
 
-        The scheme may mutate cell state (destructive reads); the array's
-        state tracks whatever the scheme leaves behind.  Metastable bits
-        resolve to 0.
+        The indices must be distinct: a batched read senses every cell
+        once, concurrently, so reading the same cell twice in one batch has
+        no sequential meaning (issue separate calls instead).
         """
-        self._check_address(address)
-        base = address * self.word_width
-        value = 0
-        for offset in range(self.word_width):
-            result = self.read_bit(base + offset, scheme, rng)
-            bit = result.bit if result.bit is not None else 0
-            value |= bit << offset
-        return value
+        idx = np.asarray(bit_indices, dtype=np.intp)
+        if idx.ndim != 1:
+            raise ConfigurationError("bit_indices must be one-dimensional")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size_bits):
+            raise IndexError(
+                f"bit indices out of range [0, {self.size_bits}): {idx.min()}..{idx.max()}"
+            )
+        if np.unique(idx).size != idx.size:
+            raise ConfigurationError("bit_indices must be distinct within one batch")
+        states = self._states[idx].copy()
+        result = scheme.read_many(self.population.subset(idx), states, rng=rng, **kwargs)
+        self._states[idx] = states
+        return result
+
+    def read_all(
+        self,
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> BatchReadResult:
+        """Read every cell of the array in one kernel pass."""
+        return scheme.read_many(self.population, self._states, rng=rng, **kwargs)
 
     def read_bit(
         self,
@@ -113,13 +138,52 @@ class STTRAMArray:
         scheme: SensingScheme,
         rng: Optional[np.random.Generator] = None,
     ) -> ReadResult:
-        """Read one cell through ``scheme`` and sync the array state."""
+        """Read one cell through ``scheme`` — a batch of one."""
         if not 0 <= bit_index < self.size_bits:
             raise IndexError(f"bit {bit_index} out of range [0, {self.size_bits})")
-        cell = self._cell(bit_index)
-        result = scheme.read(cell, rng)
-        self._states[bit_index] = cell.stored_bit
-        return result
+        return self.read_bits([bit_index], scheme, rng).result(0)
+
+    def read_word_result(
+        self,
+        address: int,
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+    ) -> WordReadResult:
+        """Read the word at ``address`` with full per-bit detail.
+
+        The scheme may mutate cell state (destructive reads); the array's
+        state tracks whatever the scheme leaves behind.
+        """
+        self._check_address(address)
+        base = address * self.word_width
+        batch = self.read_bits(range(base, base + self.word_width), scheme, rng)
+        bits = batch.bit_values()
+        value = int(bits @ (1 << np.arange(self.word_width, dtype=np.int64)))
+        return WordReadResult(
+            value=value, metastable_bits=batch.metastable_count, batch=batch
+        )
+
+    def read_word(
+        self,
+        address: int,
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+    ) -> int:
+        """Read the word at ``address``; metastable bits resolve to 0.
+
+        Use :meth:`read_word_result` to also learn *how many* bits were
+        metastable rather than cleanly sensed.
+        """
+        return self.read_word_result(address, scheme, rng).value
+
+    def read_words(
+        self,
+        addresses: Sequence[int],
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+    ) -> List[WordReadResult]:
+        """Read several (distinct) words, each as its own batch."""
+        return [self.read_word_result(address, scheme, rng) for address in addresses]
 
     def stored_bits(self) -> np.ndarray:
         """Ground-truth copy of all stored bits."""

@@ -55,6 +55,13 @@ def run_read_stress(
     value is checked against the expected bit, and the stored bit is
     re-checked after the read (a destructive read that mis-writes-back, or
     whose write pulse fails stochastically, shows up here).
+
+    The campaign is batched: the random read addresses are drawn up front
+    and issued as rounds of distinct-index batches through
+    :meth:`~repro.array.array.STTRAMArray.read_bits` (a repeated address
+    closes a round, since one cell cannot be sensed twice concurrently), so
+    a million-read campaign is a handful of kernel passes instead of a
+    million materialized cells.
     """
     if reads < 1:
         raise ConfigurationError("reads must be >= 1")
@@ -63,22 +70,27 @@ def run_read_stress(
 
     pattern_rng = np.random.default_rng(pattern_seed)
     original = pattern_rng.integers(0, 2, array.size_bits).astype(np.uint8)
-    for index, bit in enumerate(original):
-        array._states[index] = bit
+    array._states[:] = original
 
+    indices = rng.integers(0, array.size_bits, size=reads)
     misreads = 0
     corruptions = 0
     expected = original.copy()
-    for _ in range(reads):
-        index = int(rng.integers(0, array.size_bits))
-        before = int(expected[index])
-        result = array.read_bit(index, scheme, rng)
-        if result.bit != before:
-            misreads += 1
-        after = int(array.stored_bits()[index])
-        if after != before:
-            corruptions += 1
-            expected[index] = after  # track the damage forward
+    start = 0
+    while start < reads:
+        seen = set()
+        stop = start
+        while stop < reads and int(indices[stop]) not in seen:
+            seen.add(int(indices[stop]))
+            stop += 1
+        chunk = indices[start:stop]
+        before = expected[chunk].copy()
+        result = array.read_bits(chunk, scheme, rng)
+        misreads += int(np.count_nonzero(result.bits != before))
+        after = array.stored_bits()[chunk]
+        corruptions += int(np.count_nonzero(after != before))
+        expected[chunk] = after  # track the damage forward
+        start = stop
 
     final_intact = bool(np.array_equal(array.stored_bits(), original))
     return StressReport(

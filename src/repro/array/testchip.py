@@ -19,18 +19,30 @@ window.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+from typing import Dict, Optional
 
 import numpy as np
 
+from repro.array.array import STTRAMArray
 from repro.array.montecarlo import MonteCarloMargins, run_margin_monte_carlo
 from repro.array.yield_analysis import YieldReport, analyze_margins
 from repro.calibration.fit import calibrate
 from repro.calibration.targets import PAPER_TARGETS, PaperTargets
+from repro.core.batch import BatchReadResult
+from repro.core.conventional import ConventionalSensing
+from repro.core.destructive import DestructiveSelfReference
+from repro.core.nondestructive import NondestructiveSelfReference
 from repro.device.variation import CellPopulation, VariationModel
 from repro.errors import ConfigurationError
 
-__all__ = ["TESTCHIP_VARIATION", "TestChip", "TestChipResult", "run_testchip_experiment"]
+__all__ = [
+    "TESTCHIP_VARIATION",
+    "TestChip",
+    "TestChipResult",
+    "BehavioralReadSummary",
+    "run_testchip_experiment",
+    "run_testchip_behavioral",
+]
 
 #: Variation profile of the measured test chip, tuned so the simulated chip
 #: reproduces the paper's Fig. 11 outcome: MTJ variation (σ(t_ox) = 0.06 Å
@@ -170,3 +182,103 @@ def run_testchip_experiment(
     )
     report = analyze_margins(margins, required_margin)
     return TestChipResult(chip=chip, population=population, margins=margins, report=report)
+
+
+@dataclasses.dataclass(frozen=True)
+class BehavioralReadSummary:
+    """One scheme's behavioural read of every chip bit.
+
+    Where :class:`TestChipResult` reports *closed-form* margins, this is the
+    outcome of actually performing the reads through the batch kernel:
+    sensed bits, misreads against the written pattern, metastable
+    comparisons, and (for the destructive scheme) bits whose stored value
+    the read destroyed.
+    """
+
+    #: Not a pytest test class despite the name (pytest collection hint).
+    __test__ = False
+
+    scheme: str
+    batch: BatchReadResult
+
+    @property
+    def bits(self) -> int:
+        """Number of bits read."""
+        return self.batch.size
+
+    @property
+    def misreads(self) -> int:
+        """Reads returning the wrong (or no) value."""
+        return self.batch.error_count
+
+    @property
+    def misread_fraction(self) -> float:
+        """``misreads / bits`` — the behavioural analogue of the
+        closed-form fail fraction."""
+        return self.batch.error_fraction
+
+    @property
+    def metastable_events(self) -> int:
+        """Comparisons inside the sense-amplifier window."""
+        return self.batch.metastable_count
+
+    @property
+    def data_destroyed(self) -> int:
+        """Bits whose stored value the read itself damaged."""
+        return self.batch.destroyed_count
+
+
+def run_testchip_behavioral(
+    chip: Optional[TestChip] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, BehavioralReadSummary]:
+    """Read every bit of the simulated chip through all three schemes.
+
+    The chip is built exactly as :func:`run_testchip_experiment` builds it
+    (calibrated device, test-chip variation profile, paper design points),
+    filled with a random pattern, and each scheme reads the full 16kb in
+    one :meth:`~repro.array.array.STTRAMArray.read_all` kernel pass — the
+    behavioural cross-check of the Fig. 11 closed-form margins.  The
+    pattern is rewritten between schemes so each starts from the same data.
+    """
+    if chip is None:
+        chip = TestChip()
+    if rng is None:
+        rng = np.random.default_rng(2010)  # paper year; reproducible default
+
+    calibration = calibrate(chip.targets)
+    population = CellPopulation.sample(
+        size=chip.bits,
+        variation=chip.variation,
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=rng,
+        r_tr_nominal=chip.targets.r_transistor,
+    )
+    array = STTRAMArray(population)
+    pattern = rng.integers(0, 2, chip.bits).astype(np.uint8)
+
+    schemes = {
+        "conventional": ConventionalSensing(
+            i_read=chip.targets.i_read_max,
+            nominal_cell=calibration.cell(chip.targets.r_transistor),
+        ),
+        "destructive": DestructiveSelfReference(
+            i_read2=chip.targets.i_read_max, beta=calibration.beta_destructive
+        ),
+        "nondestructive": NondestructiveSelfReference(
+            i_read2=chip.targets.i_read_max, beta=calibration.beta_nondestructive
+        ),
+    }
+    summaries: Dict[str, BehavioralReadSummary] = {}
+    for name, scheme in schemes.items():
+        array._states[:] = pattern
+        # The conventional scheme's shared reference carries each bit's
+        # column mismatch — the error source self-referencing removes.
+        kwargs = (
+            {"v_ref_error": population.vref_error} if name == "conventional" else {}
+        )
+        batch = array.read_all(scheme, rng, **kwargs)
+        summaries[name] = BehavioralReadSummary(scheme=name, batch=batch)
+    return summaries

@@ -100,6 +100,35 @@ class SenseAmplifier:
             return None
         return 1 if decision is SenseDecision.HIGH else 0
 
+    def compare_bits(
+        self,
+        v_plus,
+        v_minus,
+        rng: Optional[np.random.Generator] = None,
+        offset=None,
+    ):
+        """Vectorized :meth:`compare_bit` over rail arrays.
+
+        Returns ``(bits, metastable)``: ``bits`` is an ``int8`` array (1 =
+        plus rail, 0 = minus rail, -1 = metastable left unresolved because
+        no RNG was given) and ``metastable`` the mask of comparisons inside
+        the resolution window.  With an RNG, metastable bits resolve to a
+        random rail, consuming one draw per metastable bit in ascending
+        index order — exactly the stream a sequential loop of
+        :meth:`compare_bit` calls would consume.  ``offset`` (scalar or
+        per-bit array) overrides the amplifier's own offset.
+        """
+        off = self.offset if offset is None else offset
+        diff = np.asarray(v_plus, dtype=float) - np.asarray(v_minus, dtype=float) + off
+        bits = (diff > 0.0).astype(np.int8)
+        metastable = np.abs(diff) < self.resolution
+        if rng is None:
+            bits[metastable] = -1
+        elif metastable.any():
+            draws = rng.random(int(np.count_nonzero(metastable)))
+            bits[metastable] = (draws < 0.5).astype(np.int8)
+        return bits, metastable
+
     @classmethod
     def sampled(
         cls,

@@ -25,6 +25,13 @@ __all__ = ["SampleCapacitor"]
 class SampleCapacitor:
     """Storage capacitor with charge/hold dynamics.
 
+    ``stored_voltage`` may be a scalar or an ndarray: batched read kernels
+    sample a whole array of bit-line voltages onto one logical capacitor
+    (one physical instance per bit, identical RC values), and every
+    charge/droop expression broadcasts elementwise.  Durations stay
+    scalars, so the exponential factors are computed once in scalar
+    ``math.exp`` — bit-exact with the per-bit scalar path.
+
     Attributes
     ----------
     capacitance:
@@ -59,28 +66,37 @@ class SampleCapacitor:
             raise ConfigurationError("tolerance must be in (0, 1)")
         return -self.charge_time_constant * math.log(tolerance)
 
-    def sample(self, source_voltage: float, duration: float) -> float:
-        """Charge toward ``source_voltage`` for ``duration`` seconds and
-        return (and store) the resulting capacitor voltage."""
+    def sample(self, source_voltage, duration: float):
+        """Charge toward ``source_voltage`` (scalar or per-bit array) for
+        ``duration`` seconds and return (and store) the resulting
+        capacitor voltage."""
         if duration < 0.0:
             raise ConfigurationError("duration must be non-negative")
         alpha = math.exp(-duration / self.charge_time_constant)
         self.stored_voltage = source_voltage + (self.stored_voltage - source_voltage) * alpha
         return self.stored_voltage
 
-    def hold(self, duration: float) -> float:
-        """Let the stored voltage droop through leakage for ``duration``."""
+    def hold(self, duration: float):
+        """Let the stored voltage (scalar or array) droop through leakage
+        for ``duration``."""
         if duration < 0.0:
             raise ConfigurationError("duration must be non-negative")
         tau = self.leakage_resistance * self.capacitance
         self.stored_voltage *= math.exp(-duration / tau)
         return self.stored_voltage
 
-    def droop_after(self, duration: float) -> float:
+    def droop_after(self, duration: float):
         """Voltage lost to droop after ``duration`` of hold [V] (does not
-        mutate the stored value)."""
+        mutate the stored value; broadcasts over array-valued storage)."""
         tau = self.leakage_resistance * self.capacitance
         return self.stored_voltage * (1.0 - math.exp(-duration / tau))
+
+    def fresh(self) -> "SampleCapacitor":
+        """A discharged copy with the same RC values — the per-read
+        instance a scheme creates from its capacitor template."""
+        return SampleCapacitor(
+            self.capacitance, self.switch_resistance, self.leakage_resistance
+        )
 
     def reset(self) -> None:
         """Discharge the capacitor."""

@@ -17,6 +17,7 @@ analysis (Eqs. 11–20) behind the paper's Figs. 6–8 and Table II.
 """
 
 from repro.core.base import ReadResult, SensingScheme
+from repro.core.batch import BatchReadResult, batch_from_scalar_reads, materialize_cell
 from repro.core.cell import Cell1T1J
 from repro.core.conventional import ConventionalSensing, shared_reference_voltage
 from repro.core.destructive import DestructiveSelfReference
@@ -57,6 +58,9 @@ __all__ = [
     "Cell1T1J",
     "SensingScheme",
     "ReadResult",
+    "BatchReadResult",
+    "batch_from_scalar_reads",
+    "materialize_cell",
     "ConventionalSensing",
     "shared_reference_voltage",
     "DestructiveSelfReference",

@@ -4,12 +4,16 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.core.cell import Cell1T1J
 from repro.core.margins import MarginPair
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.batch import BatchReadResult
+    from repro.device.variation import CellPopulation
 
 __all__ = ["ReadResult", "SensingScheme"]
 
@@ -65,6 +69,30 @@ class SensingScheme(abc.ABC):
         May mutate the cell state (destructive scheme).  ``rng`` drives the
         stochastic parts (write success, metastability resolution).
         """
+
+    def read_many(
+        self,
+        population: "CellPopulation",
+        states: np.ndarray,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> "BatchReadResult":
+        """Batched behavioural read of a whole cell population.
+
+        ``states`` holds one stored bit per population entry and is updated
+        in place with whatever the reads leave behind (destructive state
+        mutation included).  The RNG contract: draws are consumed exactly
+        as the equivalent sequential loop of scalar :meth:`read` calls
+        would consume them, so batched and per-bit reads are bit-for-bit
+        interchangeable under a fixed seed.
+
+        The three paper schemes override this with single-NumPy-pass
+        kernels; the base implementation is the sequential reference loop.
+        """
+        from repro.core.batch import batch_from_scalar_reads
+
+        return batch_from_scalar_reads(self, population, states, rng=rng, **kwargs)
 
     @abc.abstractmethod
     def sense_margins(self, cell: Cell1T1J) -> MarginPair:

@@ -16,9 +16,11 @@ import numpy as np
 
 from repro.circuit.sense_amp import SenseAmplifier
 from repro.core.base import ReadResult, SensingScheme
+from repro.core.batch import BatchReadResult, check_batch_inputs
 from repro.core.cell import Cell1T1J
 from repro.core.margins import MarginPair, conventional_margins
 from repro.device.mtj import MTJState
+from repro.device.variation import CellPopulation
 from repro.errors import ConfigurationError
 
 __all__ = ["ConventionalSensing", "shared_reference_voltage"]
@@ -69,19 +71,63 @@ class ConventionalSensing(SensingScheme):
         self.sense_amp = sense_amp if sense_amp is not None else SenseAmplifier()
 
     def read(
-        self, cell: Cell1T1J, rng: Optional[np.random.Generator] = None
+        self,
+        cell: Cell1T1J,
+        rng: Optional[np.random.Generator] = None,
+        v_ref_error: float = 0.0,
     ) -> ReadResult:
-        """One read: develop ``V_BL`` and compare against ``V_REF``."""
+        """One read: develop ``V_BL`` and compare against ``V_REF``.
+
+        ``v_ref_error`` shifts the reference this cell actually sees — the
+        mismatch of a physically generated shared reference (see
+        :mod:`repro.core.reference`), the error source self-referencing
+        removes.
+        """
         expected = cell.stored_bit
+        v_ref = self.v_ref + v_ref_error
         v_bl = cell.bitline_voltage(self.i_read)
-        bit = self.sense_amp.compare_bit(v_bl, self.v_ref, rng)
-        signed_margin = (v_bl - self.v_ref) if expected == 1 else (self.v_ref - v_bl)
+        bit = self.sense_amp.compare_bit(v_bl, v_ref, rng)
+        signed_margin = (v_bl - v_ref) if expected == 1 else (v_ref - v_bl)
         return ReadResult(
             bit=bit,
             expected_bit=expected,
             margin=signed_margin,
-            voltages={"v_bl": v_bl, "v_ref": self.v_ref},
+            voltages={"v_bl": v_bl, "v_ref": v_ref},
             data_destroyed=False,
+            write_pulses=0,
+            read_pulses=1,
+        )
+
+    def read_many(
+        self,
+        population: CellPopulation,
+        states: np.ndarray,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        v_ref_error=0.0,
+    ) -> BatchReadResult:
+        """Vectorized read of a whole population against the shared
+        reference — bit-for-bit equivalent to looping :meth:`read` over the
+        materialized cells with the same RNG.
+
+        ``v_ref_error`` may be a scalar (as in :meth:`read`) or a per-bit
+        array — e.g. ``population.vref_error`` — giving each bit the
+        reference its own column mismatch produces.
+        """
+        check_batch_inputs(population, states)
+        expected = states.astype(np.uint8, copy=True)
+        v_ref = self.v_ref + np.asarray(v_ref_error, dtype=float)
+        v_bl = population.bitline_voltage(self.i_read, expected)
+        bits, metastable = self.sense_amp.compare_bits(v_bl, v_ref, rng)
+        margins = np.where(expected == 1, v_bl - v_ref, v_ref - v_bl)
+        return BatchReadResult(
+            scheme=self.name,
+            bits=bits,
+            expected_bits=expected,
+            margins=margins,
+            voltages={"v_bl": v_bl, "v_ref": np.broadcast_to(v_ref, v_bl.shape).copy()},
+            metastable=metastable,
+            data_destroyed=np.zeros(expected.shape, dtype=bool),
             write_pulses=0,
             read_pulses=1,
         )

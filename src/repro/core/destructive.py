@@ -22,9 +22,11 @@ import numpy as np
 from repro.circuit.sense_amp import SenseAmplifier
 from repro.circuit.storage import SampleCapacitor
 from repro.core.base import ReadResult, SensingScheme
+from repro.core.batch import BatchReadResult, check_batch_inputs
 from repro.core.cell import Cell1T1J
 from repro.core.margins import MarginPair, destructive_margins
 from repro.device.switching import SwitchingModel
+from repro.device.variation import CellPopulation
 from repro.errors import ConfigurationError
 
 __all__ = ["DestructiveSelfReference"]
@@ -188,6 +190,165 @@ class DestructiveSelfReference(SensingScheme):
             voltages={"v_bl1": cap1.stored_voltage, "v_bl2": v_bl2},
             data_destroyed=data_destroyed,
             write_pulses=2 if erased_ok or write_back_bit != 0 else 2,
+            read_pulses=2,
+        )
+
+    @staticmethod
+    def _erase_all(
+        expected: np.ndarray, p_write: float, rng: Optional[np.random.Generator]
+    ) -> np.ndarray:
+        """Post-erase states when erase draws are the only random events
+        (the early power-failure phases): one draw per stored "1", in
+        ascending bit order — the stream the sequential scalar loop
+        consumes."""
+        after = expected.copy()
+        targets = np.flatnonzero(expected == 1)
+        if targets.size:
+            if rng is None:
+                switched = np.full(targets.size, p_write >= 0.5, dtype=bool)
+            else:
+                switched = rng.random(targets.size) < p_write
+            after[targets[switched]] = 0
+        return after
+
+    def read_many(
+        self,
+        population: CellPopulation,
+        states: np.ndarray,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        power_failure_at: Optional[str] = None,
+        hold_time: float = 10e-9,
+    ) -> BatchReadResult:
+        """Batched destructive read of a whole population; ``states`` is
+        updated in place with whatever the read leaves behind.
+
+        The voltage development is fully vectorized, but the random draws of
+        the complete read interleave per bit with data dependence (the erase
+        outcome selects that bit's ``V_BL2``, the compare outcome selects the
+        write-back direction), so the erase/compare/write-back core runs as
+        a compact per-bit loop over precomputed rails — preserving the exact
+        scalar RNG stream while skipping all per-bit object construction.
+        The early power-failure phases consume only erase draws and are
+        drawn as one block.
+
+        ``metastable`` reflects comparisons inside the resolution window;
+        for reads aborted before the compare it is all-``False`` (no
+        comparison ever happened), while ``bits`` is all ``-1``.
+        """
+        if power_failure_at is not None and power_failure_at not in _FAILURE_PHASES:
+            raise ConfigurationError(
+                f"power_failure_at must be one of {_FAILURE_PHASES}, got {power_failure_at!r}"
+            )
+        check_batch_inputs(population, states)
+        expected = states.astype(np.uint8, copy=True)
+        n = population.size
+        switching = (
+            self.switching if self.switching is not None else SwitchingModel(population.nominal)
+        )
+        write_current = self.write_overdrive * population.nominal.i_c0
+        p_write = float(
+            switching.switch_probability(write_current, switching.params.pulse_width_write)
+        )
+
+        # Phase 1: first read, sample V_BL1 onto C1 (array-valued capacitor).
+        v_bl1 = population.bitline_voltage(self.i_read1, expected)
+        if self.rtr_shift != 0.0:
+            v_bl1 = v_bl1 + self.i_read1 * self.rtr_shift
+        cap1 = self.capacitor_template.fresh()
+        cap1.sample(v_bl1, duration=10.0 * cap1.charge_time_constant)
+
+        no_compare = dict(
+            bits=np.full(n, -1, dtype=np.int8),
+            margins=np.zeros(n),
+            metastable=np.zeros(n, dtype=bool),
+        )
+        if power_failure_at == "after_erase":
+            after_erase = self._erase_all(expected, p_write, rng)
+            states[:] = after_erase
+            return BatchReadResult(
+                scheme=self.name,
+                expected_bits=expected,
+                voltages={"v_bl1": cap1.stored_voltage},
+                data_destroyed=after_erase != expected,
+                write_pulses=1,
+                read_pulses=1,
+                **no_compare,
+            )
+
+        # Phase 3 rails: the erased cell re-read at I_R2 (both state
+        # hypotheses precomputed; the per-bit erase outcome selects one),
+        # with C1 drooping through the hold.
+        v_held = cap1.hold(hold_time)
+        v2_low = population.bitline_voltage(self.i_read2, np.zeros(n, dtype=np.uint8))
+        v2_high = population.bitline_voltage(self.i_read2, np.ones(n, dtype=np.uint8))
+
+        if power_failure_at == "after_second_read":
+            after_erase = self._erase_all(expected, p_write, rng)
+            v_bl2 = np.where(after_erase == 1, v2_high, v2_low)
+            states[:] = after_erase
+            return BatchReadResult(
+                scheme=self.name,
+                expected_bits=expected,
+                voltages={"v_bl1": v_held, "v_bl2": v_bl2},
+                data_destroyed=after_erase != expected,
+                write_pulses=1,
+                read_pulses=2,
+                **no_compare,
+            )
+
+        # Phases 2+4(+5): erase, compare, write back.  Draw-for-draw the
+        # scalar order: per bit — erase draw iff a "1" is stored, compare
+        # draw iff inside the resolution window, write-back draw iff the
+        # post-erase state differs from the sensed value.
+        offset = self.sense_amp.offset
+        resolution = self.sense_amp.resolution
+        write_back = power_failure_at is None
+        det_switch = p_write >= 0.5
+        rand = rng.random if rng is not None else None
+        bits_l = []
+        vbl2_l = []
+        meta_l = []
+        final_l = []
+        for e, vh, v2lo, v2hi in zip(
+            expected.tolist(), np.asarray(v_held).tolist(), v2_low.tolist(), v2_high.tolist()
+        ):
+            state = e
+            if e == 1 and ((rand() < p_write) if rand is not None else det_switch):
+                state = 0
+            v2 = v2hi if state == 1 else v2lo
+            diff = vh - v2 + offset
+            window = abs(diff) < resolution
+            if not window:
+                b = 1 if diff > 0.0 else 0
+            elif rand is None:
+                b = -1
+            else:
+                b = 1 if rand() < 0.5 else 0
+            if write_back:
+                wb = b if b >= 0 else 0
+                if state != wb and (
+                    (rand() < p_write) if rand is not None else det_switch
+                ):
+                    state = wb
+            bits_l.append(b)
+            vbl2_l.append(v2)
+            meta_l.append(window)
+            final_l.append(state)
+
+        v_bl2 = np.array(vbl2_l)
+        final = np.array(final_l, dtype=np.uint8)
+        margins = np.where(expected == 1, v_held - v_bl2, v_bl2 - v_held)
+        states[:] = final
+        return BatchReadResult(
+            scheme=self.name,
+            bits=np.array(bits_l, dtype=np.int8),
+            expected_bits=expected,
+            margins=margins,
+            voltages={"v_bl1": v_held, "v_bl2": v_bl2},
+            metastable=np.array(meta_l, dtype=bool),
+            data_destroyed=final != expected,
+            write_pulses=2 if write_back else 1,
             read_pulses=2,
         )
 

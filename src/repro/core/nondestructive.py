@@ -26,8 +26,10 @@ from repro.circuit.divider import VoltageDivider
 from repro.circuit.sense_amp import SenseAmplifier
 from repro.circuit.storage import SampleCapacitor
 from repro.core.base import ReadResult, SensingScheme
+from repro.core.batch import BatchReadResult, check_batch_inputs
 from repro.core.cell import Cell1T1J
 from repro.core.margins import MarginPair, nondestructive_margins
+from repro.device.variation import CellPopulation
 from repro.errors import ConfigurationError
 
 __all__ = ["NondestructiveSelfReference"]
@@ -138,6 +140,58 @@ class NondestructiveSelfReference(SensingScheme):
                 "v_bo": v_bo,
             },
             data_destroyed=False,
+            write_pulses=0,
+            read_pulses=2,
+        )
+
+    def read_many(
+        self,
+        population: CellPopulation,
+        states: np.ndarray,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        hold_time: float = 5e-9,
+    ) -> BatchReadResult:
+        """Vectorized nondestructive read of a whole population.
+
+        All three phases of :meth:`read` run as single array passes: both
+        bit-line voltages from the population's state-dependent resistances,
+        the C1 sample/hold on an array-valued capacitor, the divider with
+        its per-bit loading error, one batched comparison.  The cell states
+        are untouched (the scheme is nondestructive), and the result is
+        bit-for-bit identical to the sequential scalar loop under the same
+        RNG.
+        """
+        check_batch_inputs(population, states)
+        expected = states.astype(np.uint8, copy=True)
+
+        # Phase 1: first read at I_R1, sample onto C1 (SLT1 closed).
+        v_bl1 = population.bitline_voltage(self.i_read1, expected)
+        if self.rtr_shift != 0.0:
+            v_bl1 = v_bl1 + self.i_read1 * self.rtr_shift
+        cap1 = self.capacitor_template.fresh()
+        cap1.sample(v_bl1, duration=10.0 * cap1.charge_time_constant)
+        cap1.hold(hold_time)
+
+        # Phase 2: second read at I_R2 through the divider (SLT2 closed).
+        v_bl2_ideal = population.bitline_voltage(self.i_read2, expected)
+        source_r = population.series_resistance(self.i_read2, expected)
+        v_bl2 = v_bl2_ideal * (1.0 - self.divider.loading_error(source_r))
+        v_bo = self.divider.output(v_bl2)
+
+        # Phase 3: compare V_BL1 (on C1) against V_BO; latch.
+        bits, metastable = self.sense_amp.compare_bits(cap1.stored_voltage, v_bo, rng)
+        margins = np.where(
+            expected == 1, cap1.stored_voltage - v_bo, v_bo - cap1.stored_voltage
+        )
+        return BatchReadResult(
+            scheme=self.name,
+            bits=bits,
+            expected_bits=expected,
+            margins=margins,
+            voltages={"v_bl1": cap1.stored_voltage, "v_bl2": v_bl2, "v_bo": v_bo},
+            metastable=metastable,
+            data_destroyed=np.zeros(expected.shape, dtype=bool),
             write_pulses=0,
             read_pulses=2,
         )

@@ -152,6 +152,26 @@ class CellPopulation:
         r_l = self.resistance_low(current)
         return (r_h - r_l) / r_l
 
+    # ------------------------------------------------------------------
+    # State-dependent electrical view (the batch read kernel's substrate)
+    # ------------------------------------------------------------------
+    def state_resistance(self, current, states) -> np.ndarray:
+        """Per-bit MTJ resistance for per-bit stored states (0/1) [Ω]."""
+        stored = np.asarray(states).astype(bool)
+        return np.where(
+            stored, self.resistance_high(current), self.resistance_low(current)
+        )
+
+    def series_resistance(self, current, states) -> np.ndarray:
+        """Per-bit ``R_MTJ(I) + R_TR`` [Ω] — the vectorized analogue of
+        :meth:`repro.core.cell.Cell1T1J.series_resistance`."""
+        return self.state_resistance(current, states) + self.r_tr
+
+    def bitline_voltage(self, current, states) -> np.ndarray:
+        """Per-bit bit-line voltage ``V_BL = I (R_MTJ + R_TR)`` [V] —
+        bit-exact with the scalar cell path for identical parameters."""
+        return current * self.series_resistance(current, states)
+
     def device(self, index: int, state: MTJState = MTJState.PARALLEL) -> MTJDevice:
         """Materialize bit ``index`` as a standalone :class:`MTJDevice`."""
         if not 0 <= index < self.size:
