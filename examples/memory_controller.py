@@ -71,8 +71,9 @@ def main() -> None:
 
     # Scrub pass rewrites the corrected word so the fault does not pair up
     # with a second error later.
-    corrections = memory.scrub(scheme, rng)
-    print(f"scrub pass applied {corrections} correction(s)")
+    report = memory.scrub(scheme, rng)
+    print(f"scrub pass applied {report.corrected} correction(s) "
+          f"({report.uncorrectable} uncorrectable)")
     stats = memory.statistics
     print(f"lifetime decode stats: "
           f"clean={stats[DecodeStatus.CLEAN]}, "

@@ -19,6 +19,7 @@ import numpy as np
 from repro.array.montecarlo import run_margin_monte_carlo
 from repro.core.base import ReadResult, SensingScheme
 from repro.core.batch import BatchReadResult
+from repro.core.retry import BatchRetryResult, RetryPolicy, read_many_with_retry
 from repro.device.variation import CellPopulation
 from repro.errors import ConfigurationError
 
@@ -131,6 +132,46 @@ class STTRAMArray:
     ) -> BatchReadResult:
         """Read every cell of the array in one kernel pass."""
         return scheme.read_many(self.population, self._states, rng=rng, **kwargs)
+
+    def read_bits_with_retry(
+        self,
+        bit_indices: Sequence[int],
+        scheme: SensingScheme,
+        policy: RetryPolicy,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> BatchRetryResult:
+        """Read the given (distinct) cells as one retried batch: unresolved
+        bits are re-sensed per ``policy`` and the array state tracks every
+        attempt's side effects."""
+        idx = np.asarray(bit_indices, dtype=np.intp)
+        if idx.ndim != 1:
+            raise ConfigurationError("bit_indices must be one-dimensional")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size_bits):
+            raise IndexError(
+                f"bit indices out of range [0, {self.size_bits}): {idx.min()}..{idx.max()}"
+            )
+        if np.unique(idx).size != idx.size:
+            raise ConfigurationError("bit_indices must be distinct within one batch")
+        states = self._states[idx].copy()
+        result = read_many_with_retry(
+            scheme, self.population.subset(idx), states, policy, rng=rng, **kwargs
+        )
+        self._states[idx] = states
+        return result
+
+    def read_all_with_retry(
+        self,
+        scheme: SensingScheme,
+        policy: RetryPolicy,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> BatchRetryResult:
+        """Read every cell with retries — one kernel pass per attempt
+        round, later rounds restricted to the unresolved subset."""
+        return read_many_with_retry(
+            scheme, self.population, self._states, policy, rng=rng, **kwargs
+        )
 
     def read_bit(
         self,

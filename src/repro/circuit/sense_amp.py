@@ -100,6 +100,27 @@ class SenseAmplifier:
             return None
         return 1 if decision is SenseDecision.HIGH else 0
 
+    def compare_with_flag(
+        self,
+        v_plus: float,
+        v_minus: float,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        """:meth:`compare_bit` plus the resolution-window flag.
+
+        Returns ``(bit, metastable)``.  ``metastable`` is True whenever the
+        effective differential input lies inside the resolution window —
+        even when an RNG resolved the latch to a random rail (real latches
+        expose late resolution, which is what read-retry controllers key
+        on).  The RNG draw order is identical to :meth:`compare_bit`.
+        """
+        diff = self.differential(v_plus, v_minus)
+        if abs(diff) >= self.resolution:
+            return (1 if diff > 0.0 else 0), False
+        if rng is None:
+            return None, True
+        return (1 if rng.random() < 0.5 else 0), True
+
     def compare_bits(
         self,
         v_plus,

@@ -346,6 +346,50 @@ def _cmd_ber(args) -> None:
     ))
 
 
+def _cmd_faults(args) -> None:
+    from repro.core.retry import RetryPolicy
+    from repro.errors import FaultError
+    from repro.faults import run_fault_campaign
+
+    policy = RetryPolicy(
+        max_attempts=args.attempts, backoff_ns=5.0, current_escalation=0.1
+    )
+    result = run_fault_campaign(
+        rates=tuple(args.rates),
+        bits=args.bits,
+        scheme=args.scheme,
+        policy=policy,
+        seed=args.seed,
+    )
+    print(f"fault campaign — {args.scheme} scheme, {args.bits} bits, "
+          f"seed {args.seed}")
+    rows = []
+    for row in result.rows:
+        rows.append([
+            f"{row.rate:g}",
+            str(row.injected_cells),
+            str(row.faulty_words),
+            str(row.correctable_words),
+            f"{row.recovery_fraction:.1%}",
+            str(row.detected_words),
+            str(row.escaped_words),
+            "/".join(str(row.tier_counts[t])
+                     for t in ("clean", "retry", "ecc", "scrub", "repair")),
+        ])
+    print(format_table(
+        ["rate", "cells hit", "faulty", "correctable", "recovered",
+         "detected", "escaped", "clean/retry/ecc/scrub/repair"],
+        rows,
+    ))
+    if args.check:
+        try:
+            result.check()
+        except FaultError as error:
+            print(f"FAIL: {error}")
+            raise SystemExit(1)
+        print("PASS: all correctable faults recovered, nothing escaped")
+
+
 def _cmd_export(args) -> None:
     from repro.analysis.export import export_all_figures
 
@@ -379,6 +423,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "capacity": (_cmd_capacity, "extension: capacity-scaling projection"),
     "sensitivity": (_cmd_sensitivity, "extension: margin-sensitivity ranking"),
     "ber": (_cmd_ber, "extension: per-read error budget"),
+    "faults": (_cmd_faults, "extension: fault-injection campaign + recovery ladder"),
     "export": (_cmd_export, "write every figure series to CSV"),
     "list": (_cmd_list, "list available experiments"),
 }
@@ -398,6 +443,34 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--bit", type=int, choices=(0, 1), default=1,
                 help="stored value to simulate (default 1)",
+            )
+        if name == "faults":
+            sub.add_argument(
+                "--rates", type=float, nargs="+",
+                default=[1e-4, 1e-3, 5e-3],
+                help="hard-fault rates to sweep (default 1e-4 1e-3 5e-3)",
+            )
+            sub.add_argument(
+                "--bits", type=int, default=16384,
+                help="array size in cells (default 16384, the paper's chip)",
+            )
+            sub.add_argument(
+                "--scheme", default="nondestructive",
+                choices=("conventional", "destructive", "nondestructive"),
+                help="sensing scheme under test (default nondestructive)",
+            )
+            sub.add_argument(
+                "--seed", type=int, default=2010,
+                help="campaign RNG seed (default 2010)",
+            )
+            sub.add_argument(
+                "--attempts", type=int, default=3,
+                help="retry-policy attempt budget per read (default 3)",
+            )
+            sub.add_argument(
+                "--check", action="store_true",
+                help="exit nonzero unless every correctable fault recovered "
+                "and nothing escaped",
             )
         if name == "export":
             sub.add_argument(

@@ -31,6 +31,13 @@ from repro.core.margins import (
     population_nondestructive_margins,
 )
 from repro.core.nondestructive import NondestructiveSelfReference
+from repro.core.retry import (
+    BatchRetryResult,
+    RetryPolicy,
+    read_many_with_retry,
+    read_with_retry,
+    retry_batch_from_scalar_reads,
+)
 from repro.core.optimize import (
     BetaOptimum,
     closed_form_beta_destructive,
@@ -61,6 +68,11 @@ __all__ = [
     "BatchReadResult",
     "batch_from_scalar_reads",
     "materialize_cell",
+    "RetryPolicy",
+    "BatchRetryResult",
+    "read_with_retry",
+    "read_many_with_retry",
+    "retry_batch_from_scalar_reads",
     "ConventionalSensing",
     "shared_reference_voltage",
     "DestructiveSelfReference",

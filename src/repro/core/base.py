@@ -37,7 +37,18 @@ class ReadResult:
         True if the stored value was lost (destructive read interrupted, or
         a read-disturb flip).
     write_pulses / read_pulses:
-        Pulse counts of the operation (latency/energy accounting).
+        Pulse counts of the operation (latency/energy accounting).  A
+        retried read accumulates the pulses of **every** attempt, so the
+        counts always reflect what the cell was actually charged with.
+    metastable:
+        True when the sense-amplifier comparison landed inside the
+        resolution window.  With an RNG the latch still resolves (to a
+        random rail) and ``bit`` is not ``None``; this flag is what a retry
+        controller keys on, since real latches expose late resolution even
+        when they eventually fall to a rail.
+    attempts:
+        How many read attempts produced this result (1 for a plain read;
+        >1 when a :class:`~repro.core.retry.RetryPolicy` re-read the bit).
     """
 
     bit: Optional[int]
@@ -47,11 +58,19 @@ class ReadResult:
     data_destroyed: bool = False
     write_pulses: int = 0
     read_pulses: int = 1
+    metastable: bool = False
+    attempts: int = 1
 
     @property
     def correct(self) -> bool:
         """True iff the sensed bit matches the stored value."""
         return self.bit is not None and self.bit == self.expected_bit
+
+    @property
+    def resolved(self) -> bool:
+        """True when the latch produced a deterministic decision (outside
+        the resolution window)."""
+        return self.bit is not None and not self.metastable
 
 
 class SensingScheme(abc.ABC):
@@ -98,6 +117,22 @@ class SensingScheme(abc.ABC):
     def sense_margins(self, cell: Cell1T1J) -> MarginPair:
         """Analytic sense margins (SM0, SM1) for this cell under this
         scheme, independent of the currently stored state."""
+
+    def scaled_read_current(self, factor: float) -> "SensingScheme":
+        """A copy of this scheme with every read current scaled by
+        ``factor`` — the sense-current-escalation knob of
+        :class:`~repro.core.retry.RetryPolicy`.
+
+        ``factor == 1`` returns ``self``.  Schemes that cannot escalate
+        raise :class:`~repro.errors.ConfigurationError`.
+        """
+        if factor == 1.0:
+            return self
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"{type(self).__name__} does not support read-current escalation"
+        )
 
     def is_readable(self, cell: Cell1T1J, required_margin: float = 8.0e-3) -> bool:
         """Whether both margins clear the sense-amplifier window (the

@@ -64,6 +64,10 @@ class BatchReadResult:
         Mask of bits whose stored value was lost by the read itself.
     write_pulses / read_pulses:
         Pulse counts of the operation per bit (uniform across a batch).
+    attempts:
+        Read attempts behind each bit of this batch (uniform; 1 for a
+        plain read).  Per-bit attempt counts of a retried batch live on
+        :class:`~repro.core.retry.BatchRetryResult`.
     """
 
     scheme: str
@@ -75,6 +79,7 @@ class BatchReadResult:
     data_destroyed: np.ndarray
     write_pulses: int = 0
     read_pulses: int = 1
+    attempts: int = 1
 
     # ------------------------------------------------------------------
     # Aggregate views
@@ -166,6 +171,8 @@ class BatchReadResult:
             data_destroyed=bool(self.data_destroyed[index]),
             write_pulses=self.write_pulses,
             read_pulses=self.read_pulses,
+            metastable=bool(self.metastable[index]),
+            attempts=self.attempts,
         )
 
 
@@ -240,10 +247,9 @@ def batch_from_scalar_reads(
         expected_bits=np.array([r.expected_bit for r in results], dtype=np.uint8),
         margins=np.array([r.margin for r in results]),
         voltages=voltages,
-        # Without a kernel we only know a comparison was metastable when it
-        # stayed unresolved; vectorized kernels report the window mask even
-        # when an RNG resolved the bit.
-        metastable=bits < 0,
+        # Scalar reads carry the resolution-window flag even when an RNG
+        # resolved the bit, so the fallback's mask matches the kernels'.
+        metastable=np.array([r.metastable for r in results], dtype=bool),
         data_destroyed=np.array([r.data_destroyed for r in results], dtype=bool),
         write_pulses=results[0].write_pulses if results else 0,
         read_pulses=results[0].read_pulses if results else 1,

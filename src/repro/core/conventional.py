@@ -86,7 +86,7 @@ class ConventionalSensing(SensingScheme):
         expected = cell.stored_bit
         v_ref = self.v_ref + v_ref_error
         v_bl = cell.bitline_voltage(self.i_read)
-        bit = self.sense_amp.compare_bit(v_bl, v_ref, rng)
+        bit, metastable = self.sense_amp.compare_with_flag(v_bl, v_ref, rng)
         signed_margin = (v_bl - v_ref) if expected == 1 else (v_ref - v_bl)
         return ReadResult(
             bit=bit,
@@ -96,6 +96,24 @@ class ConventionalSensing(SensingScheme):
             data_destroyed=False,
             write_pulses=0,
             read_pulses=1,
+            metastable=metastable,
+        )
+
+    def scaled_read_current(self, factor: float) -> "ConventionalSensing":
+        """A copy reading at ``factor × i_read``.
+
+        The shared reference is regenerated at the escalated current (it
+        scales with the bit-line swing), so the comparison stays centred
+        while the differential swing — and hence the margin — grows.
+        """
+        if factor == 1.0:
+            return self
+        if factor <= 0.0:
+            raise ConfigurationError(f"escalation factor must be positive, got {factor}")
+        return ConventionalSensing(
+            i_read=self.i_read * factor,
+            v_ref=self.v_ref * factor,
+            sense_amp=self.sense_amp,
         )
 
     def read_many(

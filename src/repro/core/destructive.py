@@ -163,7 +163,7 @@ class DestructiveSelfReference(SensingScheme):
             )
 
         # Phase 4: compare. The stored V_BL1 above V_BL2 means high state.
-        bit = self.sense_amp.compare_bit(cap1.stored_voltage, v_bl2, rng)
+        bit, metastable = self.sense_amp.compare_with_flag(cap1.stored_voltage, v_bl2, rng)
         signed_margin = (
             (cap1.stored_voltage - v_bl2) if expected == 1 else (v_bl2 - cap1.stored_voltage)
         )
@@ -176,6 +176,7 @@ class DestructiveSelfReference(SensingScheme):
                 data_destroyed=(expected != cell.stored_bit),
                 write_pulses=1,
                 read_pulses=2,
+                metastable=metastable,
             )
 
         # Phase 5: write back the sensed value (even if mis-sensed — that is
@@ -191,6 +192,24 @@ class DestructiveSelfReference(SensingScheme):
             data_destroyed=data_destroyed,
             write_pulses=2 if erased_ok or write_back_bit != 0 else 2,
             read_pulses=2,
+            metastable=metastable,
+        )
+
+    def scaled_read_current(self, factor: float) -> "DestructiveSelfReference":
+        """A copy reading at ``factor × i_read2`` (β and the write driver
+        unchanged) — the retry controller's sense-current escalation."""
+        if factor == 1.0:
+            return self
+        if factor <= 0.0:
+            raise ConfigurationError(f"escalation factor must be positive, got {factor}")
+        return DestructiveSelfReference(
+            i_read2=self.i_read2 * factor,
+            beta=self.beta,
+            rtr_shift=self.rtr_shift,
+            sense_amp=self.sense_amp,
+            capacitor=self.capacitor_template,
+            switching=self.switching,
+            write_overdrive=self.write_overdrive,
         )
 
     @staticmethod

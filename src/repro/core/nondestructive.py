@@ -126,7 +126,7 @@ class NondestructiveSelfReference(SensingScheme):
         v_bo = self.divider.output(v_bl2)
 
         # Phase 3: compare V_BL1 (on C1) against V_BO; latch.
-        bit = self.sense_amp.compare_bit(cap1.stored_voltage, v_bo, rng)
+        bit, metastable = self.sense_amp.compare_with_flag(cap1.stored_voltage, v_bo, rng)
         signed_margin = (
             (cap1.stored_voltage - v_bo) if expected == 1 else (v_bo - cap1.stored_voltage)
         )
@@ -142,6 +142,27 @@ class NondestructiveSelfReference(SensingScheme):
             data_destroyed=False,
             write_pulses=0,
             read_pulses=2,
+            metastable=metastable,
+        )
+
+    def scaled_read_current(self, factor: float) -> "NondestructiveSelfReference":
+        """A copy reading at ``factor × i_read2`` (β, α unchanged).
+
+        Escalating past the designed ``I_max`` trades read-disturb headroom
+        for margin — the retry controller only does it for bits that failed
+        to resolve at the design point.
+        """
+        if factor == 1.0:
+            return self
+        if factor <= 0.0:
+            raise ConfigurationError(f"escalation factor must be positive, got {factor}")
+        return NondestructiveSelfReference(
+            i_read2=self.i_read2 * factor,
+            beta=self.beta,
+            divider=self.divider,
+            rtr_shift=self.rtr_shift,
+            sense_amp=self.sense_amp,
+            capacitor=self.capacitor_template,
         )
 
     def read_many(

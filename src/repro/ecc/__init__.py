@@ -8,7 +8,7 @@ Hamming single-error-correct / double-error-detect codec and a yield model
 quantifying how much variation headroom ECC buys each sensing scheme.
 """
 
-from repro.ecc.array import EccArray, EccReadResult
+from repro.ecc.array import EccArray, EccReadResult, ScrubReport
 from repro.ecc.hamming import HammingSECDED, DecodeStatus
 from repro.ecc.yield_model import (
     EccYieldReport,
@@ -19,6 +19,7 @@ from repro.ecc.yield_model import (
 __all__ = [
     "EccArray",
     "EccReadResult",
+    "ScrubReport",
     "HammingSECDED",
     "DecodeStatus",
     "word_failure_probability",

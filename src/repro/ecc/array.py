@@ -5,35 +5,77 @@ controller" view exists: logical words are encoded into 72-cell codewords,
 read back through any sensing scheme, and decoded with single-error
 correction — the architecture that lets the low-margin nondestructive
 scheme ship at scaled variation (ablation A8).
+
+Codewords are read through the vectorized batch kernel (one
+:meth:`~repro.array.array.STTRAMArray.read_bits` pass per word — the same
+RNG stream as the historical per-bit loop), and every read can carry a
+:class:`~repro.core.retry.RetryPolicy` so metastable bits are re-sensed
+*before* the decoder sees them — the first tier of the recovery ladder
+(retry → ECC → scrub → repair, see :mod:`repro.faults.recovery`).
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.array.array import STTRAMArray
 from repro.core.base import SensingScheme
+from repro.core.retry import RetryPolicy
 from repro.ecc.hamming import DecodeStatus, HammingSECDED
 from repro.errors import ConfigurationError
 
-__all__ = ["EccArray", "EccReadResult"]
+__all__ = ["EccArray", "EccReadResult", "ScrubReport"]
 
 
 @dataclasses.dataclass(frozen=True)
 class EccReadResult:
-    """One logical-word read through the ECC layer."""
+    """One logical-word read through the ECC layer.
+
+    ``metastable_bits``, ``attempts`` and ``read_pulses`` surface the
+    sensing effort behind the word: how many codeword bits landed in the
+    sense-amplifier window, the worst per-bit attempt count, and the total
+    read pulses charged (all 1 × codeword width for a retry-free read).
+    """
 
     value: int
     status: DecodeStatus
     corrected_position: int = -1
+    metastable_bits: int = 0
+    attempts: int = 1
+    read_pulses: int = 0
 
     @property
     def reliable(self) -> bool:
         """True unless the decoder flagged an uncorrectable word."""
         return self.status is not DecodeStatus.DETECTED
+
+
+@dataclasses.dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of one scrub pass over every word.
+
+    A scrub rewrites corrected words; *detected-but-uncorrectable* words
+    are counted and reported — never silently rewritten — so the caller
+    can escalate them to the repair tier.
+    """
+
+    corrected: int
+    uncorrectable: int
+    clean: int
+    uncorrectable_addresses: Tuple[int, ...] = ()
+
+    @property
+    def words(self) -> int:
+        """Total words scrubbed."""
+        return self.corrected + self.uncorrectable + self.clean
+
+    @property
+    def healthy(self) -> bool:
+        """True when no word was beyond correction."""
+        return self.uncorrectable == 0
 
 
 class EccArray:
@@ -87,35 +129,72 @@ class EccArray:
         address: int,
         scheme: SensingScheme,
         rng: Optional[np.random.Generator] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        **kwargs,
     ) -> EccReadResult:
-        """Read the codeword through ``scheme`` and decode it."""
+        """Read the codeword through ``scheme`` (one batch pass) and decode.
+
+        With a ``retry_policy``, metastable codeword bits are re-sensed
+        before decoding — the retry tier running *under* the ECC tier, so
+        the decoder's single-error budget is spent on real faults rather
+        than unresolved comparisons.  Extra keyword arguments pass through
+        to the scheme's kernel (per-bit arrays must already be restricted
+        to this word's codeword span).
+        """
         base = self._check_address(address)
-        received = np.empty(self.codec.codeword_bits, dtype=np.uint8)
-        for offset in range(self.codec.codeword_bits):
-            result = self.array.read_bit(base + offset, scheme, rng)
-            received[offset] = result.bit if result.bit is not None else 0
-        value, status = self.codec.decode_word(received)
-        # decode_word recomputes via decode(); fetch the position too.
+        span = range(base, base + self.codec.codeword_bits)
+        if retry_policy is None:
+            batch = self.array.read_bits(span, scheme, rng, **kwargs)
+            attempts = 1
+            read_pulses = batch.read_pulses * self.codec.codeword_bits
+        else:
+            batch = self.array.read_bits_with_retry(
+                span, scheme, retry_policy, rng, **kwargs
+            )
+            attempts = int(batch.attempts.max())
+            read_pulses = batch.total_read_pulses
+        received = batch.bit_values()
         decode = self.codec.decode(received)
         self._stats[decode.status] += 1
         return EccReadResult(
-            value=value,
+            value=self.codec.bits_to_int(decode.data),
             status=decode.status,
             corrected_position=decode.corrected_position,
+            metastable_bits=int(np.count_nonzero(batch.metastable)),
+            attempts=attempts,
+            read_pulses=read_pulses,
         )
 
     def scrub(
         self,
         scheme: SensingScheme,
         rng: Optional[np.random.Generator] = None,
-    ) -> int:
-        """Read every word, rewrite any corrected word, and return the
-        number of corrections applied (a standard ECC scrub pass).
-        Uncorrectable words are left untouched."""
-        corrections = 0
+        retry_policy: Optional[RetryPolicy] = None,
+        **kwargs,
+    ) -> ScrubReport:
+        """Read every word, rewrite corrected words, count the rest.
+
+        Detected-but-uncorrectable words are left untouched and reported
+        in the :class:`ScrubReport` — rewriting them would launder lost
+        data into "clean" storage.
+        """
+        corrected = 0
+        clean = 0
+        uncorrectable = []
         for address in range(self.size_words):
-            result = self.read_word(address, scheme, rng)
+            result = self.read_word(
+                address, scheme, rng, retry_policy=retry_policy, **kwargs
+            )
             if result.status is DecodeStatus.CORRECTED:
                 self.write_word(address, result.value)
-                corrections += 1
-        return corrections
+                corrected += 1
+            elif result.status is DecodeStatus.DETECTED:
+                uncorrectable.append(address)
+            else:
+                clean += 1
+        return ScrubReport(
+            corrected=corrected,
+            uncorrectable=len(uncorrectable),
+            clean=clean,
+            uncorrectable_addresses=tuple(uncorrectable),
+        )

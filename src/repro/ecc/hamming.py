@@ -147,8 +147,11 @@ class HammingSECDED:
         bits = [(value >> i) & 1 for i in range(self.data_bits)]
         return self.encode(bits)
 
+    def bits_to_int(self, data: Sequence[int]) -> int:
+        """Pack a data-bit array back into an integer (LSB-first)."""
+        return sum(int(bit) << i for i, bit in enumerate(data))
+
     def decode_word(self, codeword: Sequence[int]):
         """Decode back to an integer word; returns (value, status)."""
         result = self.decode(codeword)
-        value = sum(int(bit) << i for i, bit in enumerate(result.data))
-        return value, result.status
+        return self.bits_to_int(result.data), result.status

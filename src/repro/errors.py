@@ -21,3 +21,18 @@ class SensingError(ReproError):
 
 class CircuitError(ReproError):
     """Netlist construction or solving failed (singular matrix, bad node)."""
+
+
+class FaultError(ReproError):
+    """A fault-handling operation failed (bad fault model, unrecoverable
+    injected fault outside the recovery ladder's reach)."""
+
+
+class RetryExhaustedError(FaultError):
+    """Every tier of the recovery ladder (retry → ECC → scrub → repair) was
+    spent and the data still could not be returned reliably."""
+
+    def __init__(self, message: str, address: int = -1, attempts: int = 0):
+        super().__init__(message)
+        self.address = address
+        self.attempts = attempts

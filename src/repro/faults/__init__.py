@@ -1,0 +1,47 @@
+"""Fault injection and recovery for the STT-RAM model.
+
+The paper's schemes are judged on *sense margin*; a real memory also has
+to survive defects and transients.  This package provides composable,
+RNG-seeded fault models (stuck MTJs, read-disturb flips, sense-offset
+drift, bit-line noise, destructive-read power failures), an injector that
+applies them to cells, populations, or arrays, the retry → ECC → scrub →
+repair recovery ladder, and a campaign runner sweeping fault rates on the
+16kb test chip while scoring detected / corrected / escaped errors.
+"""
+
+from repro.faults.campaign import (
+    CampaignRow,
+    FaultCampaignResult,
+    default_fault_models,
+    run_fault_campaign,
+)
+from repro.faults.injector import FaultInjector, FaultMap
+from repro.faults.models import (
+    BitlineNoiseFault,
+    FaultKind,
+    PowerFailureFault,
+    ReadDisturbFault,
+    SenseOffsetDrift,
+    StuckOpenFault,
+    StuckShortFault,
+)
+from repro.faults.recovery import RecoveredWord, RecoveryController, RecoveryTier
+
+__all__ = [
+    "FaultKind",
+    "StuckShortFault",
+    "StuckOpenFault",
+    "ReadDisturbFault",
+    "SenseOffsetDrift",
+    "BitlineNoiseFault",
+    "PowerFailureFault",
+    "FaultInjector",
+    "FaultMap",
+    "RecoveryTier",
+    "RecoveredWord",
+    "RecoveryController",
+    "CampaignRow",
+    "FaultCampaignResult",
+    "default_fault_models",
+    "run_fault_campaign",
+]

@@ -8,13 +8,21 @@ and its second read does not charge a sampling capacitor on the bit line,
 so it is much faster and cheaper than the destructive scheme.
 """
 
-from repro.timing.energy import EnergyBreakdown, read_energy_comparison, scheme_read_energy
+from repro.timing.energy import (
+    EnergyBreakdown,
+    RetryEnergyBreakdown,
+    read_energy_comparison,
+    retry_read_energy,
+    scheme_read_energy,
+)
 from repro.timing.latency import (
     LatencyBreakdown,
+    RetryLatencyBreakdown,
     TimingConfig,
     destructive_read_latency,
     latency_comparison,
     nondestructive_read_latency,
+    retry_read_latency,
 )
 from repro.timing.phases import Phase, PhaseSchedule, destructive_schedule, nondestructive_schedule
 from repro.timing.reliability import (
@@ -36,11 +44,15 @@ __all__ = [
     "destructive_schedule",
     "TimingConfig",
     "LatencyBreakdown",
+    "RetryLatencyBreakdown",
     "nondestructive_read_latency",
     "destructive_read_latency",
+    "retry_read_latency",
     "latency_comparison",
     "EnergyBreakdown",
+    "RetryEnergyBreakdown",
     "scheme_read_energy",
+    "retry_read_energy",
     "read_energy_comparison",
     "ControlSignals",
     "ReadWaveforms",

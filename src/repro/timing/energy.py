@@ -12,10 +12,12 @@ read.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.cell import Cell1T1J
+from repro.core.retry import RetryPolicy
 from repro.device.mtj import MTJState
+from repro.errors import ConfigurationError
 from repro.timing.latency import (
     LatencyBreakdown,
     TimingConfig,
@@ -23,7 +25,13 @@ from repro.timing.latency import (
     nondestructive_read_latency,
 )
 
-__all__ = ["EnergyBreakdown", "scheme_read_energy", "read_energy_comparison"]
+__all__ = [
+    "EnergyBreakdown",
+    "RetryEnergyBreakdown",
+    "scheme_read_energy",
+    "retry_read_energy",
+    "read_energy_comparison",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,6 +88,65 @@ def scheme_read_energy(
         scheme=breakdown.scheme,
         per_phase=per_phase,
         total=sum(per_phase.values()),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryEnergyBreakdown:
+    """Energy of a read retried under sense-current escalation.
+
+    Read-phase dissipation grows with the *square* of the escalation
+    factor (``I²R t``), so an aggressive escalation policy buys margin at a
+    quadratic energy premium; write pulses (the destructive scheme's erase
+    and write-back) are driven by the write driver and do not scale with
+    the read current.
+    """
+
+    scheme: str
+    base: EnergyBreakdown
+    attempts: int
+    per_attempt: Tuple[float, ...]  #: energy of each attempt [J]
+    total: float                    #: energy summed over all attempts [J]
+
+    @property
+    def overhead(self) -> float:
+        """Energy beyond the clean single read [J]."""
+        return self.total - self.base.total
+
+    @property
+    def cost_factor(self) -> float:
+        """Total energy relative to a clean single read."""
+        return self.total / self.base.total
+
+
+def retry_read_energy(
+    base: EnergyBreakdown,
+    policy: RetryPolicy,
+    attempts: int,
+) -> RetryEnergyBreakdown:
+    """Energy of a read retried ``attempts`` times under ``policy``.
+
+    Attempt ``k`` reads at ``policy.escalation_factor(k)`` times the design
+    current, so its read energy scales with that factor squared while its
+    write energy (if the scheme writes at all) stays fixed.
+    """
+    if attempts < 1:
+        raise ConfigurationError(f"attempts must be >= 1, got {attempts}")
+    if attempts > policy.max_attempts:
+        raise ConfigurationError(
+            f"attempts {attempts} exceeds the policy's max_attempts "
+            f"{policy.max_attempts}"
+        )
+    per_attempt = tuple(
+        base.write_energy + base.read_energy * policy.escalation_factor(k) ** 2
+        for k in range(1, attempts + 1)
+    )
+    return RetryEnergyBreakdown(
+        scheme=base.scheme,
+        base=base,
+        attempts=attempts,
+        per_attempt=per_attempt,
+        total=sum(per_attempt),
     )
 
 

@@ -21,6 +21,7 @@ from typing import Optional
 from repro.circuit.bitline import BitlineModel, PAPER_BITLINE
 from repro.circuit.storage import SampleCapacitor
 from repro.core.cell import Cell1T1J
+from repro.core.retry import RetryPolicy
 from repro.device.mtj import MTJState
 from repro.errors import ConfigurationError
 from repro.timing.phases import PhaseSchedule, destructive_schedule, nondestructive_schedule
@@ -28,8 +29,10 @@ from repro.timing.phases import PhaseSchedule, destructive_schedule, nondestruct
 __all__ = [
     "TimingConfig",
     "LatencyBreakdown",
+    "RetryLatencyBreakdown",
     "nondestructive_read_latency",
     "destructive_read_latency",
+    "retry_read_latency",
     "latency_comparison",
 ]
 
@@ -155,6 +158,63 @@ def destructive_read_latency(
         t_write_back=t_write,
     )
     return LatencyBreakdown(schedule.scheme, schedule, schedule.total_duration)
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryLatencyBreakdown:
+    """Latency of a read that needed ``attempts`` sensing passes.
+
+    Each pass replays the full phase schedule; between passes the retry
+    policy's exponential backoff elapses in simulated time.  The breakdown
+    keeps the per-attempt split so a controller model can report how much
+    of a retried access was sensing versus waiting.
+    """
+
+    scheme: str
+    base: LatencyBreakdown
+    attempts: int
+    backoff: float  #: total simulated backoff [s]
+    total: float    #: attempts × base.total + backoff [s]
+
+    @property
+    def sensing(self) -> float:
+        """Time spent actually reading (backoff excluded) [s]."""
+        return self.total - self.backoff
+
+    @property
+    def slowdown(self) -> float:
+        """Total latency relative to a clean single read."""
+        return self.total / self.base.total
+
+
+def retry_read_latency(
+    breakdown: LatencyBreakdown,
+    policy: RetryPolicy,
+    attempts: int,
+) -> RetryLatencyBreakdown:
+    """Latency of a read retried ``attempts`` times under ``policy``.
+
+    Every attempt pays the full single-read schedule (the sense amplifier
+    cannot shortcut a re-read), and attempts after the first wait out the
+    policy's backoff first.  ``attempts`` is typically the worst per-bit
+    attempt count of a word read
+    (:attr:`~repro.ecc.array.EccReadResult.attempts`).
+    """
+    if attempts < 1:
+        raise ConfigurationError(f"attempts must be >= 1, got {attempts}")
+    if attempts > policy.max_attempts:
+        raise ConfigurationError(
+            f"attempts {attempts} exceeds the policy's max_attempts "
+            f"{policy.max_attempts}"
+        )
+    backoff = policy.total_backoff(attempts) * 1e-9
+    return RetryLatencyBreakdown(
+        scheme=breakdown.scheme,
+        base=breakdown,
+        attempts=attempts,
+        backoff=backoff,
+        total=attempts * breakdown.total + backoff,
+    )
 
 
 def latency_comparison(

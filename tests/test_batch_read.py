@@ -132,6 +132,37 @@ class TestKernelEquivalence:
         assert_batches_equal(ref, vec)
         np.testing.assert_array_equal(states_ref, states_vec)
 
+    @pytest.mark.parametrize(
+        "phase", ["after_erase", "after_second_read", "after_compare"]
+    )
+    def test_power_failure_destroyed_data_parity_with_scalar_loop(self, phase):
+        """Regression: the batch kernel's ``data_destroyed`` under a
+        power-failure abort must equal a raw loop of scalar ``scheme.read``
+        calls — same flags, same surviving states, bit for bit."""
+        scheme = make_scheme("destructive", WIDE_WINDOW)
+        states_vec = pattern()
+        vec = scheme.read_many(
+            POPULATION, states_vec,
+            rng=np.random.default_rng(13), power_failure_at=phase,
+        )
+
+        states_scalar = pattern()
+        rng = np.random.default_rng(13)
+        destroyed = np.zeros(POPULATION.size, dtype=bool)
+        for index in range(POPULATION.size):
+            cell = materialize_cell(POPULATION, index, int(states_scalar[index]))
+            result = scheme.read(cell, rng, power_failure_at=phase)
+            destroyed[index] = result.data_destroyed
+            if phase != "after_compare":
+                assert result.bit is None  # the abort beat the latch
+            states_scalar[index] = cell.stored_bit
+
+        np.testing.assert_array_equal(vec.data_destroyed, destroyed)
+        np.testing.assert_array_equal(states_vec, states_scalar)
+        # An erase-window abort genuinely loses data on this population.
+        if phase == "after_erase":
+            assert destroyed.any()
+
     def test_destructive_mutates_states_in_place(self):
         scheme = make_scheme("destructive")
         states = pattern()

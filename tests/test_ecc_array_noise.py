@@ -78,12 +78,51 @@ class TestEccArray:
         ecc_array.write_word(0, value)
         ecc_array.write_word(1, value)
         ecc_array.array._states[7] ^= 1  # damage word 0
-        corrections = ecc_array.scrub(scheme, rng)
-        assert corrections == 1
+        report = ecc_array.scrub(scheme, rng)
+        assert report.corrected == 1
+        assert report.uncorrectable == 0
+        assert report.clean == 1
+        assert report.healthy
+        assert report.words == 2
         # After the scrub the stored codeword is clean again.
         result = ecc_array.read_word(0, scheme, rng)
         assert result.status is DecodeStatus.CLEAN
         assert result.value == value
+
+    def test_scrub_counts_uncorrectable_without_rewriting(self, ecc_array, scheme, rng):
+        """Multi-bit faults: a detected-but-uncorrectable word is counted
+        and reported — never silently rewritten with laundered data."""
+        value = 0x0F0F0F0F0F0F0F0F
+        ecc_array.write_word(0, value)
+        ecc_array.write_word(1, value)
+        ecc_array.array._states[5] ^= 1   # two faults in word 0:
+        ecc_array.array._states[50] ^= 1  # beyond SECDED correction
+        before = ecc_array.array._states[:72].copy()
+        report = ecc_array.scrub(scheme, rng)
+        assert report.uncorrectable == 1
+        assert report.uncorrectable_addresses == (0,)
+        assert report.clean == 1
+        assert not report.healthy
+        assert report.words == 2
+        # The corrupt word's cells are untouched — escalation (scrub retry,
+        # repair remap) stays possible because nothing was overwritten.
+        np.testing.assert_array_equal(ecc_array.array._states[:72], before)
+
+    def test_read_word_with_retry_accounting(self, ecc_array, rng, calibration):
+        """A hopeless sense amp burns the whole retry budget; the result
+        surfaces the attempts and accumulated pulse counts."""
+        from repro.core.retry import RetryPolicy
+
+        hopeless = NondestructiveSelfReference(
+            beta=calibration.beta_nondestructive,
+            sense_amp=SenseAmplifier(resolution=10.0),
+        )
+        ecc_array.write_word(0, 0x1234)
+        policy = RetryPolicy(max_attempts=3)
+        result = ecc_array.read_word(0, hopeless, rng, retry_policy=policy)
+        assert result.attempts == 3
+        assert result.metastable_bits == 72
+        assert result.read_pulses == 3 * 2 * 72  # attempts × pulses × bits
 
     def test_address_bounds(self, ecc_array, scheme):
         with pytest.raises(IndexError):

@@ -1,0 +1,132 @@
+"""Fault-injection campaign: acceptance gates at a fixed seed.
+
+The campaign's contract (ISSUE acceptance): on the seeded testchip sweep
+the recovery ladder recovers >= 99% of correctable injected faults with
+zero silently-escaped words for the nondestructive scheme; the destructive
+scheme's power-failure window shows up as escaped/destroyed words — the
+paper's motivating non-volatility hole.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.retry import RetryPolicy
+from repro.errors import ConfigurationError, FaultError
+from repro.faults import (
+    FaultCampaignResult,
+    default_fault_models,
+    run_fault_campaign,
+)
+
+#: Small but representative: 64 codewords, the CI smoke size.
+SMOKE_BITS = 4608
+
+
+@pytest.fixture(scope="module")
+def smoke_campaign():
+    return run_fault_campaign(rates=(1e-4, 1e-3), bits=SMOKE_BITS, seed=2010)
+
+
+class TestCampaignAcceptance:
+    def test_recovers_correctable_faults(self, smoke_campaign):
+        assert smoke_campaign.min_recovery_fraction >= 0.99
+        assert smoke_campaign.total_escaped == 0
+        smoke_campaign.check()  # the CI gate itself
+
+    def test_rows_are_scored_consistently(self, smoke_campaign):
+        for row in smoke_campaign.rows:
+            assert row.bits == SMOKE_BITS
+            assert row.words == SMOKE_BITS // 72 - 8  # 8 spare words reserved
+            assert row.correctable_words <= row.faulty_words
+            assert row.recovered_correctable <= row.correctable_words
+            # Every word is accounted for exactly once across the tiers.
+            assert sum(row.tier_counts.values()) == row.words
+            assert row.tier_counts["lost"] == row.detected_words
+
+    def test_higher_rates_strike_more_cells(self, smoke_campaign):
+        injected = [row.injected_cells for row in smoke_campaign.rows]
+        assert injected[0] < injected[-1]
+
+    def test_fixed_seed_reproduces(self, smoke_campaign):
+        again = run_fault_campaign(rates=(1e-4, 1e-3), bits=SMOKE_BITS, seed=2010)
+        for row, row2 in zip(smoke_campaign.rows, again.rows):
+            assert row == row2
+
+    def test_destructive_scheme_leaks_power_failures(self):
+        """The destructive read's erase window: a supply drop destroys the
+        word, and a mostly-erased word can alias straight past SECDED —
+        silent corruption the nondestructive scheme is immune to."""
+        result = run_fault_campaign(
+            rates=(1e-3,), bits=SMOKE_BITS, scheme="destructive", seed=2010
+        )
+        row = result.rows[0]
+        assert row.power_failure_words > 0
+        assert row.escaped_words > 0
+        with pytest.raises(FaultError):
+            result.check()
+
+    def test_check_gates(self):
+        clean = FaultCampaignResult(
+            scheme="nondestructive", seed=0, bits=72, data_bits=64, rows=()
+        )
+        clean.check()  # vacuously healthy
+        assert clean.min_recovery_fraction == 1.0
+
+    def test_configuration_errors(self):
+        with pytest.raises(ConfigurationError):
+            run_fault_campaign(rates=(0.1,), bits=0)
+        with pytest.raises(ConfigurationError):
+            run_fault_campaign(rates=(-0.5,), bits=SMOKE_BITS)
+        with pytest.raises(ConfigurationError):
+            run_fault_campaign(rates=(0.1,), bits=SMOKE_BITS, scheme="bogus")
+
+    def test_default_fault_models(self):
+        models = default_fault_models(1e-3)
+        assert len(models) == 5
+        assert len(default_fault_models(1e-3, transients=False)) == 3
+        rates = {type(m).__name__: getattr(m, "rate", None) for m in models}
+        assert rates["StuckShortFault"] == pytest.approx(5e-4)
+        assert rates["ReadDisturbFault"] == pytest.approx(2.5e-4)
+
+    def test_escalated_policy_beats_no_retry_on_stuck_shorts(self):
+        """Sense-current escalation pushes a shorted cell's ~7 mV margin
+        out of the 8 mV window: with retries exhausted words shrink."""
+        no_retry = run_fault_campaign(
+            rates=(5e-3,), bits=SMOKE_BITS, seed=7,
+            policy=RetryPolicy(max_attempts=1),
+        ).rows[0]
+        escalated = run_fault_campaign(
+            rates=(5e-3,), bits=SMOKE_BITS, seed=7,
+            policy=RetryPolicy(max_attempts=3, current_escalation=0.2),
+        ).rows[0]
+        assert escalated.escaped_words == 0
+        assert (escalated.detected_words + escalated.escaped_words) <= (
+            no_retry.detected_words + no_retry.escaped_words
+        )
+
+
+class TestFaultsCli:
+    def test_faults_command_runs_and_passes(self, capsys):
+        code = main(["faults", "--bits", str(SMOKE_BITS), "--rates", "1e-3", "--check"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "PASS" in out
+        assert "clean/retry/ecc/scrub/repair" in out
+
+    def test_faults_command_check_fails_on_escapes(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main([
+                "faults", "--bits", str(SMOKE_BITS), "--rates", "1e-3",
+                "--scheme", "destructive", "--check",
+            ])
+        assert info.value.code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_faults_command_without_check_reports_only(self, capsys):
+        code = main([
+            "faults", "--bits", str(SMOKE_BITS), "--rates", "1e-3",
+            "--scheme", "destructive",
+        ])
+        assert code == 0
+        assert "escaped" in capsys.readouterr().out
