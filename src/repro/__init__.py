@@ -17,7 +17,10 @@ The library models the complete stack the paper evaluates:
   reliability;
 * :mod:`repro.calibration` — device fit to the paper's published numbers;
 * :mod:`repro.analysis` — series/table generators for every paper figure
-  and table.
+  and table;
+* :mod:`repro.obs` — opt-in observability: deterministic metrics registry,
+  trace-event ring buffer, and wall-clock profiling hooks over the whole
+  sensing stack (off by default; ``obs.configure(enabled=True)``).
 
 Quickstart::
 
@@ -48,6 +51,7 @@ from repro.device import (
     SwitchingModel,
     VariationModel,
 )
+from repro import obs
 
 __version__ = "1.0.0"
 
@@ -71,4 +75,5 @@ __all__ = [
     "MTJState",
     "SwitchingModel",
     "VariationModel",
+    "obs",
 ]

@@ -9,6 +9,7 @@ from repro.array.scheduler import QueueingResult, simulate_read_queue
 from repro.array.testflow import DieResult, TestFlowConfig, run_test_flow, yield_curve
 from repro.array.stress import StressReport, run_read_stress
 from repro.array.testchip import (
+    TESTCHIP_VARIATION,
     BehavioralReadSummary,
     TestChip,
     TestChipResult,
@@ -40,6 +41,7 @@ __all__ = [
     "yield_curve",
     "StressReport",
     "run_read_stress",
+    "TESTCHIP_VARIATION",
     "TestChip",
     "TestChipResult",
     "BehavioralReadSummary",

@@ -22,8 +22,17 @@ from repro.core.batch import BatchReadResult
 from repro.core.retry import BatchRetryResult, RetryPolicy, read_many_with_retry
 from repro.device.variation import CellPopulation
 from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
 
 __all__ = ["STTRAMArray", "WordReadResult"]
+
+
+def _meter_array_read(api: str, bits: int) -> None:
+    """Count one array-level read entry point (no-op when obs is off)."""
+    if _obs.active():
+        registry = _obs.get_registry()
+        registry.inc("array.reads", api=api)
+        registry.inc("array.bits_read", bits, api=api)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -119,6 +128,7 @@ class STTRAMArray:
             )
         if np.unique(idx).size != idx.size:
             raise ConfigurationError("bit_indices must be distinct within one batch")
+        _meter_array_read("read_bits", int(idx.size))
         states = self._states[idx].copy()
         result = scheme.read_many(self.population.subset(idx), states, rng=rng, **kwargs)
         self._states[idx] = states
@@ -131,6 +141,7 @@ class STTRAMArray:
         **kwargs,
     ) -> BatchReadResult:
         """Read every cell of the array in one kernel pass."""
+        _meter_array_read("read_all", self.size_bits)
         return scheme.read_many(self.population, self._states, rng=rng, **kwargs)
 
     def read_bits_with_retry(
@@ -153,6 +164,7 @@ class STTRAMArray:
             )
         if np.unique(idx).size != idx.size:
             raise ConfigurationError("bit_indices must be distinct within one batch")
+        _meter_array_read("read_bits_with_retry", int(idx.size))
         states = self._states[idx].copy()
         result = read_many_with_retry(
             scheme, self.population.subset(idx), states, policy, rng=rng, **kwargs
@@ -169,6 +181,7 @@ class STTRAMArray:
     ) -> BatchRetryResult:
         """Read every cell with retries — one kernel pass per attempt
         round, later rounds restricted to the unresolved subset."""
+        _meter_array_read("read_all_with_retry", self.size_bits)
         return read_many_with_retry(
             scheme, self.population, self._states, policy, rng=rng, **kwargs
         )

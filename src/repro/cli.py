@@ -346,11 +346,31 @@ def _cmd_ber(args) -> None:
     ))
 
 
+def _write_obs_outputs(args, registry, tracer) -> None:
+    """Write ``--metrics-out`` / ``--trace-out`` artifacts if requested.
+
+    The metrics JSON excludes the wall-clock ``profile`` section unless
+    ``--profile`` was passed, so the default artifact is byte-reproducible
+    under a fixed seed.
+    """
+    if getattr(args, "metrics_out", None):
+        registry.write_json(args.metrics_out, profile=getattr(args, "profile", False))
+        print(f"wrote metrics to {args.metrics_out}")
+    if getattr(args, "trace_out", None):
+        tracer.write_jsonl(args.trace_out)
+        print(f"wrote {len(tracer.events())} trace events to {args.trace_out}"
+              + (f" ({tracer.dropped} dropped)" if tracer.dropped else ""))
+
+
 def _cmd_faults(args) -> None:
+    from repro import obs
     from repro.core.retry import RetryPolicy
     from repro.errors import FaultError
     from repro.faults import run_fault_campaign
 
+    metered = bool(args.metrics_out or args.trace_out)
+    if metered:
+        registry, tracer = obs.configure(enabled=True)
     policy = RetryPolicy(
         max_attempts=args.attempts, backoff_ns=5.0, current_escalation=0.1
     )
@@ -361,6 +381,9 @@ def _cmd_faults(args) -> None:
         policy=policy,
         seed=args.seed,
     )
+    if metered:
+        _write_obs_outputs(args, registry, tracer)
+        obs.reset()
     print(f"fault campaign — {args.scheme} scheme, {args.bits} bits, "
           f"seed {args.seed}")
     rows = []
@@ -388,6 +411,78 @@ def _cmd_faults(args) -> None:
             print(f"FAIL: {error}")
             raise SystemExit(1)
         print("PASS: all correctable faults recovered, nothing escaped")
+
+
+def _cmd_stats(args) -> None:
+    import numpy as np
+
+    from repro import obs
+    from repro.array.array import STTRAMArray
+    from repro.array.testchip import TESTCHIP_VARIATION
+    from repro.calibration import PAPER_TARGETS, calibrate
+    from repro.core.retry import RetryPolicy
+    from repro.device.variation import CellPopulation
+    from repro.ecc.array import EccArray
+    from repro.faults import FaultInjector, build_scheme, default_fault_models
+
+    registry, tracer = obs.configure(enabled=True)
+    try:
+        calibration = calibrate()
+        scheme = build_scheme(args.scheme, calibration, PAPER_TARGETS.r_transistor)
+        rng_build = np.random.default_rng((args.seed, 0))
+        rng_fault = np.random.default_rng((args.seed, 1))
+        rng_read = np.random.default_rng((args.seed, 2))
+        population = CellPopulation.sample(
+            args.bits, TESTCHIP_VARIATION,
+            params=calibration.params,
+            rolloff_high=calibration.rolloff_high(),
+            rolloff_low=calibration.rolloff_low(),
+            rng=rng_build,
+            r_tr_nominal=PAPER_TARGETS.r_transistor,
+        )
+        array = STTRAMArray(population)
+        memory = EccArray(array)
+        for address in range(memory.size_words):
+            value = int.from_bytes(rng_build.bytes(8), "little")
+            value &= (1 << memory.codec.data_bits) - 1
+            memory.write_word(address, value)
+
+        injector = FaultInjector(default_fault_models(args.rate), rng_fault)
+        injector.inject_array(array)
+        injector.disturb_states(array._states)
+
+        policy = RetryPolicy(max_attempts=3, backoff_ns=5.0, current_escalation=0.1)
+        array.read_all_with_retry(scheme, policy, rng_read)
+        memory.scrub(scheme, rng_read, retry_policy=policy)
+
+        snapshot = registry.snapshot(profile=False)
+        print(f"instrumented workload — {args.scheme} scheme, {args.bits} bits, "
+              f"fault rate {args.rate:g}, seed {args.seed}")
+        print()
+        print(format_table(
+            ["counter", "value"],
+            [[key, f"{value:g}"] for key, value in snapshot["counters"].items()],
+        ))
+        hist_rows = []
+        for key, hist in snapshot["histograms"].items():
+            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            hist_rows.append([
+                key, str(hist["count"]), f"{mean:g}",
+                f"{hist['min']:g}", f"{hist['max']:g}",
+            ])
+        if hist_rows:
+            print()
+            print(format_table(["histogram", "count", "mean", "min", "max"], hist_rows))
+        counts = tracer.counts_by_kind()
+        if counts:
+            print()
+            print(format_table(
+                ["trace event", "count"],
+                [[kind, str(n)] for kind, n in sorted(counts.items())],
+            ))
+        _write_obs_outputs(args, registry, tracer)
+    finally:
+        obs.reset()
 
 
 def _cmd_export(args) -> None:
@@ -424,6 +519,7 @@ EXPERIMENTS: Dict[str, tuple] = {
     "sensitivity": (_cmd_sensitivity, "extension: margin-sensitivity ranking"),
     "ber": (_cmd_ber, "extension: per-read error budget"),
     "faults": (_cmd_faults, "extension: fault-injection campaign + recovery ladder"),
+    "stats": (_cmd_stats, "observability: instrumented read workload + metrics dump"),
     "export": (_cmd_export, "write every figure series to CSV"),
     "list": (_cmd_list, "list available experiments"),
 }
@@ -471,6 +567,38 @@ def build_parser() -> argparse.ArgumentParser:
                 "--check", action="store_true",
                 help="exit nonzero unless every correctable fault recovered "
                 "and nothing escaped",
+            )
+        if name in ("faults", "stats"):
+            sub.add_argument(
+                "--metrics-out", metavar="PATH", default=None,
+                help="write the metrics registry snapshot to PATH as JSON",
+            )
+            sub.add_argument(
+                "--trace-out", metavar="PATH", default=None,
+                help="write the trace-event ring buffer to PATH as JSONL",
+            )
+            sub.add_argument(
+                "--profile", action="store_true",
+                help="include wall-clock profile timings in --metrics-out "
+                "(non-deterministic; omitted by default)",
+            )
+        if name == "stats":
+            sub.add_argument(
+                "--bits", type=int, default=2304,
+                help="array size in cells (default 2304 = 32 SECDED words)",
+            )
+            sub.add_argument(
+                "--scheme", default="nondestructive",
+                choices=("conventional", "destructive", "nondestructive"),
+                help="sensing scheme under test (default nondestructive)",
+            )
+            sub.add_argument(
+                "--seed", type=int, default=2010,
+                help="workload RNG seed (default 2010)",
+            )
+            sub.add_argument(
+                "--rate", type=float, default=1e-3,
+                help="hard-fault rate injected before reading (default 1e-3)",
             )
         if name == "export":
             sub.add_argument(

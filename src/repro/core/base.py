@@ -4,18 +4,76 @@ from __future__ import annotations
 
 import abc
 import dataclasses
+import functools
+import time
 from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.core.cell import Cell1T1J
 from repro.core.margins import MarginPair
+from repro.obs import runtime as _obs
+from repro.obs.trace import READ_ISSUED
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.batch import BatchReadResult
     from repro.device.variation import CellPopulation
 
 __all__ = ["ReadResult", "SensingScheme"]
+
+
+def _instrument_scalar_read(func):
+    """Count scalar reads into the observability registry when active.
+
+    Installed on every concrete scheme's ``read`` by
+    :meth:`SensingScheme.__init_subclass__`; a no-op boolean check when
+    observability is disabled, and never consumes RNG draws.
+    """
+
+    @functools.wraps(func)
+    def read(self, *args, **kwargs):
+        result = func(self, *args, **kwargs)
+        if _obs.active():
+            registry = _obs.get_registry()
+            registry.inc("core.reads.scalar", scheme=self.name)
+            if result.metastable:
+                registry.inc("core.reads.scalar_metastable", scheme=self.name)
+        return result
+
+    read.__obs_instrumented__ = True
+    return read
+
+
+def _instrument_batch_read(func):
+    """Meter batched reads: bit counts, metastability, errors, timing."""
+
+    @functools.wraps(func)
+    def read_many(self, *args, **kwargs):
+        if not _obs.active():
+            return func(self, *args, **kwargs)
+        start = time.perf_counter()
+        batch = func(self, *args, **kwargs)
+        elapsed = time.perf_counter() - start
+        registry = _obs.get_registry()
+        registry.inc("core.reads.batch", scheme=self.name)
+        registry.inc("core.reads.bits", batch.size, scheme=self.name)
+        metastable = batch.metastable_count
+        if metastable:
+            registry.inc("core.reads.metastable_bits", metastable, scheme=self.name)
+        errors = batch.error_count
+        if errors:
+            registry.inc("core.reads.error_bits", errors, scheme=self.name)
+        registry.observe_profile("core.read_many", elapsed)
+        _obs.trace(
+            READ_ISSUED,
+            scheme=self.name,
+            bits=batch.size,
+            metastable=metastable,
+        )
+        return batch
+
+    read_many.__obs_instrumented__ = True
+    return read_many
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,12 +130,50 @@ class ReadResult:
         the resolution window)."""
         return self.bit is not None and not self.metastable
 
+    @property
+    def metrics(self) -> Dict[str, float]:
+        """Operation-level metrics snapshot of this read.
+
+        The per-operation counterpart of the process-wide
+        :mod:`repro.obs` registry: everything the read cost and produced,
+        as a flat dict of numbers (deterministic — no wall-clock).  The
+        keys mirror the ``core.reads.*`` / ``retry.*`` counter catalog in
+        ``docs/OBSERVABILITY.md``.
+        """
+        return {
+            "attempts": float(self.attempts),
+            "read_pulses": float(self.read_pulses),
+            "write_pulses": float(self.write_pulses),
+            "metastable": float(self.metastable),
+            "data_destroyed": float(self.data_destroyed),
+            "correct": float(self.correct),
+            "margin_v": float(self.margin),
+        }
+
 
 class SensingScheme(abc.ABC):
     """A read scheme: turns a cell's electrical state into a bit decision."""
 
     #: Human-readable name used in reports.
     name: str = "abstract"
+
+    def __init_subclass__(cls, **kwargs):
+        """Auto-instrument concrete schemes for :mod:`repro.obs`.
+
+        Any ``read`` / ``read_many`` a subclass defines is wrapped with
+        the observability meters; the wrappers cost one boolean check when
+        observability is off and never touch the RNG stream, so scalar/
+        batch bit-exactness contracts are unaffected.
+        """
+        super().__init_subclass__(**kwargs)
+        read = cls.__dict__.get("read")
+        if read is not None and not getattr(read, "__obs_instrumented__", False):
+            cls.read = _instrument_scalar_read(read)
+        read_many = cls.__dict__.get("read_many")
+        if read_many is not None and not getattr(
+            read_many, "__obs_instrumented__", False
+        ):
+            cls.read_many = _instrument_batch_read(read_many)
 
     @abc.abstractmethod
     def read(

@@ -27,6 +27,7 @@ from repro.device.mtj import MTJState
 from repro.device.transistor import FixedResistanceTransistor
 from repro.device.variation import CellPopulation
 from repro.errors import ConfigurationError
+from repro.obs.runtime import profiled
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.base import ReadResult, SensingScheme
@@ -209,6 +210,7 @@ def check_batch_inputs(population: CellPopulation, states: np.ndarray) -> np.nda
     return states
 
 
+@profiled("core.batch_from_scalar_reads")
 def batch_from_scalar_reads(
     scheme: "SensingScheme",
     population: CellPopulation,

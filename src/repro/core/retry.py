@@ -24,6 +24,26 @@ result's ``read_pulses``/``write_pulses`` and the policy's backoff
 accumulates in simulated nanoseconds, so latency/energy accounting (see
 :func:`repro.timing.latency.retry_read_latency`) charges what the cell
 actually endured.
+
+Usage — re-read a whole population until its metastable bits resolve::
+
+    import numpy as np
+    from repro.core import NondestructiveSelfReference, RetryPolicy
+    from repro.core.retry import read_many_with_retry
+
+    policy = RetryPolicy(max_attempts=3, backoff_ns=5.0,
+                         current_escalation=0.1)   # +10% I_read per round
+    scheme = NondestructiveSelfReference(beta=2.136)
+    result = read_many_with_retry(
+        scheme, population, states, policy, rng=np.random.default_rng(7)
+    )
+    result.retried_count       # bits that needed a second look
+    result.recovered_mask      # retries that produced a clean decision
+    result.exhausted_mask      # still unresolved -> escalate to ECC/scrub
+
+With :mod:`repro.obs` enabled, every retry round also lands in the
+``retry.*`` counters and emits ``read_retried`` / ``read_escalated``
+trace events (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -38,6 +58,9 @@ from repro.core.batch import check_batch_inputs, materialize_cell
 from repro.core.cell import Cell1T1J
 from repro.device.variation import CellPopulation
 from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
+from repro.obs.registry import ATTEMPTS_EDGES, BACKOFF_NS_EDGES
+from repro.obs.trace import READ_ESCALATED, READ_RETRIED
 
 __all__ = [
     "RetryPolicy",
@@ -107,6 +130,50 @@ class RetryPolicy:
         return sum(self.backoff_before(k) for k in range(2, attempts + 1))
 
 
+def _meter_retry_round(
+    scheme_name: str, policy: RetryPolicy, attempt: int, bits: int
+) -> None:
+    """Record one retry round (attempt >= 2) when observability is on."""
+    if not _obs.active():
+        return
+    registry = _obs.get_registry()
+    registry.inc("retry.rounds", scheme=scheme_name)
+    registry.inc("retry.bits_retried", bits, scheme=scheme_name)
+    _obs.trace(READ_RETRIED, scheme=scheme_name, attempt=attempt, bits=int(bits))
+    factor = policy.escalation_factor(attempt)
+    if factor != 1.0:
+        registry.inc("retry.escalations", scheme=scheme_name)
+        _obs.trace(
+            READ_ESCALATED, scheme=scheme_name, attempt=attempt, factor=factor
+        )
+
+
+def _meter_retry_result(result: "BatchRetryResult") -> "BatchRetryResult":
+    """Fold one finished retried batch into the registry (no-op when off)."""
+    if not _obs.active():
+        return result
+    registry = _obs.get_registry()
+    scheme_name = result.scheme
+    recovered = int(np.count_nonzero(result.recovered_mask))
+    exhausted = int(np.count_nonzero(result.exhausted_mask))
+    if recovered:
+        registry.inc("retry.recovered_bits", recovered, scheme=scheme_name)
+    if exhausted:
+        registry.inc("retry.exhausted_bits", exhausted, scheme=scheme_name)
+    registry.observe_many(
+        "retry.attempts", result.attempts, edges=ATTEMPTS_EDGES, scheme=scheme_name
+    )
+    retried = result.retried_mask
+    if retried.any():
+        registry.observe_many(
+            "retry.backoff_ns",
+            result.backoff_ns[retried],
+            edges=BACKOFF_NS_EDGES,
+            scheme=scheme_name,
+        )
+    return result
+
+
 def _needs_retry(bit: Optional[int], metastable: bool) -> bool:
     """A read needs a retry when it produced no decision or a metastable
     one (power-failure aborts also land here: ``bit is None``)."""
@@ -170,6 +237,8 @@ def read_with_retry(
     attempt = 0
     while True:
         attempt += 1
+        if attempt > 1:
+            _meter_retry_round(scheme.name, policy, attempt, bits=1)
         escalated = scheme.scaled_read_current(policy.escalation_factor(attempt))
         results.append(escalated.read(cell, rng, **kwargs))
         last = results[-1]
@@ -181,7 +250,7 @@ def read_with_retry(
     bit = final.bit
     if policy.majority_vote and len(results) > 1:
         bit = _majority([r.bit for r in results], final.bit)
-    return dataclasses.replace(
+    merged = dataclasses.replace(
         final,
         bit=bit,
         expected_bit=original,
@@ -190,6 +259,23 @@ def read_with_retry(
         write_pulses=sum(r.write_pulses for r in results),
         attempts=len(results),
     )
+    if _obs.active():
+        registry = _obs.get_registry()
+        if len(results) > 1 and merged.resolved:
+            registry.inc("retry.recovered_bits", scheme=scheme.name)
+        if merged.metastable or merged.bit is None:
+            registry.inc("retry.exhausted_bits", scheme=scheme.name)
+        registry.observe(
+            "retry.attempts", len(results), edges=ATTEMPTS_EDGES, scheme=scheme.name
+        )
+        if len(results) > 1:
+            registry.observe(
+                "retry.backoff_ns",
+                policy.total_backoff(len(results)),
+                edges=BACKOFF_NS_EDGES,
+                scheme=scheme.name,
+            )
+    return merged
 
 
 @dataclasses.dataclass(frozen=True)
@@ -404,6 +490,8 @@ def read_many_with_retry(
     attempt = 0
     while idx.size:
         attempt += 1
+        if attempt > 1:
+            _meter_retry_round(scheme.name, policy, attempt, bits=int(idx.size))
         escalated = scheme.scaled_read_current(policy.escalation_factor(attempt))
         sub_states = states[idx].copy()
         batch = escalated.read_many(
@@ -418,7 +506,7 @@ def read_many_with_retry(
             break
         idx = idx[still]
         active_pop = population.subset(idx)
-    return acc.finalize(states)
+    return _meter_retry_result(acc.finalize(states))
 
 
 def retry_batch_from_scalar_reads(
@@ -447,6 +535,8 @@ def retry_batch_from_scalar_reads(
     attempt = 0
     while idx.size:
         attempt += 1
+        if attempt > 1:
+            _meter_retry_round(scheme.name, policy, attempt, bits=int(idx.size))
         escalated = scheme.scaled_read_current(policy.escalation_factor(attempt))
         results = []
         for index in idx:
@@ -463,7 +553,7 @@ def retry_batch_from_scalar_reads(
         if not still.any():
             break
         idx = idx[still]
-    return acc.finalize(states)
+    return _meter_retry_result(acc.finalize(states))
 
 
 class _ScalarRound:

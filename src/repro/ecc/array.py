@@ -26,6 +26,8 @@ from repro.core.base import SensingScheme
 from repro.core.retry import RetryPolicy
 from repro.ecc.hamming import DecodeStatus, HammingSECDED
 from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
+from repro.obs.trace import ECC_CORRECTED, ECC_DETECTED, SCRUB
 
 __all__ = ["EccArray", "EccReadResult", "ScrubReport"]
 
@@ -156,6 +158,16 @@ class EccArray:
         received = batch.bit_values()
         decode = self.codec.decode(received)
         self._stats[decode.status] += 1
+        if _obs.active():
+            _obs.get_registry().inc("ecc.words", status=decode.status.name.lower())
+            if decode.status is DecodeStatus.CORRECTED:
+                _obs.trace(
+                    ECC_CORRECTED,
+                    address=address,
+                    position=decode.corrected_position,
+                )
+            elif decode.status is DecodeStatus.DETECTED:
+                _obs.trace(ECC_DETECTED, address=address)
         return EccReadResult(
             value=self.codec.bits_to_int(decode.data),
             status=decode.status,
@@ -192,9 +204,26 @@ class EccArray:
                 uncorrectable.append(address)
             else:
                 clean += 1
-        return ScrubReport(
+        report = ScrubReport(
             corrected=corrected,
             uncorrectable=len(uncorrectable),
             clean=clean,
             uncorrectable_addresses=tuple(uncorrectable),
         )
+        if _obs.active():
+            registry = _obs.get_registry()
+            registry.inc("ecc.scrub.passes")
+            for outcome, count in (
+                ("clean", report.clean),
+                ("corrected", report.corrected),
+                ("uncorrectable", report.uncorrectable),
+            ):
+                if count:
+                    registry.inc("ecc.scrub.words", count, outcome=outcome)
+            _obs.trace(
+                SCRUB,
+                words=report.words,
+                corrected=report.corrected,
+                uncorrectable=report.uncorrectable,
+            )
+        return report

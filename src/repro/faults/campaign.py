@@ -49,10 +49,13 @@ from repro.faults.models import (
     StuckShortFault,
 )
 from repro.faults.recovery import RecoveryController
+from repro.obs import runtime as _obs
+from repro.obs.runtime import profiled
 
 __all__ = [
     "CampaignRow",
     "FaultCampaignResult",
+    "build_scheme",
     "default_fault_models",
     "run_fault_campaign",
 ]
@@ -114,6 +117,10 @@ class FaultCampaignResult:
     bits: int
     data_bits: int
     rows: Tuple[CampaignRow, ...]
+    #: Deterministic metrics snapshot (``MetricsRegistry.snapshot`` without
+    #: the wall-clock ``profile`` section) captured at the end of the sweep
+    #: when observability was enabled; ``None`` otherwise.
+    metrics: Optional[Dict[str, object]] = None
 
     @property
     def total_escaped(self) -> int:
@@ -140,7 +147,14 @@ class FaultCampaignResult:
             )
 
 
-def _build_scheme(name: str, calibration, r_transistor: float) -> SensingScheme:
+def build_scheme(name: str, calibration, r_transistor: float) -> SensingScheme:
+    """Construct one of the three paper schemes from a calibration.
+
+    ``name`` is one of ``conventional`` / ``destructive`` /
+    ``nondestructive``; the returned scheme carries the calibrated bias
+    currents and beta ratios, matching what the campaign itself reads
+    through (also used by the ``repro stats`` CLI workload).
+    """
     targets = PAPER_TARGETS
     if name == "conventional":
         return ConventionalSensing(
@@ -160,6 +174,10 @@ def _build_scheme(name: str, calibration, r_transistor: float) -> SensingScheme:
     )
 
 
+#: Backwards-compatible alias (pre-observability name).
+_build_scheme = build_scheme
+
+
 def _hard_fault_bits(
     fault_map: FaultMap,
     disturbed: np.ndarray,
@@ -177,6 +195,7 @@ def _hard_fault_bits(
     return counts[:words]
 
 
+@profiled("faults.run_fault_campaign")
 def run_fault_campaign(
     rates: Sequence[float] = (1.0e-4, 1.0e-3, 5.0e-3),
     bits: int = 16384,
@@ -214,8 +233,9 @@ def run_fault_campaign(
     if variation is None:
         variation = TESTCHIP_VARIATION
     calibration = calibrate()
-    base_scheme = _build_scheme(scheme, calibration, PAPER_TARGETS.r_transistor)
+    base_scheme = build_scheme(scheme, calibration, PAPER_TARGETS.r_transistor)
     destructive = scheme == "destructive"
+    metered = _obs.active()
 
     rows = []
     for rate_index, rate in enumerate(rates):
@@ -278,6 +298,9 @@ def run_fault_campaign(
             fault_map, disturbed, destroyed, word_bits, words
         )
 
+        if metered:
+            _obs.get_registry().set_gauge("campaign.rate", float(rate))
+
         recovered_faulty = 0
         recovered_correctable = 0
         detected = 0
@@ -288,14 +311,20 @@ def run_fault_campaign(
                 recovered = controller.read_word(address, operation_scheme, rng_read)
             except RetryExhaustedError:
                 detected += 1
+                if metered:
+                    _obs.get_registry().inc("campaign.words", outcome="detected")
                 continue
             if recovered.value == truth[address]:
                 if hard_counts[address] >= 1:
                     recovered_faulty += 1
                     if hard_counts[address] == 1:
                         recovered_correctable += 1
+                if metered:
+                    _obs.get_registry().inc("campaign.words", outcome="recovered")
             else:
                 escaped += 1
+                if metered:
+                    _obs.get_registry().inc("campaign.words", outcome="escaped")
 
         repair_plan = None
         if repair_spares > 0:
@@ -332,4 +361,5 @@ def run_fault_campaign(
         bits=bits,
         data_bits=data_bits,
         rows=tuple(rows),
+        metrics=_obs.get_registry().snapshot(profile=False) if metered else None,
     )

@@ -30,6 +30,8 @@ from repro.core.cell import Cell1T1J
 from repro.device.variation import CellPopulation
 from repro.errors import FaultError
 from repro.faults.models import FaultKind
+from repro.obs import runtime as _obs
+from repro.obs.trace import FAULT_INJECTED, POWER_FAILURE
 
 __all__ = ["FaultMap", "FaultInjector"]
 
@@ -142,6 +144,13 @@ class FaultInjector:
             mask = fault.select(size, self.rng)
             fault.apply_population(population, mask)
             struck = np.nonzero(mask)[0]
+            if _obs.active() and struck.size:
+                _obs.get_registry().inc(
+                    "faults.injected_cells", int(struck.size), kind=fault.kind.value
+                )
+                _obs.trace(
+                    FAULT_INJECTED, kind=fault.kind.value, cells=int(struck.size)
+                )
             if fault.kind in indices:
                 struck = np.union1d(indices[fault.kind], struck)
             indices[fault.kind] = struck
@@ -192,6 +201,17 @@ class FaultInjector:
             flipped |= fault.flip_mask(states.size, self.rng)
         idx = np.nonzero(flipped)[0]
         states[idx] ^= 1
+        if _obs.active() and idx.size:
+            _obs.get_registry().inc(
+                "faults.injected_cells",
+                int(idx.size),
+                kind=FaultKind.READ_DISTURB.value,
+            )
+            _obs.trace(
+                FAULT_INJECTED,
+                kind=FaultKind.READ_DISTURB.value,
+                cells=int(idx.size),
+            )
         return idx
 
     def power_failure_phase(self) -> Optional[str]:
@@ -204,5 +224,8 @@ class FaultInjector:
         for fault in self.of_kind(FaultKind.POWER_FAILURE):
             phase = fault.draw_phase(self.rng)
             if phase is not None:
+                if _obs.active():
+                    _obs.get_registry().inc("faults.power_failures")
+                    _obs.trace(POWER_FAILURE, phase=phase)
                 return phase
         return None

@@ -33,6 +33,8 @@ from repro.core.retry import RetryPolicy
 from repro.ecc.array import EccArray
 from repro.ecc.hamming import DecodeStatus
 from repro.errors import ConfigurationError, FaultError, RetryExhaustedError
+from repro.obs import runtime as _obs
+from repro.obs.trace import SPARE_REPAIR, WORD_LOST
 
 __all__ = ["RecoveryTier", "RecoveredWord", "RecoveryController"]
 
@@ -189,6 +191,9 @@ class RecoveryController:
 
         # Every tier spent: the data is unrecoverable.  Fail loudly.
         self.words_lost += 1
+        if _obs.active():
+            _obs.get_registry().inc("recovery.words_lost")
+            _obs.trace(WORD_LOST, address=address, rereads=rereads)
         raise RetryExhaustedError(
             f"word {address} (physical {physical}) stayed uncorrectable "
             f"through retry, ECC, and {rereads} scrub round(s)",
@@ -236,10 +241,15 @@ class RecoveryController:
         spare = self._free_spares.pop()
         self._remap[address] = spare
         self.memory.write_word(spare, value)
+        if _obs.active():
+            _obs.get_registry().inc("recovery.spares_used")
+            _obs.trace(SPARE_REPAIR, address=address, spare=spare)
         return True
 
     def _record(self, word: RecoveredWord) -> RecoveredWord:
         self.tier_counts[word.tier] += 1
+        if _obs.active():
+            _obs.get_registry().inc("recovery.words", tier=word.tier.value)
         return word
 
     # ------------------------------------------------------------------

@@ -1,0 +1,99 @@
+"""repro.obs — zero-dependency observability for the sensing stack.
+
+Three cooperating pieces (see ``docs/OBSERVABILITY.md`` for the full
+metric/event catalog and a worked example):
+
+* :class:`MetricsRegistry` — counters, gauges, and fixed-bucket
+  histograms with a deterministic JSON snapshot (``metrics.json``);
+* :class:`TraceBuffer` — a bounded ring of structured
+  :class:`TraceEvent` records (``events.jsonl``): reads issued/retried/
+  escalated, ECC corrections, scrubs, spare repairs, injected faults;
+* :func:`profiled` / :func:`profile_block` — wall-clock timing hooks
+  whose results land in the snapshot's segregated ``profile`` section.
+
+Everything hangs off one process-global switch that **defaults off**::
+
+    from repro import obs
+    from repro.faults import run_fault_campaign
+
+    obs.configure(enabled=True)            # fresh registry + tracer
+    result = run_fault_campaign(bits=2304, rates=(1e-3,), seed=7)
+
+    registry = obs.get_registry()
+    registry.counter("campaign.words", outcome="detected")
+    registry.write_json("metrics.json")    # == result.metrics, serialized
+    obs.get_tracer().write_jsonl("events.jsonl")
+
+With observability disabled every instrumented call site is a single
+boolean check, adds no measurable overhead to the batch kernels, and the
+sensed bits are bit-exact with an uninstrumented build (the
+instrumentation never consumes RNG draws).  The CLI front ends are
+``python -m repro stats`` and the ``--metrics-out`` / ``--trace-out``
+flags on ``python -m repro faults``.
+"""
+
+from repro.obs.registry import (
+    ATTEMPTS_EDGES,
+    BACKOFF_NS_EDGES,
+    ENERGY_PJ_EDGES,
+    LATENCY_NS_EDGES,
+    PROFILE_SECONDS_EDGES,
+    MetricsRegistry,
+    metric_key,
+)
+from repro.obs.runtime import (
+    active,
+    capture,
+    configure,
+    get_registry,
+    get_tracer,
+    profile_block,
+    profiled,
+    reset,
+    trace,
+)
+from repro.obs.trace import (
+    ECC_CORRECTED,
+    ECC_DETECTED,
+    FAULT_INJECTED,
+    POWER_FAILURE,
+    READ_ESCALATED,
+    READ_ISSUED,
+    READ_RETRIED,
+    SCRUB,
+    SPARE_REPAIR,
+    WORD_LOST,
+    TraceBuffer,
+    TraceEvent,
+)
+
+__all__ = [
+    "configure",
+    "active",
+    "get_registry",
+    "get_tracer",
+    "reset",
+    "capture",
+    "trace",
+    "profiled",
+    "profile_block",
+    "MetricsRegistry",
+    "metric_key",
+    "TraceBuffer",
+    "TraceEvent",
+    "BACKOFF_NS_EDGES",
+    "ATTEMPTS_EDGES",
+    "LATENCY_NS_EDGES",
+    "ENERGY_PJ_EDGES",
+    "PROFILE_SECONDS_EDGES",
+    "READ_ISSUED",
+    "READ_RETRIED",
+    "READ_ESCALATED",
+    "ECC_CORRECTED",
+    "ECC_DETECTED",
+    "SCRUB",
+    "SPARE_REPAIR",
+    "FAULT_INJECTED",
+    "POWER_FAILURE",
+    "WORD_LOST",
+]

@@ -1,0 +1,141 @@
+"""Structured trace events: a bounded ring buffer of what the stack did.
+
+Where the :class:`~repro.obs.registry.MetricsRegistry` aggregates, the
+trace buffer *narrates*: each instrumented operation appends one
+:class:`TraceEvent` — a read issued, a retry round fired, the sense current
+escalated, the SECDED decoder corrected a word, a scrub pass ran, a word
+migrated to a spare, a fault model struck.  Events carry a monotonically
+increasing sequence number (the simulation has no meaningful wall-clock
+ordering across seeds) plus free-form string/number fields.
+
+The buffer is a fixed-capacity ring: when full, the oldest events are
+dropped and counted (``dropped``) rather than growing without bound — a
+16kb campaign emits tens of thousands of events, and the caller who wants
+all of them can raise the capacity via ``obs.configure(trace_capacity=...)``
+or stream to disk with :meth:`TraceBuffer.write_jsonl`.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TraceEvent",
+    "TraceBuffer",
+    "READ_ISSUED",
+    "READ_RETRIED",
+    "READ_ESCALATED",
+    "ECC_CORRECTED",
+    "ECC_DETECTED",
+    "SCRUB",
+    "SPARE_REPAIR",
+    "FAULT_INJECTED",
+    "POWER_FAILURE",
+    "WORD_LOST",
+]
+
+# ---------------------------------------------------------------------------
+# Event kinds (the schema's closed vocabulary; see docs/OBSERVABILITY.md)
+# ---------------------------------------------------------------------------
+READ_ISSUED = "read_issued"        #: one batched read pass entered a kernel
+READ_RETRIED = "read_retried"      #: a retry round re-sensed unresolved bits
+READ_ESCALATED = "read_escalated"  #: a retry round raised the sense current
+ECC_CORRECTED = "ecc_corrected"    #: the SECDED decoder fixed one bit
+ECC_DETECTED = "ecc_detected"      #: the decoder flagged an uncorrectable word
+SCRUB = "scrub"                    #: one scrub pass over the array completed
+SPARE_REPAIR = "spare_repair"      #: a word migrated to a spare physical word
+FAULT_INJECTED = "fault_injected"  #: a fault model struck cells
+POWER_FAILURE = "power_failure"    #: a mid-read supply loss was injected
+WORD_LOST = "word_lost"            #: the recovery ladder exhausted on a word
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One structured event.
+
+    Attributes
+    ----------
+    seq:
+        Monotonic sequence number, unique within one buffer; the total
+        order of everything the instrumented stack did.
+    kind:
+        One of the module-level kind constants (``read_issued``, ...).
+    fields:
+        Event payload: plain strings/numbers only, so every event
+        serializes losslessly to one JSON line.
+    """
+
+    seq: int
+    kind: str
+    fields: Dict[str, object]
+
+    def to_json(self) -> str:
+        """The event as one compact JSON object (the JSONL row format)."""
+        payload = {"seq": self.seq, "kind": self.kind}
+        payload.update(self.fields)
+        return json.dumps(payload, sort_keys=True)
+
+
+class TraceBuffer:
+    """Fixed-capacity ring buffer of :class:`TraceEvent` objects."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ConfigurationError(f"trace capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._events: collections.deque = collections.deque(maxlen=self.capacity)
+        self._seq = 0
+        self.dropped = 0  #: events evicted because the ring was full
+
+    def emit(self, kind: str, /, **fields) -> TraceEvent:
+        """Append one event; returns it (mainly for tests).
+
+        ``kind`` is positional-only so events may carry a field that is
+        itself named ``kind``.
+        """
+        event = TraceEvent(seq=self._seq, kind=kind, fields=fields)
+        self._seq += 1
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(tuple(self._events))
+
+    def events(self, kind: Optional[str] = None) -> Tuple[TraceEvent, ...]:
+        """Buffered events, optionally filtered to one kind."""
+        if kind is None:
+            return tuple(self._events)
+        return tuple(e for e in self._events if e.kind == kind)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """How many *buffered* events exist per kind (sorted by kind)."""
+        counts: Dict[str, int] = {}
+        for event in self._events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def clear(self) -> None:
+        """Drop every buffered event and reset the sequence counter."""
+        self._events.clear()
+        self._seq = 0
+        self.dropped = 0
+
+    def write_jsonl(self, path) -> int:
+        """Write the buffered events to ``path`` as JSON Lines; returns the
+        number of lines written."""
+        events = self.events()
+        with open(path, "w") as handle:
+            for event in events:
+                handle.write(event.to_json())
+                handle.write("\n")
+        return len(events)

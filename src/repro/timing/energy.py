@@ -18,6 +18,8 @@ from repro.core.cell import Cell1T1J
 from repro.core.retry import RetryPolicy
 from repro.device.mtj import MTJState
 from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
+from repro.obs.registry import ENERGY_PJ_EDGES
 from repro.timing.latency import (
     LatencyBreakdown,
     TimingConfig,
@@ -32,6 +34,17 @@ __all__ = [
     "retry_read_energy",
     "read_energy_comparison",
 ]
+
+
+def _observe_energy(scheme: str, total_joules: float) -> None:
+    """Record one modelled read energy [pJ] (no-op when obs is off)."""
+    if _obs.active():
+        _obs.get_registry().observe(
+            "timing.read_energy_pj",
+            total_joules * 1e12,
+            edges=ENERGY_PJ_EDGES,
+            scheme=scheme,
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -84,10 +97,12 @@ def scheme_read_energy(
         phase.name: _phase_energy(cell, phase, worst_state)
         for phase in breakdown.schedule.phases
     }
+    total = sum(per_phase.values())
+    _observe_energy(breakdown.scheme, total)
     return EnergyBreakdown(
         scheme=breakdown.scheme,
         per_phase=per_phase,
-        total=sum(per_phase.values()),
+        total=total,
     )
 
 
@@ -141,12 +156,14 @@ def retry_read_energy(
         base.write_energy + base.read_energy * policy.escalation_factor(k) ** 2
         for k in range(1, attempts + 1)
     )
+    total = sum(per_attempt)
+    _observe_energy(base.scheme, total)
     return RetryEnergyBreakdown(
         scheme=base.scheme,
         base=base,
         attempts=attempts,
         per_attempt=per_attempt,
-        total=sum(per_attempt),
+        total=total,
     )
 
 

@@ -24,6 +24,8 @@ from repro.core.cell import Cell1T1J
 from repro.core.retry import RetryPolicy
 from repro.device.mtj import MTJState
 from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
+from repro.obs.registry import LATENCY_NS_EDGES
 from repro.timing.phases import PhaseSchedule, destructive_schedule, nondestructive_schedule
 
 __all__ = [
@@ -35,6 +37,17 @@ __all__ = [
     "retry_read_latency",
     "latency_comparison",
 ]
+
+
+def _observe_latency(scheme: str, total_seconds: float) -> None:
+    """Record one modelled read latency [ns] (no-op when obs is off)."""
+    if _obs.active():
+        _obs.get_registry().observe(
+            "timing.read_latency_ns",
+            total_seconds * 1e9,
+            edges=LATENCY_NS_EDGES,
+            scheme=scheme,
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -119,6 +132,7 @@ def nondestructive_read_latency(
         t_sense=config.t_sense,
         t_latch=config.t_latch,
     )
+    _observe_latency(schedule.scheme, schedule.total_duration)
     return LatencyBreakdown(schedule.scheme, schedule, schedule.total_duration)
 
 
@@ -157,6 +171,7 @@ def destructive_read_latency(
         t_latch=config.t_latch,
         t_write_back=t_write,
     )
+    _observe_latency(schedule.scheme, schedule.total_duration)
     return LatencyBreakdown(schedule.scheme, schedule, schedule.total_duration)
 
 
@@ -208,12 +223,14 @@ def retry_read_latency(
             f"{policy.max_attempts}"
         )
     backoff = policy.total_backoff(attempts) * 1e-9
+    total = attempts * breakdown.total + backoff
+    _observe_latency(breakdown.scheme, total)
     return RetryLatencyBreakdown(
         scheme=breakdown.scheme,
         base=breakdown,
         attempts=attempts,
         backoff=backoff,
-        total=attempts * breakdown.total + backoff,
+        total=total,
     )
 
 

@@ -1,5 +1,7 @@
 """CLI tests: every experiment subcommand runs and prints its headline."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -68,3 +70,68 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "CSV files" in out
         assert (tmp_path / "fig6_beta_sweep.csv").exists()
+
+
+class TestObservabilityCommands:
+    """`repro stats` and the --metrics-out/--trace-out artifact flags."""
+
+    STATS = ["stats", "--bits", "720", "--seed", "7"]
+    FAULTS = ["faults", "--bits", "2304", "--rates", "1e-3"]
+
+    def test_stats_prints_metric_tables(self, capsys):
+        assert main(self.STATS) == 0
+        out = capsys.readouterr().out
+        assert "instrumented workload" in out
+        assert "core.reads.batch" in out
+        assert "ecc.scrub.passes" in out
+        assert "read_issued" in out
+
+    def test_stats_writes_artifacts(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        events = tmp_path / "events.jsonl"
+        command = self.STATS + ["--metrics-out", str(metrics), "--trace-out", str(events)]
+        assert main(command) == 0
+        snap = json.loads(metrics.read_text())
+        assert "profile" not in snap  # wall-clock kept out unless --profile
+        assert snap["counters"]["ecc.scrub.passes"] >= 1
+        lines = [json.loads(line) for line in events.read_text().splitlines()]
+        assert lines and all("kind" in line and "seq" in line for line in lines)
+
+    def test_stats_profile_flag_includes_wall_clock(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert main(self.STATS + ["--metrics-out", str(metrics), "--profile"]) == 0
+        assert "profile" in json.loads(metrics.read_text())
+
+    def test_stats_metrics_deterministic_across_runs(self, capsys, tmp_path):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.STATS + ["--metrics-out", str(first)]) == 0
+        assert main(self.STATS + ["--metrics-out", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_faults_writes_reconciling_metrics(self, capsys, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        events = tmp_path / "events.jsonl"
+        command = self.FAULTS + ["--metrics-out", str(metrics), "--trace-out", str(events)]
+        assert main(command) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign" in out
+        counters = json.loads(metrics.read_text())["counters"]
+        words = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("campaign.words{")
+        )
+        tiers = sum(
+            value
+            for key, value in counters.items()
+            if key.startswith("recovery.words{")
+        )
+        assert words == tiers > 0
+        assert events.read_text().strip()
+
+    def test_faults_without_flags_stays_unmetered(self, capsys):
+        from repro import obs
+
+        assert main(self.FAULTS) == 0
+        assert not obs.active()
+        assert obs.get_registry().merge_counters(["campaign.words"]) == 0

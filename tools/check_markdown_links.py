@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Stdlib-only markdown link checker for the repo's documentation.
+
+Checks every ``[text](target)`` link in the given markdown files:
+
+* **relative file links** must point at an existing file or directory
+  (resolved against the linking file's directory, ``#fragment`` stripped);
+* **intra-document anchors** (``#section-title``) must match a heading in
+  the target file, using GitHub's slug rules (lowercase, punctuation
+  stripped, spaces to dashes);
+* **external links** (``http://``, ``https://``, ``mailto:``) are *not*
+  fetched — CI must stay hermetic — only syntactically noted.
+
+Exit status is the number of broken links (0 = clean), so CI can run it
+directly.  Usage::
+
+    python tools/check_markdown_links.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import List, Tuple
+
+# [text](target) — ignores images' leading "!" (same target rules apply).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, punctuation dropped,
+    spaces and runs of dashes collapsed to single dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return re.sub(r" ", "-", text)
+
+
+def heading_slugs(path: pathlib.Path) -> List[str]:
+    """All anchor slugs a markdown file exposes (duplicates get -1, -2...)."""
+    body = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    slugs: List[str] = []
+    seen: dict = {}
+    for match in _HEADING_RE.finditer(body):
+        slug = github_slug(match.group(1))
+        if slug in seen:
+            seen[slug] += 1
+            slugs.append(f"{slug}-{seen[slug]}")
+        else:
+            seen[slug] = 0
+            slugs.append(slug)
+    return slugs
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path) -> List[Tuple[str, str]]:
+    """Broken links of one file as (target, reason) pairs."""
+    body = _CODE_FENCE_RE.sub("", path.read_text(encoding="utf-8"))
+    problems: List[Tuple[str, str]] = []
+    for match in _LINK_RE.finditer(body):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL_PREFIXES):
+            continue  # external: not fetched (hermetic CI)
+        if target.startswith("#"):
+            if github_slug(target[1:]) not in heading_slugs(path):
+                problems.append((target, "no matching heading in this file"))
+            continue
+        file_part, _, fragment = target.partition("#")
+        resolved = (path.parent / file_part).resolve()
+        try:
+            resolved.relative_to(root)
+        except ValueError:
+            problems.append((target, "points outside the repository"))
+            continue
+        if not resolved.exists():
+            problems.append((target, "file does not exist"))
+            continue
+        if fragment and resolved.is_file() and resolved.suffix == ".md":
+            if github_slug(fragment) not in heading_slugs(resolved):
+                problems.append(
+                    (target, f"no heading '#{fragment}' in {file_part}")
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="+", help="markdown files to check")
+    parser.add_argument(
+        "--root", default=".", help="repository root (default: cwd)"
+    )
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.root).resolve()
+
+    broken = 0
+    for name in args.files:
+        path = pathlib.Path(name)
+        if not path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            broken += 1
+            continue
+        for target, reason in check_file(path, root):
+            print(f"{name}: broken link '{target}' — {reason}", file=sys.stderr)
+            broken += 1
+    if broken == 0:
+        print(f"checked {len(args.files)} file(s): all links OK")
+    return broken
+
+
+if __name__ == "__main__":
+    sys.exit(main())
