@@ -2,20 +2,33 @@
 
 The destructive scheme's longer bank-occupancy time (erase + write-back)
 does more damage than its raw latency suggests once requests queue behind
-busy banks.  This module runs a simple discrete-event simulation — Poisson
-read arrivals, random bank targets, FCFS per bank — and reports the mean
-and tail request latency per scheme as a function of offered load.
+busy banks.  This module keeps the historical entry point —
+:func:`simulate_read_queue`, Poisson read arrivals, random bank targets,
+FCFS per bank — but the hand-rolled service loop it used to contain now
+lives in :mod:`repro.service`: the function draws the same RNG streams in
+the same order, wraps them into :class:`~repro.service.workload.Request`
+records, and runs them through an engine-driven
+:class:`~repro.service.controller.MemoryController` under the ``fcfs``
+policy.  Results are bit-identical to the pre-refactor loop for a fixed
+seed (the regression test pins exact values), because the controller
+performs the same float operations — ``start = max(arrival, bank_free)``,
+``finish = start + service_time`` — in the same per-request order.
+
+For richer workloads (bursty arrivals, Zipf addressing, writes, caching,
+batching, fault-backed reads), use :mod:`repro.service` directly.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import heapq
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.service.controller import ControllerConfig, FCFS, MemoryController
+from repro.service.engine import DiscreteEventEngine
+from repro.service.workload import Request
 
 __all__ = ["QueueingResult", "simulate_read_queue"]
 
@@ -63,20 +76,37 @@ def simulate_read_queue(
             f"offered load {offered:.2f} >= 1: the queue is unstable"
         )
 
+    # Same draws, same order, as the historical loop: arrival gaps first,
+    # then bank targets.  The target doubles as the address, so the
+    # controller's modulo interleaving lands each request on its target.
     arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate, requests))
     targets = rng.integers(0, banks, requests)
-    bank_free_at = np.zeros(banks)
+    stream = tuple(
+        Request(
+            request_id=index,
+            time=float(arrivals[index]),
+            address=int(targets[index]),
+        )
+        for index in range(requests)
+    )
+
+    config = ControllerConfig(
+        read_time=service_time, write_time=service_time, banks=banks
+    )
+    engine = DiscreteEventEngine()
+    controller = MemoryController(engine, config, policy=FCFS)
+    controller.submit_all(stream)
+    engine.run()
+
+    # Reassemble per-request arrays in arrival (request_id) order so the
+    # pairwise summation inside np.mean sees the exact sequence the old
+    # loop produced — means stay byte-identical, not merely close.
     latencies = np.empty(requests)
     queue_delays = np.empty(requests)
-
-    for index in range(requests):
-        t_arrive = arrivals[index]
-        bank = targets[index]
-        start = max(t_arrive, bank_free_at[bank])
-        finish = start + service_time
-        bank_free_at[bank] = finish
-        latencies[index] = finish - t_arrive
-        queue_delays[index] = start - t_arrive
+    for completed in controller.completions:
+        index = completed.request.request_id
+        latencies[index] = completed.latency
+        queue_delays[index] = completed.queue_delay
 
     return QueueingResult(
         service_time=service_time,

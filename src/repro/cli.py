@@ -5,21 +5,41 @@ Usage::
     python -m repro table1          # Table I
     python -m repro fig11           # the 16kb test-chip experiment
     python -m repro latency         # §V latency comparison
+    python -m repro serve           # trace-driven serving simulation
     python -m repro list            # everything available
 
 Each subcommand prints the same rows/series the paper reports (the
 benchmark suite wraps the identical generators with timing).
+
+Every entry in :data:`EXPERIMENTS` is an :class:`Experiment` — its run
+function, its one-line description, and an optional argument-registration
+hook that :func:`build_parser` calls on the subparser, so a command's
+flags live next to the command instead of in a growing ``if name == ...``
+ladder inside the parser builder.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, Dict, List, Optional
 
 from repro.analysis.report import format_table, render_series
 
-__all__ = ["main", "build_parser", "EXPERIMENTS"]
+__all__ = ["main", "build_parser", "Experiment", "EXPERIMENTS", "package_version"]
+
+
+def package_version() -> str:
+    """The installed package version (falls back to ``repro.__version__``)."""
+    try:
+        import importlib.metadata
+
+        return importlib.metadata.version("repro")
+    except Exception:
+        import repro
+
+        return repro.__version__
 
 
 def _cmd_table1(args) -> None:
@@ -494,34 +514,321 @@ def _cmd_export(args) -> None:
         print(f"  {path}")
 
 
+def _serve_requests(args):
+    """The request stream for ``repro serve``: replayed or generated."""
+    import numpy as np
+
+    from repro.service import build_workload, load_trace
+
+    if args.trace_in:
+        return load_trace(args.trace_in)
+    stream = build_workload(
+        kind=args.workload,
+        addressing=args.addressing,
+        rate=args.rate,
+        addresses=args.addresses,
+        write_fraction=args.write_fraction,
+    )
+    return stream.generate(args.requests, np.random.default_rng((args.seed, 0)))
+
+
+def _serve_once(args, requests):
+    """One full service simulation with freshly built components."""
+    from repro.service import (
+        ControllerConfig,
+        ReadCache,
+        build_backend,
+        scheme_service_times,
+        simulate_service,
+    )
+
+    read_time, write_time = scheme_service_times(args.scheme)
+    config = ControllerConfig(read_time=read_time, write_time=write_time,
+                              banks=args.banks)
+    cache = ReadCache(args.cache) if args.cache > 0 else None
+    backend = None
+    retry_policy = None
+    if args.backed or args.fault_rate > 0.0:
+        backend, retry_policy = build_backend(
+            args.scheme, seed=args.seed, fault_rate=args.fault_rate
+        )
+    return simulate_service(
+        requests, config, policy=args.policy, cache=cache, backend=backend,
+        retry_policy=retry_policy, scheme=args.scheme, offered_rate=args.rate,
+    )
+
+
+def _cmd_serve(args) -> None:
+    import os
+    import tempfile
+
+    from repro import obs
+    from repro.service import load_trace, publish_report, save_trace
+
+    requests = _serve_requests(args)
+    if args.trace_out:
+        count = save_trace(args.trace_out, requests)
+        print(f"wrote {count} requests to {args.trace_out}")
+
+    metered = bool(args.metrics_out)
+    if metered:
+        registry, _ = obs.configure(enabled=True)
+    try:
+        report = _serve_once(args, requests)
+        if metered:
+            publish_report(report)
+            registry.write_json(args.metrics_out, profile=args.profile)
+            print(f"wrote metrics to {args.metrics_out}")
+    finally:
+        if metered:
+            obs.reset()
+
+    source = f"trace {args.trace_in}" if args.trace_in else (
+        f"{args.workload}/{args.addressing} workload, seed {args.seed}")
+    print(f"service simulation — {args.scheme} scheme, {args.policy} policy, "
+          f"{report.banks} banks, {source}")
+    stats = report.read_latency
+    rows = [
+        ["requests", f"{report.requests} ({report.reads} reads, "
+                     f"{report.writes} writes)"],
+        ["offered rate", f"{report.offered_rate:.3g} req/s"],
+        ["throughput", f"{report.throughput:.3g} req/s"],
+        ["read latency mean", f"{stats.mean * 1e9:.2f} ns "
+                              f"({report.read_slowdown:.2f}x unloaded)"],
+        ["read latency p50/p99/p99.9",
+         f"{stats.p50 * 1e9:.2f} / {stats.p99 * 1e9:.2f} / "
+         f"{stats.p999 * 1e9:.2f} ns"],
+        ["queue depth mean/max",
+         f"{report.queue_depth.mean_depth:.2f} / {report.queue_depth.max_depth}"],
+        ["bank loads", "/".join(str(n) for n in report.bank_served)],
+    ]
+    if args.cache > 0:
+        rows.append(["cache hit rate", f"{report.cache_hit_rate:.1%} "
+                                       f"({report.cache_hits} hits)"])
+    if args.backed or args.fault_rate > 0.0:
+        rows.append(["recovery", f"{report.retried_words} retried, "
+                                 f"{report.failed_words} failed, "
+                                 f"{report.corrupted_words} corrupted"])
+    print(format_table(["metric", "value"], rows))
+
+    if args.check:
+        # Bit-reproducibility gate: a saved-and-reloaded trace and a fresh
+        # same-seed live generation must both reproduce the report exactly.
+        handle, path = tempfile.mkstemp(suffix=".jsonl")
+        os.close(handle)
+        try:
+            save_trace(path, requests)
+            replay = _serve_once(args, load_trace(path))
+        finally:
+            os.unlink(path)
+        live = _serve_once(args, _serve_requests(args)) if not args.trace_in \
+            else replay
+        if replay != report or live != report:
+            print("FAIL: replayed/regenerated runs diverged from the live run")
+            raise SystemExit(1)
+        print("PASS: trace replay and same-seed regeneration are bit-identical")
+
+
 def _cmd_list(args) -> None:
     print("available experiments:")
-    for name, (_, description) in sorted(EXPERIMENTS.items()):
-        print(f"  {name:<10} {description}")
+    for name, experiment in sorted(EXPERIMENTS.items()):
+        print(f"  {name:<10} {experiment.description}")
 
 
-EXPERIMENTS: Dict[str, tuple] = {
-    "table1": (_cmd_table1, "Table I: device parameters and operating points"),
-    "table2": (_cmd_table2, "Table II: robustness windows"),
-    "fig2": (_cmd_fig2, "Fig. 2: MTJ R–I characteristics"),
-    "fig6": (_cmd_fig6, "Fig. 6: sense margin vs β"),
-    "fig7": (_cmd_fig7, "Fig. 7: robustness vs ΔR_TR"),
-    "fig8": (_cmd_fig8, "Fig. 8: robustness vs Δα"),
-    "fig9": (_cmd_fig9, "Fig. 9: read timing diagram"),
-    "fig10": (_cmd_fig10, "Fig. 10: read transient simulation"),
-    "fig11": (_cmd_fig11, "Fig. 11: 16kb test-chip yield"),
-    "latency": (_cmd_latency, "§V: read-latency comparison"),
-    "energy": (_cmd_energy, "§V: read-energy comparison"),
-    "corners": (_cmd_corners, "extension: temperature corner map"),
-    "disturb": (_cmd_disturb, "extension: read-disturb budget"),
-    "trim": (_cmd_trim, "extension: test-stage β trim vs divider skew"),
-    "capacity": (_cmd_capacity, "extension: capacity-scaling projection"),
-    "sensitivity": (_cmd_sensitivity, "extension: margin-sensitivity ranking"),
-    "ber": (_cmd_ber, "extension: per-read error budget"),
-    "faults": (_cmd_faults, "extension: fault-injection campaign + recovery ladder"),
-    "stats": (_cmd_stats, "observability: instrumented read workload + metrics dump"),
-    "export": (_cmd_export, "write every figure series to CSV"),
-    "list": (_cmd_list, "list available experiments"),
+# ---------------------------------------------------------------------------
+# Per-command argument registration hooks
+# ---------------------------------------------------------------------------
+def _args_fig10(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--bit", type=int, choices=(0, 1), default=1,
+        help="stored value to simulate (default 1)",
+    )
+
+
+def _args_obs_outputs(sub: argparse.ArgumentParser) -> None:
+    """The shared ``--metrics-out/--trace-out/--profile`` artifact flags."""
+    sub.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the metrics registry snapshot to PATH as JSON",
+    )
+    sub.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write the trace-event ring buffer to PATH as JSONL",
+    )
+    _args_profile(sub)
+
+
+def _args_profile(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--profile", action="store_true",
+        help="include wall-clock profile timings in --metrics-out "
+        "(non-deterministic; omitted by default)",
+    )
+
+
+def _args_scheme_seed(sub: argparse.ArgumentParser, seed_help: str) -> None:
+    sub.add_argument(
+        "--scheme", default="nondestructive",
+        choices=("conventional", "destructive", "nondestructive"),
+        help="sensing scheme under test (default nondestructive)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=2010, help=seed_help,
+    )
+
+
+def _args_faults(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--rates", type=float, nargs="+",
+        default=[1e-4, 1e-3, 5e-3],
+        help="hard-fault rates to sweep (default 1e-4 1e-3 5e-3)",
+    )
+    sub.add_argument(
+        "--bits", type=int, default=16384,
+        help="array size in cells (default 16384, the paper's chip)",
+    )
+    _args_scheme_seed(sub, "campaign RNG seed (default 2010)")
+    sub.add_argument(
+        "--attempts", type=int, default=3,
+        help="retry-policy attempt budget per read (default 3)",
+    )
+    sub.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless every correctable fault recovered "
+        "and nothing escaped",
+    )
+    _args_obs_outputs(sub)
+
+
+def _args_stats(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--bits", type=int, default=2304,
+        help="array size in cells (default 2304 = 32 SECDED words)",
+    )
+    _args_scheme_seed(sub, "workload RNG seed (default 2010)")
+    sub.add_argument(
+        "--rate", type=float, default=1e-3,
+        help="hard-fault rate injected before reading (default 1e-3)",
+    )
+    _args_obs_outputs(sub)
+
+
+def _args_export(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--directory", default="figure_csv",
+        help="output directory (default ./figure_csv)",
+    )
+
+
+def _args_serve(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--scheme", default="nondestructive",
+        choices=("destructive", "nondestructive"),
+        help="sensing scheme whose read time occupies a bank "
+        "(default nondestructive)",
+    )
+    sub.add_argument(
+        "--policy", default="fcfs",
+        choices=("fcfs", "read-priority", "batch"),
+        help="bank scheduling policy (default fcfs)",
+    )
+    sub.add_argument(
+        "--rate", type=float, default=5e7,
+        help="mean arrival rate in requests/s (default 5e7)",
+    )
+    sub.add_argument(
+        "--requests", type=int, default=4096,
+        help="requests to generate (ignored with --trace-in; default 4096)",
+    )
+    sub.add_argument(
+        "--banks", type=int, default=4,
+        help="independent banks (default 4)",
+    )
+    sub.add_argument(
+        "--workload", default="poisson", choices=("poisson", "bursty"),
+        help="arrival process (default poisson)",
+    )
+    sub.add_argument(
+        "--addressing", default="uniform", choices=("uniform", "zipfian"),
+        help="address popularity (default uniform)",
+    )
+    sub.add_argument(
+        "--addresses", type=int, default=2048,
+        help="logical address-space size (default 2048)",
+    )
+    sub.add_argument(
+        "--write-fraction", type=float, default=0.0,
+        help="fraction of requests that are writes (default 0)",
+    )
+    sub.add_argument(
+        "--cache", type=int, default=0,
+        help="read-cache capacity in words; 0 disables (default 0)",
+    )
+    sub.add_argument(
+        "--backed", action="store_true",
+        help="run reads through the real recovery ladder on the 16kb chip",
+    )
+    sub.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="hard-fault rate injected into the backed array (implies "
+        "--backed; default 0)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=2010,
+        help="workload RNG seed (default 2010)",
+    )
+    sub.add_argument(
+        "--trace-in", metavar="PATH", default=None,
+        help="replay a saved JSONL request trace instead of generating",
+    )
+    sub.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="save the request stream as a JSONL trace",
+    )
+    sub.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write service.* metrics (repro.obs snapshot) to PATH as JSON",
+    )
+    _args_profile(sub)
+    sub.add_argument(
+        "--check", action="store_true",
+        help="verify trace replay and same-seed regeneration reproduce the "
+        "run bit-for-bit; exit nonzero otherwise",
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Experiment:
+    """One CLI subcommand: its runner, description, and argument hook."""
+
+    run: Callable
+    description: str
+    register: Optional[Callable[[argparse.ArgumentParser], None]] = None
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "table1": Experiment(_cmd_table1, "Table I: device parameters and operating points"),
+    "table2": Experiment(_cmd_table2, "Table II: robustness windows"),
+    "fig2": Experiment(_cmd_fig2, "Fig. 2: MTJ R–I characteristics"),
+    "fig6": Experiment(_cmd_fig6, "Fig. 6: sense margin vs β"),
+    "fig7": Experiment(_cmd_fig7, "Fig. 7: robustness vs ΔR_TR"),
+    "fig8": Experiment(_cmd_fig8, "Fig. 8: robustness vs Δα"),
+    "fig9": Experiment(_cmd_fig9, "Fig. 9: read timing diagram"),
+    "fig10": Experiment(_cmd_fig10, "Fig. 10: read transient simulation", _args_fig10),
+    "fig11": Experiment(_cmd_fig11, "Fig. 11: 16kb test-chip yield"),
+    "latency": Experiment(_cmd_latency, "§V: read-latency comparison"),
+    "energy": Experiment(_cmd_energy, "§V: read-energy comparison"),
+    "corners": Experiment(_cmd_corners, "extension: temperature corner map"),
+    "disturb": Experiment(_cmd_disturb, "extension: read-disturb budget"),
+    "trim": Experiment(_cmd_trim, "extension: test-stage β trim vs divider skew"),
+    "capacity": Experiment(_cmd_capacity, "extension: capacity-scaling projection"),
+    "sensitivity": Experiment(_cmd_sensitivity, "extension: margin-sensitivity ranking"),
+    "ber": Experiment(_cmd_ber, "extension: per-read error budget"),
+    "faults": Experiment(_cmd_faults, "extension: fault-injection campaign + recovery ladder", _args_faults),
+    "stats": Experiment(_cmd_stats, "observability: instrumented read workload + metrics dump", _args_stats),
+    "serve": Experiment(_cmd_serve, "service: trace-driven memory-controller simulation", _args_serve),
+    "export": Experiment(_cmd_export, "write every figure series to CSV", _args_export),
+    "list": Experiment(_cmd_list, "list available experiments"),
 }
 
 
@@ -532,79 +839,14 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate experiments from the DATE 2010 nondestructive "
         "self-reference STT-RAM paper.",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {package_version()}",
+    )
     subparsers = parser.add_subparsers(dest="experiment", required=True)
-    for name, (_, description) in EXPERIMENTS.items():
-        sub = subparsers.add_parser(name, help=description)
-        if name == "fig10":
-            sub.add_argument(
-                "--bit", type=int, choices=(0, 1), default=1,
-                help="stored value to simulate (default 1)",
-            )
-        if name == "faults":
-            sub.add_argument(
-                "--rates", type=float, nargs="+",
-                default=[1e-4, 1e-3, 5e-3],
-                help="hard-fault rates to sweep (default 1e-4 1e-3 5e-3)",
-            )
-            sub.add_argument(
-                "--bits", type=int, default=16384,
-                help="array size in cells (default 16384, the paper's chip)",
-            )
-            sub.add_argument(
-                "--scheme", default="nondestructive",
-                choices=("conventional", "destructive", "nondestructive"),
-                help="sensing scheme under test (default nondestructive)",
-            )
-            sub.add_argument(
-                "--seed", type=int, default=2010,
-                help="campaign RNG seed (default 2010)",
-            )
-            sub.add_argument(
-                "--attempts", type=int, default=3,
-                help="retry-policy attempt budget per read (default 3)",
-            )
-            sub.add_argument(
-                "--check", action="store_true",
-                help="exit nonzero unless every correctable fault recovered "
-                "and nothing escaped",
-            )
-        if name in ("faults", "stats"):
-            sub.add_argument(
-                "--metrics-out", metavar="PATH", default=None,
-                help="write the metrics registry snapshot to PATH as JSON",
-            )
-            sub.add_argument(
-                "--trace-out", metavar="PATH", default=None,
-                help="write the trace-event ring buffer to PATH as JSONL",
-            )
-            sub.add_argument(
-                "--profile", action="store_true",
-                help="include wall-clock profile timings in --metrics-out "
-                "(non-deterministic; omitted by default)",
-            )
-        if name == "stats":
-            sub.add_argument(
-                "--bits", type=int, default=2304,
-                help="array size in cells (default 2304 = 32 SECDED words)",
-            )
-            sub.add_argument(
-                "--scheme", default="nondestructive",
-                choices=("conventional", "destructive", "nondestructive"),
-                help="sensing scheme under test (default nondestructive)",
-            )
-            sub.add_argument(
-                "--seed", type=int, default=2010,
-                help="workload RNG seed (default 2010)",
-            )
-            sub.add_argument(
-                "--rate", type=float, default=1e-3,
-                help="hard-fault rate injected before reading (default 1e-3)",
-            )
-        if name == "export":
-            sub.add_argument(
-                "--directory", default="figure_csv",
-                help="output directory (default ./figure_csv)",
-            )
+    for name, experiment in EXPERIMENTS.items():
+        sub = subparsers.add_parser(name, help=experiment.description)
+        if experiment.register is not None:
+            experiment.register(sub)
     return parser
 
 
@@ -612,8 +854,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    command: Callable = EXPERIMENTS[args.experiment][0]
-    command(args)
+    EXPERIMENTS[args.experiment].run(args)
     return 0
 
 

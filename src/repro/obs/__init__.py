@@ -38,6 +38,8 @@ from repro.obs.registry import (
     ENERGY_PJ_EDGES,
     LATENCY_NS_EDGES,
     PROFILE_SECONDS_EDGES,
+    QUEUE_DEPTH_EDGES,
+    SERVICE_LATENCY_NS_EDGES,
     MetricsRegistry,
     metric_key,
 )
@@ -86,6 +88,8 @@ __all__ = [
     "LATENCY_NS_EDGES",
     "ENERGY_PJ_EDGES",
     "PROFILE_SECONDS_EDGES",
+    "SERVICE_LATENCY_NS_EDGES",
+    "QUEUE_DEPTH_EDGES",
     "READ_ISSUED",
     "READ_RETRIED",
     "READ_ESCALATED",

@@ -42,6 +42,8 @@ __all__ = [
     "LATENCY_NS_EDGES",
     "ENERGY_PJ_EDGES",
     "PROFILE_SECONDS_EDGES",
+    "SERVICE_LATENCY_NS_EDGES",
+    "QUEUE_DEPTH_EDGES",
 ]
 
 #: Simulated retry backoff per bit [ns] (exponential policy defaults).
@@ -55,6 +57,15 @@ ENERGY_PJ_EDGES: Tuple[float, ...] = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 
 #: Wall-clock profile timings [s] (``profile`` section only).
 PROFILE_SECONDS_EDGES: Tuple[float, ...] = (
     1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+#: End-to-end service latency [ns]: queueing stretches reads far past the
+#: sensing-only LATENCY_NS_EDGES, so the grid reaches into microseconds.
+SERVICE_LATENCY_NS_EDGES: Tuple[float, ...] = (
+    10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0,
+)
+#: Per-bank queue depth sampled at each service start.
+QUEUE_DEPTH_EDGES: Tuple[float, ...] = (
+    0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
 )
 
 _LabelKey = Tuple[Tuple[str, str], ...]

@@ -1,0 +1,97 @@
+"""repro.service — trace-driven memory-controller and serving subsystem.
+
+This package evaluates sensing schemes at the array-controller level,
+under realistic request streams, rather than per cell: the paper's ~2×
+read-latency advantage of the nondestructive self-reference scheme
+compounds under load into a ≥ 1.5× gap in the request rate a 4-bank macro
+sustains before saturating (``benchmarks/bench_service_throughput.py``).
+
+Layers (see ``docs/SERVICE.md`` for the full model):
+
+* :class:`DiscreteEventEngine` — deterministic event calendar (no RNG);
+* :mod:`~repro.service.workload` — Poisson / bursty-MMPP arrivals ×
+  uniform / Zipfian addresses × read-write mix, plus the JSONL trace
+  format (:func:`save_trace` / :func:`load_trace` round-trip is
+  bit-exact);
+* :class:`MemoryController` — per-bank queues with pluggable policies
+  (``fcfs``, ``read-priority``, ``batch``), a bounded write buffer, an
+  optional :class:`ReadCache`, and an optional :class:`ArrayBackend`
+  running every read through the retry → ECC → scrub → repair ladder
+  under fault injection;
+* :class:`ServiceReport` — throughput, mean/p50/p99/p99.9 latency,
+  queue-depth stats, and :func:`find_saturation_rate`, all mirrored into
+  ``service.*`` :mod:`repro.obs` metrics.
+
+CLI front end: ``python -m repro serve`` (``--check`` replays a saved
+trace and asserts report equality with the live run).
+"""
+
+from repro.service.cache import ReadCache
+from repro.service.controller import (
+    BATCH,
+    FCFS,
+    POLICIES,
+    READ_PRIORITY,
+    ArrayBackend,
+    CompletedRequest,
+    ControllerConfig,
+    MemoryController,
+    build_backend,
+    scheme_service_times,
+    simulate_service,
+)
+from repro.service.engine import DiscreteEventEngine
+from repro.service.report import (
+    LatencyStats,
+    QueueStats,
+    ServiceReport,
+    build_report,
+    find_saturation_rate,
+    publish_report,
+)
+from repro.service.workload import (
+    READ,
+    WRITE,
+    MMPPArrivals,
+    PoissonArrivals,
+    Request,
+    RequestStream,
+    UniformAddresses,
+    ZipfianAddresses,
+    build_workload,
+    load_trace,
+    save_trace,
+)
+
+__all__ = [
+    "DiscreteEventEngine",
+    "READ",
+    "WRITE",
+    "Request",
+    "PoissonArrivals",
+    "MMPPArrivals",
+    "UniformAddresses",
+    "ZipfianAddresses",
+    "RequestStream",
+    "build_workload",
+    "save_trace",
+    "load_trace",
+    "ReadCache",
+    "FCFS",
+    "READ_PRIORITY",
+    "BATCH",
+    "POLICIES",
+    "ControllerConfig",
+    "CompletedRequest",
+    "ArrayBackend",
+    "MemoryController",
+    "simulate_service",
+    "scheme_service_times",
+    "build_backend",
+    "LatencyStats",
+    "QueueStats",
+    "ServiceReport",
+    "build_report",
+    "publish_report",
+    "find_saturation_rate",
+]

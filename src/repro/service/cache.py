@@ -1,0 +1,110 @@
+"""Read cache / row-buffer layer with hit-miss accounting.
+
+A small fully-associative LRU cache in front of the banks: a read that
+hits is served at SRAM-buffer speed without occupying a bank at all — the
+service analogue of a DRAM row-buffer hit.  Writes invalidate their
+address (write-through to the array, no dirty state to manage), so the
+cache can never serve stale data even when a destructive read or an
+injected fault changes the underlying cells.
+
+The cache is deterministic (pure LRU, no randomized replacement) and
+keeps its own counters; :func:`repro.service.report.publish_report`
+mirrors them into ``service.cache.*`` metrics when observability is on.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReadCache"]
+
+
+class ReadCache:
+    """Fully-associative LRU read cache over word addresses.
+
+    Parameters
+    ----------
+    capacity:
+        Number of word addresses held; 0 disables the cache (every
+        lookup misses, nothing is stored).
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        self._lines: "collections.OrderedDict[int, Optional[int]]" = collections.OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._lines
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over all lookups (0.0 before any lookup)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def lookup(self, address: int) -> bool:
+        """True on a hit (refreshes recency); counts the outcome."""
+        if address in self._lines:
+            self._lines.move_to_end(address)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, address: int, value: Optional[int] = None) -> None:
+        """Insert an address after a miss was served from the banks."""
+        if self.capacity == 0:
+            return
+        if address in self._lines:
+            self._lines.move_to_end(address)
+            self._lines[address] = value
+            return
+        if len(self._lines) >= self.capacity:
+            self._lines.popitem(last=False)
+            self.evictions += 1
+        self._lines[address] = value
+
+    def peek(self, address: int) -> Optional[int]:
+        """Cached value without touching recency or counters."""
+        return self._lines.get(address)
+
+    def invalidate(self, address: int) -> bool:
+        """Drop an address (a write made it stale); True if present."""
+        if address in self._lines:
+            del self._lines[address]
+            self.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop every line (counters are preserved)."""
+        self._lines.clear()
+
+    def statistics(self) -> dict:
+        """Counters as a plain dict (report/JSON friendly)."""
+        return {
+            "capacity": self.capacity,
+            "lines": len(self._lines),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }

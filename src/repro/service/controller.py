@@ -1,0 +1,582 @@
+"""Multi-bank memory controller driven by the discrete-event engine.
+
+The controller models the array-level serving path the paper's §V argues
+about: requests arrive (from a :mod:`repro.service.workload` stream or a
+replayed trace), are interleaved over ``banks`` independent banks
+(``bank = address % banks``), queue per bank, and occupy their bank for
+the sensing scheme's full read time — ~27 ns for the destructive
+self-reference scheme versus ~12.6 ns for the nondestructive one, which
+is why the same request rate saturates one macro and not the other.
+
+Three scheduling policies are pluggable:
+
+* ``fcfs`` — strict per-bank arrival order (the historical
+  :func:`repro.array.scheduler.simulate_read_queue` semantics);
+* ``read-priority`` — reads overtake buffered writes; a bank's write
+  buffer bounds the starvation (once more than
+  ``write_buffer_depth`` writes wait, the oldest write goes next);
+* ``batch`` — read-priority plus batch coalescing: up to ``batch_limit``
+  queued reads to the same bank are served in one bank occupancy (each
+  extra read costs ``batch_extra_fraction`` of a full read — shared
+  word-line/decode overhead), the service analogue of
+  :meth:`repro.core.base.SensingScheme.read_many`.
+
+A controller can run in pure **timing mode** (no cell-level simulation;
+fast, used for saturation sweeps) or **backed mode**: an
+:class:`ArrayBackend` performs every read through a real
+:class:`~repro.faults.recovery.RecoveryController` ladder — retry → ECC →
+scrub → repair — over an :class:`~repro.ecc.array.EccArray`, optionally
+under a :class:`~repro.faults.FaultInjector`, so fault campaigns run
+*under load* and per-word retry attempts stretch the bank occupancy they
+caused.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RetryExhaustedError
+from repro.obs import runtime as _obs
+from repro.obs.registry import QUEUE_DEPTH_EDGES, SERVICE_LATENCY_NS_EDGES
+from repro.service.cache import ReadCache
+from repro.service.engine import DiscreteEventEngine
+from repro.service.workload import READ, Request
+
+__all__ = [
+    "FCFS",
+    "READ_PRIORITY",
+    "BATCH",
+    "POLICIES",
+    "ControllerConfig",
+    "CompletedRequest",
+    "ArrayBackend",
+    "MemoryController",
+    "simulate_service",
+    "scheme_service_times",
+    "build_backend",
+]
+
+FCFS = "fcfs"
+READ_PRIORITY = "read-priority"
+BATCH = "batch"
+POLICIES: Tuple[str, ...] = (FCFS, READ_PRIORITY, BATCH)
+
+
+@dataclasses.dataclass(frozen=True)
+class ControllerConfig:
+    """Geometry and timing parameters of one controller.
+
+    ``read_time``/``write_time`` are the unloaded bank-occupancy times of
+    one operation [s] — for a sensing scheme, the scheme's full read
+    latency (see :func:`scheme_service_times`).
+    """
+
+    read_time: float
+    write_time: float
+    banks: int = 4
+    cache_hit_time: float = 1.0e-9   #: buffer-hit service time [s]
+    batch_limit: int = 8             #: max reads coalesced per occupancy
+    batch_extra_fraction: float = 0.4  #: extra cost per coalesced read
+    write_buffer_depth: int = 4      #: writes a bank may hold back
+
+    def __post_init__(self) -> None:
+        if self.read_time <= 0.0 or self.write_time <= 0.0:
+            raise ConfigurationError("read_time and write_time must be positive")
+        if self.banks < 1:
+            raise ConfigurationError(f"banks must be >= 1, got {self.banks}")
+        if self.cache_hit_time < 0.0:
+            raise ConfigurationError("cache_hit_time must be non-negative")
+        if self.batch_limit < 1:
+            raise ConfigurationError(f"batch_limit must be >= 1, got {self.batch_limit}")
+        if not 0.0 <= self.batch_extra_fraction <= 1.0:
+            raise ConfigurationError(
+                "batch_extra_fraction must be within [0, 1], got "
+                f"{self.batch_extra_fraction}"
+            )
+        if self.write_buffer_depth < 0:
+            raise ConfigurationError("write_buffer_depth must be non-negative")
+
+    def batch_duration(self, reads: int) -> float:
+        """Bank occupancy of ``reads`` coalesced reads [s]."""
+        return self.read_time * (1.0 + (reads - 1) * self.batch_extra_fraction)
+
+
+@dataclasses.dataclass(frozen=True)
+class CompletedRequest:
+    """One finished request with its service accounting."""
+
+    request: Request
+    bank: int
+    start: float        #: service start [s] (cache hits: arrival time)
+    finish: float       #: completion [s]
+    cache_hit: bool = False
+    batched_with: int = 1  #: size of the coalesced group it rode in
+    attempts: int = 1      #: worst sensing attempts (backed mode)
+    failed: bool = False   #: recovery ladder exhausted (detected loss)
+
+    @property
+    def latency(self) -> float:
+        """Arrival-to-completion latency [s]."""
+        return self.finish - self.request.time
+
+    @property
+    def queue_delay(self) -> float:
+        """Arrival-to-service-start wait [s]."""
+        return self.start - self.request.time
+
+
+class ArrayBackend:
+    """Cell-level backing store: every read runs the real recovery ladder.
+
+    Parameters
+    ----------
+    memory:
+        A :class:`~repro.faults.recovery.RecoveryController` (retry → ECC
+        → scrub → repair over an :class:`~repro.ecc.array.EccArray`).
+    scheme:
+        The sensing scheme reads go through.
+    rng:
+        Sensing RNG — isolated from workload generation and (if present)
+        the injector's RNG, preserving the library-wide stream contract.
+    injector:
+        Optional :class:`~repro.faults.FaultInjector`; its per-operation
+        transients (:meth:`perturb_scheme`) strike every read, so a fault
+        campaign runs under live traffic.
+    """
+
+    def __init__(
+        self,
+        memory,
+        scheme,
+        rng: np.random.Generator,
+        injector=None,
+    ):
+        self.memory = memory
+        self.scheme = scheme
+        self.rng = rng
+        self.injector = injector
+        self._truth: Dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+        self.failed_words = 0     #: detected losses (ladder exhausted)
+        self.corrupted_words = 0  #: silent wrong values (escaped)
+        self.retried_words = 0    #: words that needed > 1 attempt
+
+    @property
+    def size_words(self) -> int:
+        """Addressable words of the backing memory."""
+        return self.memory.size_words
+
+    def _physical(self, address: int) -> int:
+        return address % self.size_words
+
+    @staticmethod
+    def payload(request_id: int, data_bits: int = 64) -> int:
+        """Deterministic write payload derived from the request id."""
+        value = (request_id * 0x9E3779B1 + 0x7F4A7C15) & 0xFFFFFFFFFFFFFFFF
+        return value & ((1 << data_bits) - 1)
+
+    def write(self, address: int, value: int) -> None:
+        """Write through the ladder's remap table, tracking ground truth."""
+        physical = self._physical(address)
+        self.memory.write_word(physical, value)
+        self._truth[physical] = value
+        self.writes += 1
+
+    def read(self, address: int) -> Tuple[int, bool]:
+        """Read one word; returns (worst attempts, failed).
+
+        A detected loss (:class:`~repro.errors.RetryExhaustedError`)
+        counts as failed; a silently wrong value counts as corrupted.
+        """
+        physical = self._physical(address)
+        scheme = self.scheme
+        if self.injector is not None:
+            scheme = self.injector.perturb_scheme(scheme)
+        self.reads += 1
+        try:
+            recovered = self.memory.read_word(physical, scheme, self.rng)
+        except RetryExhaustedError as error:
+            self.failed_words += 1
+            return max(1, error.attempts), True
+        if recovered.attempts > 1:
+            self.retried_words += 1
+        expected = self._truth.get(physical)
+        if expected is not None and recovered.value != expected:
+            self.corrupted_words += 1
+        return recovered.attempts, False
+
+    def statistics(self) -> dict:
+        """Backend counters as a plain dict."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "retried_words": self.retried_words,
+            "failed_words": self.failed_words,
+            "corrupted_words": self.corrupted_words,
+        }
+
+
+class _Bank:
+    """One bank: an arrival-ordered queue plus busy state."""
+
+    __slots__ = ("queue", "busy", "served")
+
+    def __init__(self) -> None:
+        self.queue: List[Request] = []
+        self.busy = False
+        self.served = 0
+
+
+class MemoryController:
+    """Schedules requests over banks on a :class:`DiscreteEventEngine`."""
+
+    def __init__(
+        self,
+        engine: DiscreteEventEngine,
+        config: ControllerConfig,
+        policy: str = FCFS,
+        cache: Optional[ReadCache] = None,
+        backend: Optional[ArrayBackend] = None,
+        retry_policy=None,
+    ):
+        if policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {policy!r}; expected one of {POLICIES}"
+            )
+        self.engine = engine
+        self.config = config
+        self.policy = policy
+        self.cache = cache
+        self.backend = backend
+        self.retry_policy = retry_policy
+        self._banks = [_Bank() for _ in range(config.banks)]
+        self.completions: List[CompletedRequest] = []
+        self.depth_samples: List[int] = []
+        self.submitted = 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def bank_of(self, address: int) -> int:
+        """Modulo bank interleaving."""
+        return address % self.config.banks
+
+    def submit(self, request: Request) -> None:
+        """Schedule one request's arrival on the engine."""
+        self.submitted += 1
+        self.engine.schedule_at(request.time, self._arrive, request)
+
+    def submit_all(self, requests: Sequence[Request]) -> None:
+        """Schedule a whole stream."""
+        for request in requests:
+            self.submit(request)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _arrive(self, request: Request) -> None:
+        if _obs.active():
+            _obs.get_registry().inc("service.requests", op=request.op)
+        if request.is_read and self.cache is not None:
+            if self.cache.lookup(request.address):
+                bank = self.bank_of(request.address)
+                self.engine.schedule(
+                    self.config.cache_hit_time,
+                    self._complete_cache_hit,
+                    request,
+                    bank,
+                    self.engine.now,
+                )
+                return
+        elif not request.is_read and self.cache is not None:
+            self.cache.invalidate(request.address)
+        bank_index = self.bank_of(request.address)
+        bank = self._banks[bank_index]
+        bank.queue.append(request)
+        if not bank.busy:
+            self._start_service(bank_index)
+
+    def _complete_cache_hit(self, request: Request, bank: int, start: float) -> None:
+        self._record(CompletedRequest(
+            request=request,
+            bank=bank,
+            start=start,
+            finish=self.engine.now,
+            cache_hit=True,
+        ))
+
+    def _start_service(self, bank_index: int) -> None:
+        bank = self._banks[bank_index]
+        taken = self._select(bank)
+        if not taken:
+            return
+        bank.busy = True
+        self.depth_samples.append(len(bank.queue))
+        if _obs.active():
+            _obs.get_registry().observe(
+                "service.queue_depth", len(bank.queue), edges=QUEUE_DEPTH_EDGES
+            )
+        duration, attempts, failed = self._serve(taken)
+        self.engine.schedule(
+            duration, self._complete, bank_index, taken, self.engine.now,
+            attempts, failed,
+        )
+
+    def _complete(
+        self,
+        bank_index: int,
+        taken: List[Request],
+        start: float,
+        attempts: int,
+        failed: Tuple[int, ...],
+    ) -> None:
+        bank = self._banks[bank_index]
+        group = len(taken)
+        for request in taken:
+            if request.is_read and self.cache is not None:
+                self.cache.fill(request.address)
+            self._record(CompletedRequest(
+                request=request,
+                bank=bank_index,
+                start=start,
+                finish=self.engine.now,
+                batched_with=group,
+                attempts=attempts,
+                failed=request.request_id in failed,
+            ))
+        bank.served += group
+        bank.busy = False
+        if bank.queue:
+            self._start_service(bank_index)
+
+    # ------------------------------------------------------------------
+    # Policy and service model
+    # ------------------------------------------------------------------
+    def _select(self, bank: _Bank) -> List[Request]:
+        """Pop the next group to serve according to the policy."""
+        queue = bank.queue
+        if not queue:
+            return []
+        if self.policy == FCFS:
+            return [queue.pop(0)]
+        pending_writes = sum(1 for r in queue if not r.is_read)
+        has_read = pending_writes < len(queue)
+        if not has_read or pending_writes > self.config.write_buffer_depth:
+            for index, request in enumerate(queue):
+                if not request.is_read:
+                    return [queue.pop(index)]
+        if self.policy == READ_PRIORITY:
+            for index, request in enumerate(queue):
+                if request.is_read:
+                    return [queue.pop(index)]
+        # BATCH: coalesce up to batch_limit reads, preserving queue order.
+        taken: List[Request] = []
+        index = 0
+        while index < len(queue) and len(taken) < self.config.batch_limit:
+            if queue[index].is_read:
+                taken.append(queue.pop(index))
+            else:
+                index += 1
+        return taken
+
+    def _serve(self, taken: List[Request]) -> Tuple[float, int, Tuple[int, ...]]:
+        """Bank occupancy of one group; backed mode performs real reads.
+
+        Returns ``(duration, worst_attempts, failed_request_ids)``.  In
+        backed mode every extra sensing attempt of the slowest word adds
+        one more read pass plus the retry policy's simulated backoff.
+        """
+        if not taken[0].is_read:
+            if self.backend is not None:
+                request = taken[0]
+                self.backend.write(
+                    request.address, ArrayBackend.payload(request.request_id)
+                )
+            return self.config.write_time, 1, ()
+        duration = self.config.batch_duration(len(taken))
+        attempts = 1
+        failed: List[int] = []
+        if self.backend is not None:
+            for request in taken:
+                word_attempts, word_failed = self.backend.read(request.address)
+                attempts = max(attempts, word_attempts)
+                if word_failed:
+                    failed.append(request.request_id)
+            if attempts > 1:
+                duration += (attempts - 1) * self.config.read_time
+                if self.retry_policy is not None:
+                    duration += self.retry_policy.total_backoff(attempts) * 1e-9
+        if _obs.active() and len(taken) > 1:
+            registry = _obs.get_registry()
+            registry.inc("service.batches")
+            registry.inc("service.batched_reads", len(taken))
+        return duration, attempts, tuple(failed)
+
+    def _record(self, completed: CompletedRequest) -> None:
+        self.completions.append(completed)
+        if _obs.active():
+            registry = _obs.get_registry()
+            registry.inc("service.completions", op=completed.request.op)
+            registry.observe(
+                "service.latency_ns",
+                completed.latency * 1e9,
+                edges=SERVICE_LATENCY_NS_EDGES,
+                op=completed.request.op,
+            )
+            if completed.cache_hit:
+                registry.inc("service.cache.hits")
+            if completed.failed:
+                registry.inc("service.failed_words")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        """Requests finished so far."""
+        return len(self.completions)
+
+    def bank_served_counts(self) -> Tuple[int, ...]:
+        """Requests served per bank."""
+        return tuple(bank.served for bank in self._banks)
+
+
+def simulate_service(
+    requests: Sequence[Request],
+    config: ControllerConfig,
+    policy: str = FCFS,
+    cache: Optional[ReadCache] = None,
+    backend: Optional[ArrayBackend] = None,
+    retry_policy=None,
+    scheme: str = "",
+    offered_rate: float = 0.0,
+):
+    """Run one full simulation and return its
+    :class:`~repro.service.report.ServiceReport`.
+
+    The convenience entry point the CLI, the benchmarks, and the
+    :func:`repro.array.scheduler.simulate_read_queue` wrapper all share:
+    build an engine, submit the stream, drain the calendar, summarize.
+    """
+    from repro.service.report import build_report
+
+    if not requests:
+        raise ConfigurationError("requests must be a non-empty sequence")
+    engine = DiscreteEventEngine()
+    controller = MemoryController(
+        engine, config, policy=policy, cache=cache, backend=backend,
+        retry_policy=retry_policy,
+    )
+    controller.submit_all(requests)
+    engine.run()
+    return build_report(
+        controller, scheme=scheme, offered_rate=offered_rate
+    )
+
+
+def scheme_service_times(scheme: str, config=None) -> Tuple[float, float]:
+    """(read_time, write_time) of one sensing scheme on the paper device.
+
+    The read time is the scheme's full modelled latency from
+    :mod:`repro.timing.latency` at its calibrated β (~27 ns destructive,
+    ~12.6 ns nondestructive); the write time is word-line activation plus
+    write-driver setup plus the 4 ns switching pulse.
+    """
+    from repro.calibration import calibrate, calibrated_cell
+    from repro.timing.latency import (
+        TimingConfig,
+        destructive_read_latency,
+        nondestructive_read_latency,
+    )
+
+    calibration = calibrate()
+    cell = calibrated_cell()
+    timing = config if config is not None else TimingConfig()
+    if scheme == "destructive":
+        breakdown = destructive_read_latency(
+            cell, beta=calibration.beta_destructive, config=timing
+        )
+    elif scheme == "nondestructive":
+        breakdown = nondestructive_read_latency(
+            cell, beta=calibration.beta_nondestructive, config=timing
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown scheme {scheme!r}; expected destructive/nondestructive"
+        )
+    write_time = (
+        timing.t_wordline
+        + timing.t_write_setup
+        + cell.mtj.params.pulse_width_write
+        + timing.t_latch
+    )
+    return breakdown.total, write_time
+
+
+def build_backend(
+    scheme: str,
+    seed: int,
+    bits: int = 16384,
+    fault_rate: float = 0.0,
+    data_bits: int = 64,
+    retry_policy=None,
+) -> Tuple[ArrayBackend, object]:
+    """A fully initialized :class:`ArrayBackend` on the 16kb test chip.
+
+    Mirrors the fault campaign's construction recipe — calibrated device,
+    test-chip variation, SECDED words behind a
+    :class:`~repro.faults.recovery.RecoveryController` — with the same
+    three-way RNG split (build / fault / read streams), writes a known
+    pattern into every word, and (at ``fault_rate > 0``) injects
+    :func:`~repro.faults.campaign.default_fault_models` so the service
+    simulation reads a genuinely damaged array.
+
+    Returns ``(backend, retry_policy)`` — the policy so the controller can
+    charge simulated backoff time for retried reads.
+    """
+    from repro.array.array import STTRAMArray
+    from repro.array.testchip import TESTCHIP_VARIATION
+    from repro.calibration import calibrate
+    from repro.calibration.targets import PAPER_TARGETS
+    from repro.core.retry import RetryPolicy
+    from repro.device.variation import CellPopulation
+    from repro.ecc.array import EccArray
+    from repro.faults.campaign import build_scheme, default_fault_models
+    from repro.faults.injector import FaultInjector
+    from repro.faults.recovery import RecoveryController
+
+    if retry_policy is None:
+        retry_policy = RetryPolicy(max_attempts=3, backoff_ns=5.0, current_escalation=0.1)
+    calibration = calibrate()
+    sensing = build_scheme(scheme, calibration, PAPER_TARGETS.r_transistor)
+    rng_build = np.random.default_rng((seed, 0))
+    rng_fault = np.random.default_rng((seed, 1))
+    rng_read = np.random.default_rng((seed, 2))
+    population = CellPopulation.sample(
+        bits,
+        TESTCHIP_VARIATION,
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=rng_build,
+        r_tr_nominal=PAPER_TARGETS.r_transistor,
+    )
+    array = STTRAMArray(population)
+    memory = EccArray(array, data_bits=data_bits)
+    ladder = RecoveryController(memory, retry_policy, scrub_rounds=2, spare_words=8)
+    injector = None
+    if fault_rate > 0.0:
+        injector = FaultInjector(
+            list(default_fault_models(fault_rate, transients=True)), rng_fault
+        )
+    backend = ArrayBackend(ladder, sensing, rng_read, injector=injector)
+    for address in range(backend.size_words):
+        backend.write(address, ArrayBackend.payload(address, data_bits))
+    backend.writes = 0  # initialization fill is not workload traffic
+    if injector is not None:
+        injector.inject_array(array)
+    return backend, retry_policy

@@ -1,0 +1,242 @@
+"""Service-level summaries: throughput, latency percentiles, saturation.
+
+A :class:`ServiceReport` condenses one controller run into plain frozen
+dataclasses (floats, ints, tuples all the way down), so two reports
+compare with ``==`` — the equality check behind ``repro serve --check``,
+which demands a replayed trace reproduce the live run **exactly**.
+
+:func:`publish_report` mirrors the headline numbers into
+:mod:`repro.obs` gauges (``service.*``), complementing the per-request
+counters and histograms the controller emits live, and
+:func:`find_saturation_rate` locates the knee of the latency curve — the
+highest offered rate a scheme sustains before queueing blows its mean
+read latency past ``slowdown_limit`` unloaded read times.  The paper's
+§V saturation-gap claim is exactly the ratio of that knee between the
+nondestructive and destructive schemes
+(``benchmarks/bench_service_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
+
+__all__ = [
+    "LatencyStats",
+    "QueueStats",
+    "ServiceReport",
+    "build_report",
+    "publish_report",
+    "find_saturation_rate",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution summary [s]."""
+
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    p999: float
+    max: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "LatencyStats":
+        """Summarize samples (all-zero stats for an empty sequence)."""
+        values = np.asarray(samples, dtype=float)
+        if values.size == 0:
+            return cls(count=0, mean=0.0, p50=0.0, p99=0.0, p999=0.0, max=0.0)
+        return cls(
+            count=int(values.size),
+            mean=float(np.mean(values)),
+            p50=float(np.percentile(values, 50.0)),
+            p99=float(np.percentile(values, 99.0)),
+            p999=float(np.percentile(values, 99.9)),
+            max=float(np.max(values)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class QueueStats:
+    """Per-bank queue depth, sampled at every service start."""
+
+    samples: int
+    mean_depth: float
+    max_depth: int
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[int]) -> "QueueStats":
+        values = np.asarray(samples, dtype=float)
+        if values.size == 0:
+            return cls(samples=0, mean_depth=0.0, max_depth=0)
+        return cls(
+            samples=int(values.size),
+            mean_depth=float(np.mean(values)),
+            max_depth=int(values.max()),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceReport:
+    """One controller run, condensed and ``==``-comparable."""
+
+    scheme: str
+    policy: str
+    banks: int
+    offered_rate: float      #: configured arrival rate [1/s] (0 = unknown)
+    read_time: float         #: unloaded read occupancy [s]
+    requests: int
+    completed: int
+    reads: int
+    writes: int
+    cache_hits: int
+    cache_hit_rate: float
+    batches: int             #: coalesced groups of size > 1
+    retried_words: int
+    failed_words: int
+    corrupted_words: int
+    duration: float          #: makespan: last completion time [s]
+    throughput: float        #: completed / duration [1/s]
+    read_latency: LatencyStats
+    write_latency: LatencyStats
+    queue_depth: QueueStats
+    bank_served: Tuple[int, ...]
+
+    @property
+    def read_slowdown(self) -> float:
+        """Mean read latency over the unloaded read time."""
+        return self.read_latency.mean / self.read_time if self.read_time else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain nested dict (JSON-friendly)."""
+        return dataclasses.asdict(self)
+
+
+def build_report(
+    controller,
+    scheme: str = "",
+    offered_rate: float = 0.0,
+) -> ServiceReport:
+    """Summarize a drained :class:`~repro.service.controller.MemoryController`.
+
+    Latency arrays are assembled in ``request_id`` order, so the summary
+    is a pure function of the completion set — independent of the order
+    events happened to fire in.
+    """
+    completions = sorted(controller.completions, key=lambda c: c.request.request_id)
+    read_latencies = [c.latency for c in completions if c.request.is_read]
+    write_latencies = [c.latency for c in completions if not c.request.is_read]
+    cache_hits = sum(1 for c in completions if c.cache_hit)
+    reads = len(read_latencies)
+    batches = len({
+        (c.bank, c.start) for c in completions if c.batched_with > 1
+    })
+    backend = controller.backend
+    duration = max((c.finish for c in completions), default=0.0)
+    completed = len(completions)
+    return ServiceReport(
+        scheme=scheme,
+        policy=controller.policy,
+        banks=controller.config.banks,
+        offered_rate=offered_rate,
+        read_time=controller.config.read_time,
+        requests=controller.submitted,
+        completed=completed,
+        reads=reads,
+        writes=len(write_latencies),
+        cache_hits=cache_hits,
+        cache_hit_rate=cache_hits / reads if reads else 0.0,
+        batches=batches,
+        retried_words=backend.retried_words if backend else 0,
+        failed_words=backend.failed_words if backend else 0,
+        corrupted_words=backend.corrupted_words if backend else 0,
+        duration=duration,
+        throughput=completed / duration if duration > 0.0 else 0.0,
+        read_latency=LatencyStats.from_samples(read_latencies),
+        write_latency=LatencyStats.from_samples(write_latencies),
+        queue_depth=QueueStats.from_samples(controller.depth_samples),
+        bank_served=controller.bank_served_counts(),
+    )
+
+
+def publish_report(report: ServiceReport) -> None:
+    """Mirror a report's headline numbers into ``service.*`` obs gauges.
+
+    No-op when observability is off.  Labels carry the scheme and policy
+    so sweeps (one report per offered rate) stay distinguishable.
+    """
+    if not _obs.active():
+        return
+    registry = _obs.get_registry()
+    labels = {"scheme": report.scheme or "untyped", "policy": report.policy}
+    registry.set_gauge("service.throughput_rps", report.throughput, **labels)
+    registry.set_gauge("service.offered_rate_rps", report.offered_rate, **labels)
+    registry.set_gauge(
+        "service.read_latency_mean_ns", report.read_latency.mean * 1e9, **labels
+    )
+    registry.set_gauge(
+        "service.read_latency_p99_ns", report.read_latency.p99 * 1e9, **labels
+    )
+    registry.set_gauge(
+        "service.read_latency_p999_ns", report.read_latency.p999 * 1e9, **labels
+    )
+    registry.set_gauge(
+        "service.queue_depth_mean", report.queue_depth.mean_depth, **labels
+    )
+    registry.set_gauge("service.cache_hit_rate", report.cache_hit_rate, **labels)
+
+
+def find_saturation_rate(
+    simulate: Callable[[float], ServiceReport],
+    low: float,
+    high: float,
+    read_time: float,
+    slowdown_limit: float = 4.0,
+    tolerance: float = 0.05,
+    max_expansions: int = 6,
+) -> float:
+    """Highest sustained offered rate [1/s] before the latency knee.
+
+    ``simulate(rate)`` must run one fixed-seed simulation at that rate and
+    return its report.  A rate is *sustained* while the mean read latency
+    stays within ``slowdown_limit`` unloaded read times; the boundary is
+    bisected until the bracket is within ``tolerance`` (relative) and the
+    sustained end is returned.  ``high`` doubles up to ``max_expansions``
+    times if it is itself still sustained.
+    """
+    if low <= 0.0 or high <= low:
+        raise ConfigurationError(
+            f"need 0 < low < high, got low={low}, high={high}"
+        )
+    if read_time <= 0.0:
+        raise ConfigurationError(f"read_time must be positive, got {read_time}")
+
+    def sustained(rate: float) -> bool:
+        report = simulate(rate)
+        return report.read_latency.mean <= slowdown_limit * read_time
+
+    if not sustained(low):
+        raise ConfigurationError(
+            f"low rate {low} is already saturated; lower the starting bracket"
+        )
+    expansions = 0
+    while sustained(high):
+        low = high
+        high *= 2.0
+        expansions += 1
+        if expansions >= max_expansions:
+            return low
+    while (high - low) > tolerance * low:
+        mid = 0.5 * (low + high)
+        if sustained(mid):
+            low = mid
+        else:
+            high = mid
+    return low

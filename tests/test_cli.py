@@ -4,7 +4,20 @@ import json
 
 import pytest
 
-from repro.cli import EXPERIMENTS, build_parser, main
+from repro.cli import EXPERIMENTS, build_parser, main, package_version
+
+
+class TestVersion:
+    def test_version_matches_package_metadata(self):
+        import repro
+
+        assert package_version() == repro.__version__ == "1.0.0"
+
+    def test_version_flag_prints_and_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert "1.0.0" in capsys.readouterr().out
 
 
 class TestParser:
@@ -135,3 +148,61 @@ class TestObservabilityCommands:
         assert main(self.FAULTS) == 0
         assert not obs.active()
         assert obs.get_registry().merge_counters(["campaign.words"]) == 0
+
+
+class TestServeCommand:
+    """`repro serve` — the trace-driven memory-controller simulation."""
+
+    SERVE = ["serve", "--requests", "400", "--seed", "7"]
+
+    def test_serve_prints_summary(self, capsys):
+        assert main(self.SERVE) == 0
+        out = capsys.readouterr().out
+        assert "service simulation" in out
+        assert "throughput" in out
+        assert "p50/p99" in out
+
+    def test_serve_check_passes(self, capsys):
+        assert main(self.SERVE + ["--check"]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_serve_trace_round_trip(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(self.SERVE + ["--trace-out", str(trace)]) == 0
+        first = capsys.readouterr().out
+        assert trace.exists()
+        assert main(["serve", "--trace-in", str(trace), "--check"]) == 0
+        second = capsys.readouterr().out
+        assert "PASS" in second
+
+        # Replaying the saved trace reproduces the identical summary rows.
+        def summary_rows(text):
+            return [line for line in text.splitlines()
+                    if "|" in line and "metric" not in line]
+
+        assert summary_rows(first) == summary_rows(second)
+
+    def test_serve_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        command = self.SERVE + ["--policy", "batch", "--metrics-out", str(metrics)]
+        assert main(command) == 0
+        snapshot = json.loads(metrics.read_text())
+        assert "profile" not in snapshot
+        gauges = snapshot["gauges"]
+        key = "service.read_latency_p99_ns{policy=batch,scheme=nondestructive}"
+        assert gauges[key] > 0.0
+        assert snapshot["histograms"]["service.latency_ns{op=read}"]["count"] == 400
+
+    def test_serve_backed_reports_recovery(self, capsys):
+        command = ["serve", "--requests", "120", "--seed", "7",
+                   "--backed", "--fault-rate", "1e-3"]
+        assert main(command) == 0
+        assert "recovery" in capsys.readouterr().out
+
+    def test_serve_write_fraction_and_cache(self, capsys):
+        command = self.SERVE + ["--write-fraction", "0.2", "--cache", "64",
+                                "--addressing", "zipfian"]
+        assert main(command) == 0
+        out = capsys.readouterr().out
+        assert "writes" in out
+        assert "cache hit rate" in out

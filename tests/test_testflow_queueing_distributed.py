@@ -112,6 +112,91 @@ class TestQueueing:
         with pytest.raises(ConfigurationError):
             simulate_read_queue(15e-9, 1e6, banks=0, rng=rng)
 
+    # ------------------------------------------------------------------
+    # Engine-wrapper regression: bit-exact vs the pre-refactor loop
+    # ------------------------------------------------------------------
+    @pytest.mark.parametrize(
+        "seed, service_time, rate, banks, requests, mean, p99, queue_delay",
+        [
+            (11, 15e-9, 1e8, 4, 4096,
+             1.9335181625196218e-08, 4.717648507090249e-08,
+             4.3351816251967185e-09),
+            (7, 27.1e-9, 8e7, 4, 2000,
+             4.0869120944120524e-08, 1.1337692530475704e-07,
+             1.3769120944121062e-08),
+            (123, 12.6e-9, 2.0e8, 8, 3000,
+             1.5647033328893273e-08, 3.77261204536148e-08,
+             3.0470333288930815e-09),
+        ],
+    )
+    def test_engine_wrapper_matches_legacy_loop_exactly(
+        self, seed, service_time, rate, banks, requests, mean, p99, queue_delay
+    ):
+        # Pinned outputs captured from the pre-refactor hand-rolled loop:
+        # the discrete-event rewrite must reproduce them to the last bit.
+        result = simulate_read_queue(
+            service_time, rate, banks=banks, requests=requests,
+            rng=np.random.default_rng(seed),
+        )
+        assert result.mean_latency == mean
+        assert result.p99_latency == p99
+        assert result.mean_queue_delay == queue_delay
+
+    def test_matches_inline_legacy_algorithm(self):
+        # Re-run the historical algorithm inline on the same draws and
+        # demand float-for-float agreement, not approximation.
+        service_time, rate, banks, requests = 18e-9, 1.3e8, 4, 1500
+        result = simulate_read_queue(
+            service_time, rate, banks=banks, requests=requests,
+            rng=np.random.default_rng(99),
+        )
+        rng = np.random.default_rng(99)
+        arrivals = np.cumsum(rng.exponential(1.0 / rate, requests))
+        targets = rng.integers(0, banks, requests)
+        bank_free_at = np.zeros(banks)
+        latencies = np.empty(requests)
+        delays = np.empty(requests)
+        for index in range(requests):
+            start = max(arrivals[index], bank_free_at[targets[index]])
+            finish = start + service_time
+            bank_free_at[targets[index]] = finish
+            latencies[index] = finish - arrivals[index]
+            delays[index] = start - arrivals[index]
+        assert result.mean_latency == float(np.mean(latencies))
+        assert result.p99_latency == float(np.percentile(latencies, 99.0))
+        assert result.mean_queue_delay == float(np.mean(delays))
+
+    # ------------------------------------------------------------------
+    # Edge cases
+    # ------------------------------------------------------------------
+    def test_offered_load_at_saturation_rejected(self, rng):
+        # offered = rate * service / banks == 1.0 exactly: unstable.
+        with pytest.raises(ConfigurationError):
+            simulate_read_queue(10e-9, 4e8, banks=4, rng=rng)
+
+    def test_zero_arrival_stream_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_read_queue(15e-9, 0.0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            simulate_read_queue(15e-9, 1e6, requests=0, rng=rng)
+
+    def test_single_bank_degenerate_case(self):
+        # One bank serializes everything; still stable below load 1 and
+        # strictly worse than the same traffic over four banks.
+        one = simulate_read_queue(15e-9, 4e7, banks=1, requests=3000,
+                                  rng=np.random.default_rng(5))
+        four = simulate_read_queue(15e-9, 4e7, banks=4, requests=3000,
+                                   rng=np.random.default_rng(5))
+        assert one.offered_load == pytest.approx(0.6)
+        assert one.mean_latency > four.mean_latency
+        assert one.mean_latency >= 15e-9
+
+    def test_single_request(self):
+        result = simulate_read_queue(15e-9, 1e6, banks=4, requests=1,
+                                     rng=np.random.default_rng(3))
+        assert result.mean_latency == pytest.approx(15e-9)
+        assert result.mean_queue_delay == 0.0
+
 
 class TestDistributedBitline:
     def test_ladder_node_count(self):
