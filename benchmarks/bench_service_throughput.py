@@ -9,12 +9,20 @@ the request rate of the destructive one, with the p99 latency curves
 captured through ``repro.obs`` metrics.
 """
 
+import json
+import os
+import pathlib
+import time
+
 import numpy as np
 
 from repro import obs
 from repro.analysis.report import format_table
 from repro.service import (
+    BACKEND_BATCHED,
+    BACKEND_SCALAR,
     ControllerConfig,
+    build_backend,
     build_workload,
     find_saturation_rate,
     publish_report,
@@ -27,6 +35,33 @@ ADDRESSES = 2048     # logical words of the 16kb macro's address space
 REQUESTS = 1500
 SEED = 2010
 SCHEMES = ("destructive", "nondestructive")
+
+# Backed-serving operating point: batch-policy controller over the real
+# 16kb recovery ladder, offered far past the knee so every bank is always
+# backlogged and wall clock measures pure service throughput.
+BACKED_SEED = 2011
+BACKED_RATE = 2e9
+BACKED_BATCH_LIMIT = 32
+BACKED_FAULT_RATE = 1e-4
+BACKED_WRITE_FRACTION = 0.15
+# SERVICE_BENCH_SMOKE=1 (the CI smoke job) shrinks the workload and only
+# requires the batched path to not be slower than the scalar one; the full
+# run pins the issue's >= 5x gate.
+_SMOKE = bool(os.environ.get("SERVICE_BENCH_SMOKE"))
+BACKED_REQUESTS = 300 if _SMOKE else REQUESTS
+BACKED_SPEEDUP_FLOOR = 1.0 if _SMOKE else 5.0
+
+BENCH_JSON = pathlib.Path(__file__).parent / "results" / "BENCH_service.json"
+
+
+def _update_bench_json(section, payload):
+    """Merge one section into the machine-readable BENCH_service.json."""
+    BENCH_JSON.parent.mkdir(exist_ok=True)
+    data = {}
+    if BENCH_JSON.exists():
+        data = json.loads(BENCH_JSON.read_text())
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 
 def _simulate(scheme, config, rate, requests=REQUESTS):
@@ -113,3 +148,132 @@ def test_service_saturation_gap(benchmark, report):
         assert snapshot["gauges"][key] > 0.0
     # The controller's live histograms recorded every read.
     assert "service.latency_ns{op=read}" in snapshot["histograms"]
+
+    _update_bench_json("saturation", {
+        scheme: {
+            "read_time_ns": results[scheme]["read_time"] * 1e9,
+            "rate_req_per_s": results[scheme]["saturation"],
+        }
+        for scheme in SCHEMES
+    } | {"advantage": ratio, "banks": BANKS, "requests": REQUESTS})
+
+
+def _backed_workload():
+    stream = build_workload(
+        rate=BACKED_RATE, addresses=ADDRESSES,
+        write_fraction=BACKED_WRITE_FRACTION,
+    )
+    return stream.generate(BACKED_REQUESTS, np.random.default_rng((SEED, 3)))
+
+
+def _backed_simulation(workload, mode):
+    """One backed batch-policy run over a freshly seeded 16kb ladder.
+
+    A new backend per run keeps repeated runs bit-identical (the array,
+    cache, and RNG states all start from the same seed); only the
+    :func:`simulate_service` call itself is timed by the caller, so
+    backend setup cost does not dilute the serving-throughput ratio.
+    """
+    # transients=False so both modes draw identical fault perturbations and
+    # the reports can be compared bit for bit (see docs/SERVICE.md).
+    backend, retry = build_backend(
+        "nondestructive", BACKED_SEED,
+        fault_rate=BACKED_FAULT_RATE, transients=False,
+    )
+    read_time, write_time = scheme_service_times("nondestructive")
+    config = ControllerConfig(
+        read_time=read_time, write_time=write_time, banks=BANKS,
+        batch_limit=BACKED_BATCH_LIMIT,
+    )
+    return lambda: simulate_service(
+        workload, config, policy="batch", backend=backend,
+        retry_policy=retry, scheme="nondestructive",
+        offered_rate=BACKED_RATE, backend_mode=mode,
+    )
+
+
+def _best_of(runs, setup):
+    """Min wall clock over ``runs`` fresh simulations (setup untimed)."""
+    best, result = float("inf"), None
+    for _ in range(runs):
+        simulate = setup()
+        start = time.perf_counter()
+        result = simulate()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_backed_batched_speedup(report):
+    """Vectorized ladder vs word-by-word: same report, >= 5x the throughput.
+
+    Both modes serve the identical saturating workload through the same
+    seeded 16kb backend; the batched path must reproduce the scalar
+    path's ``ServiceReport`` exactly while finishing the wall-clock run
+    at least :data:`BACKED_SPEEDUP_FLOOR` times faster.
+    """
+    runs = 2 if _SMOKE else 5
+    workload = _backed_workload()
+    # Timed runs happen outside obs.capture so neither mode pays metering
+    # overhead; the histogram comes from one extra untimed batched run.
+    scalar_s, scalar_report = _best_of(
+        runs, lambda: _backed_simulation(workload, BACKEND_SCALAR)
+    )
+    batched_s, batched_report = _best_of(
+        runs, lambda: _backed_simulation(workload, BACKEND_BATCHED)
+    )
+    with obs.capture() as (registry, _):
+        _backed_simulation(workload, BACKEND_BATCHED)()
+        histogram = registry.histogram("service.backend.batch_size")
+
+    # Bit-exactness first: the speedup is meaningless if the vectorized
+    # ladder drifted from the scalar reference.
+    assert batched_report == scalar_report
+    assert batched_report.retried_words > 0
+
+    speedup = scalar_s / batched_s
+    mean_group = histogram["sum"] / histogram["count"]
+
+    report("Backed serving — batched vs scalar recovery ladder "
+           f"({'smoke scale' if _SMOKE else 'full scale'})")
+    report(format_table(
+        ["mode", "wall clock", "requests", "throughput"],
+        [
+            [BACKEND_SCALAR, f"{scalar_s * 1e3:7.1f} ms",
+             str(BACKED_REQUESTS),
+             f"{BACKED_REQUESTS / scalar_s / 1e3:.1f} kreq/s"],
+            [BACKEND_BATCHED, f"{batched_s * 1e3:7.1f} ms",
+             str(BACKED_REQUESTS),
+             f"{BACKED_REQUESTS / batched_s / 1e3:.1f} kreq/s"],
+        ],
+    ))
+    report()
+    report(f"speedup: {speedup:.2f}x (floor {BACKED_SPEEDUP_FLOOR:.1f}x); "
+           f"groups: {histogram['count']}, mean size {mean_group:.1f}, "
+           f"max {histogram['max']:.0f}")
+
+    _update_bench_json("backed_smoke" if _SMOKE else "backed", {
+        "smoke": _SMOKE,
+        "requests": BACKED_REQUESTS,
+        "banks": BANKS,
+        "batch_limit": BACKED_BATCH_LIMIT,
+        "fault_rate": BACKED_FAULT_RATE,
+        "offered_rate": BACKED_RATE,
+        "scalar_seconds": scalar_s,
+        "batched_seconds": batched_s,
+        "speedup": speedup,
+        "speedup_floor": BACKED_SPEEDUP_FLOOR,
+        "reports_bit_identical": batched_report == scalar_report,
+        "batch_size_histogram": {
+            "count": histogram["count"],
+            "mean": mean_group,
+            "max": histogram["max"],
+            "edges": histogram["edges"],
+            "counts": histogram["counts"],
+        },
+    })
+
+    # The tentpole gate: batch-first serving must beat the word-by-word
+    # baseline by 5x at full scale (and never regress below it in smoke).
+    assert speedup >= BACKED_SPEEDUP_FLOOR
+    # Saturated batch policy on 4 banks actually coalesced large groups.
+    assert histogram["max"] >= (4 if _SMOKE else 16)

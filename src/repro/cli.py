@@ -475,6 +475,37 @@ def _cmd_stats(args) -> None:
         array.read_all_with_retry(scheme, policy, rng_read)
         memory.scrub(scheme, rng_read, retry_policy=policy)
 
+        # Backed-serving phase: a short coalesced read burst through the
+        # memory controller so the service.backend.* metrics (attempts,
+        # failed_words, batch_size) appear in the dump.
+        from repro.faults.recovery import RecoveryController
+        from repro.service import (
+            ArrayBackend,
+            ControllerConfig,
+            DiscreteEventEngine,
+            MemoryController,
+            build_workload,
+            scheme_service_times,
+        )
+
+        backend = ArrayBackend(
+            RecoveryController(memory, policy), scheme,
+            np.random.default_rng((args.seed, 3)), injector=injector,
+        )
+        read_time, write_time = scheme_service_times(args.scheme)
+        engine = DiscreteEventEngine()
+        controller = MemoryController(
+            engine,
+            ControllerConfig(read_time=read_time, write_time=write_time,
+                             banks=2, batch_limit=8),
+            policy="batch", backend=backend, retry_policy=policy,
+        )
+        stream = build_workload(rate=2e8, addresses=memory.size_words)
+        controller.submit_all(
+            stream.generate(64, np.random.default_rng((args.seed, 4)))
+        )
+        engine.run()
+
         snapshot = registry.snapshot(profile=False)
         print(f"instrumented workload — {args.scheme} scheme, {args.bits} bits, "
               f"fault rate {args.rate:g}, seed {args.seed}")
@@ -532,19 +563,30 @@ def _serve_requests(args):
     return stream.generate(args.requests, np.random.default_rng((args.seed, 0)))
 
 
-def _serve_once(args, requests):
-    """One full service simulation with freshly built components."""
-    from repro.service import (
-        ControllerConfig,
-        ReadCache,
-        build_backend,
-        scheme_service_times,
-        simulate_service,
-    )
+def _serve_config(args):
+    """The :class:`ControllerConfig` for ``repro serve``, with knob errors
+    surfaced as clean CLI messages rather than tracebacks."""
+    from repro.errors import ConfigurationError
+    from repro.service import ControllerConfig, scheme_service_times
 
     read_time, write_time = scheme_service_times(args.scheme)
-    config = ControllerConfig(read_time=read_time, write_time=write_time,
-                              banks=args.banks)
+    try:
+        return ControllerConfig(
+            read_time=read_time, write_time=write_time, banks=args.banks,
+            batch_limit=args.batch_limit,
+            batch_extra_fraction=args.batch_extra_fraction,
+            backend_window=args.backend_window,
+        )
+    except ConfigurationError as error:
+        print(f"error: invalid controller configuration: {error}")
+        raise SystemExit(2) from None
+
+
+def _serve_once(args, requests):
+    """One full service simulation with freshly built components."""
+    from repro.service import ReadCache, build_backend, simulate_service
+
+    config = _serve_config(args)
     cache = ReadCache(args.cache) if args.cache > 0 else None
     backend = None
     retry_policy = None
@@ -555,6 +597,7 @@ def _serve_once(args, requests):
     return simulate_service(
         requests, config, policy=args.policy, cache=cache, backend=backend,
         retry_policy=retry_policy, scheme=args.scheme, offered_rate=args.rate,
+        backend_mode=args.backend_mode,
     )
 
 
@@ -767,6 +810,28 @@ def _args_serve(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--backed", action="store_true",
         help="run reads through the real recovery ladder on the 16kb chip",
+    )
+    sub.add_argument(
+        "--batch-limit", type=int, default=8,
+        help="max reads coalesced per bank occupancy under the batch "
+        "policy (default 8)",
+    )
+    sub.add_argument(
+        "--batch-extra-fraction", type=float, default=0.4,
+        help="extra bank-occupancy cost per additional coalesced read, "
+        "within [0, 1] (default 0.4)",
+    )
+    sub.add_argument(
+        "--backend-window", type=int, default=1,
+        help="backed-serving accumulation window for the fcfs and "
+        "read-priority policies; 1 keeps the historical scalar order "
+        "(default 1)",
+    )
+    sub.add_argument(
+        "--backend-mode", default="batched", choices=("batched", "scalar"),
+        help="serve backed read groups through the vectorized ladder "
+        "(batched) or word-by-word (scalar reference path; bit-identical "
+        "results, default batched)",
     )
     sub.add_argument(
         "--fault-rate", type=float, default=0.0,

@@ -17,7 +17,7 @@ RNG stream as the historical per-bit loop), and every read can carry a
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -123,8 +123,7 @@ class EccArray:
         """Encode ``value`` and store the codeword."""
         base = self._check_address(address)
         codeword = self.codec.encode_word(value)
-        for offset, bit in enumerate(codeword):
-            self.array._states[base + offset] = bit
+        self.array._states[base:base + self.codec.codeword_bits] = codeword
 
     def read_word(
         self,
@@ -157,17 +156,7 @@ class EccArray:
             read_pulses = batch.total_read_pulses
         received = batch.bit_values()
         decode = self.codec.decode(received)
-        self._stats[decode.status] += 1
-        if _obs.active():
-            _obs.get_registry().inc("ecc.words", status=decode.status.name.lower())
-            if decode.status is DecodeStatus.CORRECTED:
-                _obs.trace(
-                    ECC_CORRECTED,
-                    address=address,
-                    position=decode.corrected_position,
-                )
-            elif decode.status is DecodeStatus.DETECTED:
-                _obs.trace(ECC_DETECTED, address=address)
+        self._commit_decode(address, decode.status, decode.corrected_position)
         return EccReadResult(
             value=self.codec.bits_to_int(decode.data),
             status=decode.status,
@@ -176,6 +165,178 @@ class EccArray:
             attempts=attempts,
             read_pulses=read_pulses,
         )
+
+    def _commit_decode(self, address: int, status: DecodeStatus, position: int) -> None:
+        """Account one finished word decode (stats + obs), in word order."""
+        self._stats[status] += 1
+        if _obs.active():
+            _obs.get_registry().inc("ecc.words", status=status.name.lower())
+            if status is DecodeStatus.CORRECTED:
+                _obs.trace(ECC_CORRECTED, address=address, position=position)
+            elif status is DecodeStatus.DETECTED:
+                _obs.trace(ECC_DETECTED, address=address)
+
+    def try_read_words(
+        self,
+        addresses: Sequence[int],
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        require_reliable: bool = False,
+        **kwargs,
+    ) -> Optional[List[EccReadResult]]:
+        """All-clean fused read of several distinct words, or ``None``.
+
+        One batched sensing pass covers the concatenated codeword spans —
+        draw-for-draw identical to the *first attempt* of a word-by-word
+        loop, because every kernel consumes its RNG in ascending bit order.
+        The pass commits only when no word would have escalated: with a
+        ``retry_policy``, zero metastable/undecided bits (no retry round
+        would have fired); with ``require_reliable``, additionally every
+        decode reliable (no scrub would have fired).  Otherwise the array
+        state *and* the RNG are rewound to their pre-call snapshots and
+        ``None`` is returned, so a word-by-word replay reproduces the
+        scalar loop bit-for-bit.  Per-bit array kwargs cannot be fused and
+        also return ``None``.
+        """
+        return self.probe_words(
+            addresses, scheme, rng,
+            retry_policy=retry_policy, require_reliable=require_reliable,
+            **kwargs,
+        )[0]
+
+    def probe_words(
+        self,
+        addresses: Sequence[int],
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        require_reliable: bool = False,
+        **kwargs,
+    ) -> Tuple[Optional[List[EccReadResult]], Tuple[int, ...]]:
+        """:meth:`try_read_words` plus escalation *hints* on failure.
+
+        Returns ``(results, ())`` when the fused pass commits and
+        ``(None, bad)`` when it rewinds, where ``bad`` holds the indices
+        (into ``addresses``) of the words that forced the escalation.
+        Because the probe's draws equal the scalar replay's first-attempt
+        draws, those same words *will* escalate again when replayed —
+        which lets a caller split the group at the bad words and still
+        commit the clean segments fused, instead of bisecting blindly.
+        ``bad`` is empty when the group could not be fused at all (per-bit
+        array kwargs).
+        """
+        addresses = list(addresses)
+        if len(set(addresses)) != len(addresses):
+            raise ConfigurationError(
+                "addresses must be distinct within one batched read"
+            )
+        if not addresses:
+            return [], ()
+        if any(isinstance(value, np.ndarray) for value in kwargs.values()):
+            return None, ()
+        width = self.codec.codeword_bits
+        bases = np.array(
+            [self._check_address(address) for address in addresses], dtype=np.intp
+        )
+        # Codeword spans, group-major: distinct by construction (distinct
+        # word addresses → disjoint [base, base+width) ranges).
+        spans = (bases[:, None] + np.arange(width, dtype=np.intp)).ravel()
+        rng_state = rng.bit_generator.state if rng is not None else None
+        states_before = self.array._states[spans].copy()
+        batch = self.array.read_bits(spans, scheme, rng, assume_distinct=True, **kwargs)
+
+        bad: Tuple[int, ...] = ()
+        if retry_policy is not None:
+            unresolved = batch.metastable | (batch.bits < 0)
+            if unresolved.any():
+                rows = unresolved.reshape(len(addresses), width).any(axis=1)
+                bad = tuple(np.nonzero(rows)[0].tolist())
+        decode = None
+        if not bad:
+            bits = batch.bit_values().reshape(len(addresses), width)
+            decode = self.codec.decode_words(bits)
+            if require_reliable:
+                bad = tuple(
+                    index for index, status in enumerate(decode.statuses)
+                    if status is DecodeStatus.DETECTED
+                )
+        if bad:
+            # Rewind: undo the probe's cell-state side effects and RNG
+            # draws so the scalar replay starts from the pre-call world.
+            self.array._states[spans] = states_before
+            if rng_state is not None:
+                rng.bit_generator.state = rng_state
+            return None, bad
+
+        metastable = batch.metastable.reshape(len(addresses), width)
+        read_pulses = batch.read_pulses * width
+        results = []
+        for index, address in enumerate(addresses):
+            status = decode.statuses[index]
+            position = int(decode.corrected_positions[index])
+            self._commit_decode(address, status, position)
+            results.append(EccReadResult(
+                value=decode.values[index],
+                status=status,
+                corrected_position=position,
+                metastable_bits=int(np.count_nonzero(metastable[index])),
+                attempts=1,
+                read_pulses=read_pulses,
+            ))
+        return results, ()
+
+    def read_words(
+        self,
+        addresses: Sequence[int],
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        **kwargs,
+    ) -> List[EccReadResult]:
+        """Read several distinct words, fused into one sensing pass when
+        the whole group stays clean.
+
+        Bit-exact with a loop of :meth:`read_word` over ``addresses`` in
+        order, under the same RNG: the fused fast path only commits when
+        it is draw-for-draw identical to that loop, and a group that would
+        retry is *split at the escalating words* (the probe's hints): the
+        clean segments between them still commit fused — each is
+        draw-equal to the scalar loop over its own slice, starting from
+        the state the previous slice left behind — so only the words that
+        actually escalate pay the scalar ladder.
+        """
+        addresses = list(addresses)
+        if any(isinstance(value, np.ndarray) for value in kwargs.values()):
+            # Per-bit kwargs cannot be fused; go straight to the loop.
+            return [
+                self.read_word(a, scheme, rng, retry_policy=retry_policy, **kwargs)
+                for a in addresses
+            ]
+        fused, bad = self.probe_words(
+            addresses, scheme, rng, retry_policy=retry_policy, **kwargs
+        )
+        if fused is not None:
+            return fused
+        results: List[EccReadResult] = []
+        start = 0
+        for index in bad:
+            if index > start:
+                results.extend(self.read_words(
+                    addresses[start:index], scheme, rng,
+                    retry_policy=retry_policy, **kwargs,
+                ))
+            results.append(self.read_word(
+                addresses[index], scheme, rng,
+                retry_policy=retry_policy, **kwargs,
+            ))
+            start = index + 1
+        if start < len(addresses):
+            results.extend(self.read_words(
+                addresses[start:], scheme, rng,
+                retry_policy=retry_policy, **kwargs,
+            ))
+        return results
 
     def scrub(
         self,

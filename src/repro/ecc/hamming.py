@@ -11,13 +11,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["DecodeStatus", "DecodeResult", "HammingSECDED"]
+__all__ = ["DecodeStatus", "DecodeResult", "BatchDecodeResult", "HammingSECDED"]
 
 
 class DecodeStatus(enum.Enum):
@@ -35,6 +35,34 @@ class DecodeResult:
     data: np.ndarray      #: recovered data bits (uint8 array of length k)
     status: DecodeStatus
     corrected_position: int = -1  #: codeword index fixed (when CORRECTED)
+
+
+@dataclasses.dataclass(frozen=True)
+class BatchDecodeResult:
+    """Struct-of-arrays outcome of decoding many codewords at once.
+
+    Row ``i`` carries exactly what :meth:`HammingSECDED.decode` followed by
+    :meth:`HammingSECDED.bits_to_int` would have produced for codeword
+    ``i`` — the vectorized decoder is defined by that equivalence.
+    """
+
+    values: Tuple[int, ...]            #: decoded integer words (LSB-first)
+    statuses: Tuple[DecodeStatus, ...]
+    corrected_positions: np.ndarray    #: per-word codeword index fixed (-1)
+    data: np.ndarray                   #: corrected data bits, shape (n, k)
+
+    @property
+    def size(self) -> int:
+        """Number of decoded words."""
+        return len(self.values)
+
+    def result(self, index: int) -> DecodeResult:
+        """Scalar :class:`DecodeResult` view of one row."""
+        return DecodeResult(
+            data=self.data[index].copy(),
+            status=self.statuses[index],
+            corrected_position=int(self.corrected_positions[index]),
+        )
 
 
 class HammingSECDED:
@@ -60,6 +88,24 @@ class HammingSECDED:
             for position in range(1, inner_length + 1)
             if position not in self._parity_positions
         ]
+        # Precomputed decode machinery, shared by the scalar and the
+        # vectorized decoder: row j of the check matrix covers the
+        # (1-indexed) inner positions whose index has bit j set.
+        positions = np.arange(1, inner_length + 1)
+        self._check_matrix = np.array(
+            [(positions & p) != 0 for p in self._parity_positions], dtype=np.uint8
+        )  # shape (parity_bits, inner_length)
+        self._syndrome_weights = np.array(self._parity_positions, dtype=np.int64)
+        self._data_indices = np.array(self._data_positions, dtype=np.intp) - 1
+        self._parity_indices = np.array(self._parity_positions, dtype=np.intp) - 1
+        # Encode matrix: entry (j, i) set when data position i contributes
+        # to parity bit j (parity positions never cover each other, so the
+        # parities depend on data bits alone).
+        data_positions = np.array(self._data_positions, dtype=np.int64)
+        self._encode_matrix = np.array(
+            [(data_positions & p) != 0 for p in self._parity_positions],
+            dtype=np.int64,
+        )  # shape (parity_bits, data_bits)
 
     @staticmethod
     def _parity_count(k: int) -> int:
@@ -87,19 +133,13 @@ class HammingSECDED:
     def encode(self, data: Sequence[int]) -> np.ndarray:
         """Encode ``data`` (length-k bit sequence) into a codeword."""
         bits = self._as_bits(data)
-        inner_length = self.data_bits + self.parity_bits
-        inner = np.zeros(inner_length + 1, dtype=np.uint8)  # 1-indexed
-        for value, position in zip(bits, self._data_positions):
-            inner[position] = value
-        for parity_position in self._parity_positions:
-            covered = [
-                p for p in range(1, inner_length + 1)
-                if (p & parity_position) and p != parity_position
-            ]
-            inner[parity_position] = np.bitwise_xor.reduce(inner[covered])
-        codeword = inner[1:]
-        overall = np.bitwise_xor.reduce(codeword)
-        return np.concatenate([codeword, [overall]]).astype(np.uint8)
+        inner = np.zeros(self.data_bits + self.parity_bits, dtype=np.uint8)
+        inner[self._data_indices] = bits
+        inner[self._parity_indices] = (
+            self._encode_matrix @ bits.astype(np.int64)
+        ) & 1
+        overall = np.bitwise_xor.reduce(inner)
+        return np.concatenate([inner, [overall]]).astype(np.uint8)
 
     def decode(self, codeword: Sequence[int]) -> DecodeResult:
         """Decode a codeword, correcting one flip or flagging two."""
@@ -109,12 +149,9 @@ class HammingSECDED:
                 f"expected {self.codeword_bits} codeword bits, got {received.shape}"
             )
         inner_length = self.data_bits + self.parity_bits
-        inner = np.concatenate([[0], received[:-1]]).astype(np.uint8)  # 1-indexed
-        syndrome = 0
-        for parity_position in self._parity_positions:
-            covered = [p for p in range(1, inner_length + 1) if p & parity_position]
-            if np.bitwise_xor.reduce(inner[covered]):
-                syndrome |= parity_position
+        inner = received[:-1]
+        checks = (self._check_matrix @ inner.astype(np.int64)) & 1
+        syndrome = int(checks @ self._syndrome_weights)
         overall_ok = np.bitwise_xor.reduce(received) == 0
 
         corrected = inner.copy()
@@ -123,7 +160,7 @@ class HammingSECDED:
         elif syndrome != 0 and not overall_ok:
             # Single error inside the inner codeword: correct it.
             if syndrome <= inner_length:
-                corrected[syndrome] ^= 1
+                corrected[syndrome - 1] ^= 1
             status, position = DecodeStatus.CORRECTED, syndrome - 1
         elif syndrome == 0 and not overall_ok:
             # The overall-parity bit itself flipped.
@@ -132,10 +169,54 @@ class HammingSECDED:
             # syndrome != 0 but overall parity consistent: double error.
             status, position = DecodeStatus.DETECTED, -1
 
-        data = np.array(
-            [corrected[p] for p in self._data_positions], dtype=np.uint8
-        )
+        data = corrected[self._data_indices]
         return DecodeResult(data=data, status=status, corrected_position=position)
+
+    def decode_words(self, codewords) -> BatchDecodeResult:
+        """Decode ``n`` codewords in one NumPy pass.
+
+        ``codewords`` is an ``(n, codeword_bits)`` bit matrix; row ``i`` of
+        the result matches :meth:`decode` on that row exactly (same status,
+        same corrected position, same data bits) — this is the decoder the
+        batched serving path runs so a coalesced group costs one syndrome
+        matrix product instead of ``n`` Python loops.
+        """
+        received = np.asarray(codewords, dtype=np.uint8)
+        if received.ndim != 2 or received.shape[1] != self.codeword_bits:
+            raise ConfigurationError(
+                f"expected (n, {self.codeword_bits}) codeword matrix, got "
+                f"{received.shape}"
+            )
+        inner_length = self.data_bits + self.parity_bits
+        inner = received[:, :-1]
+        checks = (inner.astype(np.int64) @ self._check_matrix.T) & 1  # (n, r)
+        syndromes = checks @ self._syndrome_weights                   # (n,)
+        overall_ok = (received.sum(axis=1) & 1) == 0
+
+        corrected = inner.copy()
+        single = (syndromes != 0) & ~overall_ok
+        flip_rows = np.nonzero(single & (syndromes <= inner_length))[0]
+        corrected[flip_rows, syndromes[flip_rows] - 1] ^= 1
+
+        positions = np.full(received.shape[0], -1, dtype=np.int64)
+        positions[single] = syndromes[single] - 1
+        overall_flip = (syndromes == 0) & ~overall_ok
+        positions[overall_flip] = self.codeword_bits - 1
+
+        by_code = (DecodeStatus.CLEAN, DecodeStatus.CORRECTED, DecodeStatus.DETECTED)
+        codes = np.where(overall_ok, np.where(syndromes == 0, 0, 2), 1)
+        statuses = tuple(by_code[code] for code in codes.tolist())
+        data = corrected[:, self._data_indices]
+        packed = np.packbits(data, axis=1, bitorder="little")
+        values = tuple(
+            int.from_bytes(row.tobytes(), "little") for row in packed
+        )
+        return BatchDecodeResult(
+            values=values,
+            statuses=statuses,
+            corrected_positions=positions,
+            data=data,
+        )
 
     # ------------------------------------------------------------------
     def encode_word(self, value: int) -> np.ndarray:
@@ -144,7 +225,12 @@ class HammingSECDED:
             raise ConfigurationError(
                 f"value {value} does not fit in {self.data_bits} bits"
             )
-        bits = [(value >> i) & 1 for i in range(self.data_bits)]
+        raw = value.to_bytes((self.data_bits + 7) // 8, "little")
+        bits = np.unpackbits(
+            np.frombuffer(raw, dtype=np.uint8),
+            count=self.data_bits,
+            bitorder="little",
+        )
         return self.encode(bits)
 
     def bits_to_int(self, data: Sequence[int]) -> int:

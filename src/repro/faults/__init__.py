@@ -53,7 +53,12 @@ from repro.faults.models import (
     StuckOpenFault,
     StuckShortFault,
 )
-from repro.faults.recovery import RecoveredWord, RecoveryController, RecoveryTier
+from repro.faults.recovery import (
+    LostWord,
+    RecoveredWord,
+    RecoveryController,
+    RecoveryTier,
+)
 
 __all__ = [
     "FaultKind",
@@ -67,6 +72,7 @@ __all__ = [
     "FaultMap",
     "RecoveryTier",
     "RecoveredWord",
+    "LostWord",
     "RecoveryController",
     "CampaignRow",
     "FaultCampaignResult",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from repro.errors import ConfigurationError, FaultError, RetryExhaustedError
 from repro.obs import runtime as _obs
 from repro.obs.trace import SPARE_REPAIR, WORD_LOST
 
-__all__ = ["RecoveryTier", "RecoveredWord", "RecoveryController"]
+__all__ = ["RecoveryTier", "RecoveredWord", "LostWord", "RecoveryController"]
 
 
 class RecoveryTier(enum.Enum):
@@ -65,6 +65,32 @@ class RecoveredWord:
     def degraded(self) -> bool:
         """True when anything beyond a clean first read was needed."""
         return self.tier is not RecoveryTier.CLEAN
+
+    @property
+    def failed(self) -> bool:
+        """A recovered word is, by definition, not lost."""
+        return False
+
+
+@dataclasses.dataclass(frozen=True)
+class LostWord:
+    """One word whose read exhausted every recovery tier.
+
+    The batched entry point (:meth:`RecoveryController.read_words`) returns
+    these in-place instead of raising, so one unrecoverable word does not
+    abort the rest of its coalesced group; ``error`` carries the
+    :class:`~repro.errors.RetryExhaustedError` the scalar path would have
+    raised.
+    """
+
+    address: int
+    attempts: int
+    error: RetryExhaustedError
+
+    @property
+    def failed(self) -> bool:
+        """Mirror of :attr:`RecoveredWord.failed` for uniform handling."""
+        return True
 
 
 class RecoveryController:
@@ -200,6 +226,95 @@ class RecoveryController:
             address=address,
             attempts=result.attempts,
         )
+
+    def read_words(
+        self,
+        addresses: Sequence[int],
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> List[Union[RecoveredWord, LostWord]]:
+        """Read a coalesced group of distinct words through the ladder.
+
+        The whole group is first attempted as ONE fused sensing pass
+        (:meth:`~repro.ecc.array.EccArray.try_read_words` with
+        ``require_reliable=True``): when no word needs anything beyond a
+        clean-or-ECC-corrected first read — the overwhelmingly common case
+        — the group costs a single vectorized kernel call.  If *any* word
+        would escalate (retry, scrub, or repair), the pass is rewound and
+        the group *splits at the escalating words* (the probe's hints):
+        the clean segments between them still commit fused, and only the
+        escalating words reach the scalar :meth:`read_word` ladder.
+        Because processing stays strictly in address order and every
+        committed fused slice is draw-equal to the scalar loop over that
+        slice, the result stream, the tier counters, and every RNG draw
+        are bit-exact with a scalar loop over ``addresses`` in order —
+        including spare remaps an earlier word's repair applies to a later
+        word's lookup (physical addresses are resolved per slice, after
+        the preceding slice finished).
+
+        Unlike :meth:`read_word`, an unrecoverable word does not raise: it
+        appears as a :class:`LostWord` in the result list (the scalar
+        loop's exception, captured), and the remaining words of the group
+        are still served.
+        """
+        addresses = list(addresses)
+        physicals = [self.physical_address(address) for address in addresses]
+        fused, bad = self.memory.probe_words(
+            physicals, scheme, rng,
+            retry_policy=self.policy, require_reliable=True, **kwargs
+        )
+        if fused is not None:
+            words: List[Union[RecoveredWord, LostWord]] = []
+            for address, result in zip(addresses, fused):
+                tier = (
+                    RecoveryTier.ECC
+                    if result.status is DecodeStatus.CORRECTED
+                    else RecoveryTier.CLEAN
+                )
+                words.append(self._record(RecoveredWord(
+                    address, result.value, tier, result.status, result.attempts
+                )))
+            return words
+        words: List[Union[RecoveredWord, LostWord]] = []
+        if not bad:
+            # The group cannot fuse at all (per-bit array kwargs): plain
+            # scalar replay.
+            for address in addresses:
+                words.append(self._read_word_caught(address, scheme, rng, **kwargs))
+            return words
+        start = 0
+        for index in bad:
+            if index > start:
+                words.extend(self.read_words(
+                    addresses[start:index], scheme, rng, **kwargs
+                ))
+            words.append(self._read_word_caught(
+                addresses[index], scheme, rng, **kwargs
+            ))
+            start = index + 1
+        if start < len(addresses):
+            words.extend(self.read_words(
+                addresses[start:], scheme, rng, **kwargs
+            ))
+        return words
+
+    def _read_word_caught(
+        self,
+        address: int,
+        scheme: SensingScheme,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs,
+    ) -> Union[RecoveredWord, LostWord]:
+        """One scalar ladder read with the exhaustion exception captured."""
+        try:
+            return self.read_word(address, scheme, rng, **kwargs)
+        except RetryExhaustedError as error:
+            return LostWord(
+                address=address,
+                attempts=max(1, error.attempts),
+                error=error,
+            )
 
     def _scrub_recovered(
         self,

@@ -44,6 +44,7 @@ __all__ = [
     "PROFILE_SECONDS_EDGES",
     "SERVICE_LATENCY_NS_EDGES",
     "QUEUE_DEPTH_EDGES",
+    "BATCH_SIZE_EDGES",
 ]
 
 #: Simulated retry backoff per bit [ns] (exponential policy defaults).
@@ -67,6 +68,8 @@ SERVICE_LATENCY_NS_EDGES: Tuple[float, ...] = (
 QUEUE_DEPTH_EDGES: Tuple[float, ...] = (
     0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0,
 )
+#: Coalesced-group size handed to the array backend per ladder call.
+BATCH_SIZE_EDGES: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 _LabelKey = Tuple[Tuple[str, str], ...]
 

@@ -28,6 +28,9 @@ trace and asserts report equality with the live run).
 
 from repro.service.cache import ReadCache
 from repro.service.controller import (
+    BACKEND_BATCHED,
+    BACKEND_MODES,
+    BACKEND_SCALAR,
     BATCH,
     FCFS,
     POLICIES,
@@ -81,6 +84,9 @@ __all__ = [
     "READ_PRIORITY",
     "BATCH",
     "POLICIES",
+    "BACKEND_BATCHED",
+    "BACKEND_SCALAR",
+    "BACKEND_MODES",
     "ControllerConfig",
     "CompletedRequest",
     "ArrayBackend",

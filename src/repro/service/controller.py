@@ -29,18 +29,32 @@ scrub → repair — over an :class:`~repro.ecc.array.EccArray`, optionally
 under a :class:`~repro.faults.FaultInjector`, so fault campaigns run
 *under load* and per-word retry attempts stretch the bank occupancy they
 caused.
+
+In backed mode the coalesced group is the unit of backend work: each
+service group reaches the ladder as one vectorized
+:meth:`ArrayBackend.read_batch` call (``backend_mode="batched"``, the
+default), regression-pinned bit-exact against the historical per-word
+loop (``"scalar"``); the FCFS and read-priority policies can additionally
+accumulate up to ``ControllerConfig.backend_window`` queued reads into
+one occupancy so there is a group to amortize (see ``docs/SERVICE.md``).
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, RetryExhaustedError
 from repro.obs import runtime as _obs
-from repro.obs.registry import QUEUE_DEPTH_EDGES, SERVICE_LATENCY_NS_EDGES
+from repro.obs.registry import (
+    ATTEMPTS_EDGES,
+    BATCH_SIZE_EDGES,
+    QUEUE_DEPTH_EDGES,
+    SERVICE_LATENCY_NS_EDGES,
+)
 from repro.service.cache import ReadCache
 from repro.service.engine import DiscreteEventEngine
 from repro.service.workload import READ, Request
@@ -50,6 +64,9 @@ __all__ = [
     "READ_PRIORITY",
     "BATCH",
     "POLICIES",
+    "BACKEND_BATCHED",
+    "BACKEND_SCALAR",
+    "BACKEND_MODES",
     "ControllerConfig",
     "CompletedRequest",
     "ArrayBackend",
@@ -63,6 +80,14 @@ FCFS = "fcfs"
 READ_PRIORITY = "read-priority"
 BATCH = "batch"
 POLICIES: Tuple[str, ...] = (FCFS, READ_PRIORITY, BATCH)
+
+BACKEND_BATCHED = "batched"
+BACKEND_SCALAR = "scalar"
+#: How backed reads reach the recovery ladder: one vectorized
+#: :meth:`ArrayBackend.read_batch` per coalesced group, or the historical
+#: per-word :meth:`ArrayBackend.read` loop (kept as the bit-exactness
+#: reference the batched path is regression-pinned against).
+BACKEND_MODES: Tuple[str, ...] = (BACKEND_BATCHED, BACKEND_SCALAR)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,6 +106,13 @@ class ControllerConfig:
     batch_limit: int = 8             #: max reads coalesced per occupancy
     batch_extra_fraction: float = 0.4  #: extra cost per coalesced read
     write_buffer_depth: int = 4      #: writes a bank may hold back
+    #: Backed-serving accumulation window for the FCFS and read-priority
+    #: policies: up to this many queued reads are coalesced into one bank
+    #: occupancy (and one backend ladder call) even though those policies
+    #: nominally serve one request at a time.  1 (the default) preserves
+    #: the historical strictly-scalar service order; BATCH ignores it and
+    #: uses ``batch_limit``.  Timing-mode runs are unaffected.
+    backend_window: int = 1
 
     def __post_init__(self) -> None:
         if self.read_time <= 0.0 or self.write_time <= 0.0:
@@ -98,6 +130,10 @@ class ControllerConfig:
             )
         if self.write_buffer_depth < 0:
             raise ConfigurationError("write_buffer_depth must be non-negative")
+        if self.backend_window < 1:
+            raise ConfigurationError(
+                f"backend_window must be >= 1, got {self.backend_window}"
+            )
 
     def batch_duration(self, reads: int) -> float:
         """Bank occupancy of ``reads`` coalesced reads [s]."""
@@ -164,6 +200,10 @@ class ArrayBackend:
         self.failed_words = 0     #: detected losses (ladder exhausted)
         self.corrupted_words = 0  #: silent wrong values (escaped)
         self.retried_words = 0    #: words that needed > 1 attempt
+        if _obs.active():
+            # Register the loss counter at zero so "no failures" is an
+            # explicit 0 row in metric dumps, not an absent series.
+            _obs.get_registry().inc("service.backend.failed_words", 0)
 
     @property
     def size_words(self) -> int:
@@ -186,6 +226,22 @@ class ArrayBackend:
         self._truth[physical] = value
         self.writes += 1
 
+    def _meter_outcome(self, attempts: int, failed: bool) -> None:
+        """Record one word's ladder outcome in obs (no-op when off).
+
+        The attempts histogram is fed on the exhausted path too — a lost
+        word's sensing effort must not vanish from the telemetry just
+        because the ladder gave up on it.
+        """
+        if not _obs.active():
+            return
+        registry = _obs.get_registry()
+        registry.observe(
+            "service.backend.attempts", attempts, edges=ATTEMPTS_EDGES
+        )
+        if failed:
+            registry.inc("service.backend.failed_words")
+
     def read(self, address: int) -> Tuple[int, bool]:
         """Read one word; returns (worst attempts, failed).
 
@@ -201,13 +257,91 @@ class ArrayBackend:
             recovered = self.memory.read_word(physical, scheme, self.rng)
         except RetryExhaustedError as error:
             self.failed_words += 1
-            return max(1, error.attempts), True
+            attempts = max(1, error.attempts)
+            self._meter_outcome(attempts, failed=True)
+            return attempts, True
         if recovered.attempts > 1:
             self.retried_words += 1
         expected = self._truth.get(physical)
         if expected is not None and recovered.value != expected:
             self.corrupted_words += 1
+        self._meter_outcome(recovered.attempts, failed=False)
         return recovered.attempts, False
+
+    def read_batch(self, addresses: Sequence[int]) -> List[Tuple[int, bool]]:
+        """Read one coalesced group; returns ``(attempts, failed)`` per word.
+
+        The whole group goes through the recovery ladder as ONE batched
+        call (:meth:`~repro.faults.recovery.RecoveryController.read_words`)
+        instead of a Python loop of scalar reads.  Draw-order contract,
+        pinned by the parity regressions in ``tests/test_service_batch.py``:
+
+        * Injector transients are drawn **once per group** and strike every
+          word of it (a coalesced group is one array operation — shared
+          word-line activation, shared bit-line conditions).  With no
+          injector — or one whose transients draw nothing per operation,
+          e.g. drift-only — ``read_batch(addrs)`` is bit-exact with
+          ``[read(a) for a in addrs]`` under the same RNG; per-operation
+          noise faults draw once per group here versus once per word there.
+        * Sensing draws are group-major: the fused clean pass consumes the
+          read stream exactly as a word-by-word loop's first attempts
+          would, and any group that needs the ladder is rewound and split
+          at the escalating words (clean segments re-fuse, escalating
+          words replay through the scalar ladder), so the stream stays
+          bit-exact with the scalar loop in every case.
+
+        Addresses may repeat: a repeated word ends the current fused run
+        and starts a new one (re-reading the same cells within one batch
+        has no sequential meaning), preserving loop order and semantics.
+        """
+        addresses = list(addresses)
+        if not addresses:
+            return []
+        scheme = self.scheme
+        if self.injector is not None:
+            scheme = self.injector.perturb_scheme(scheme)
+        if _obs.active():
+            _obs.get_registry().observe(
+                "service.backend.batch_size",
+                len(addresses),
+                edges=BATCH_SIZE_EDGES,
+            )
+        outcomes: List[Tuple[int, bool]] = []
+        start = 0
+        while start < len(addresses):
+            stop = start
+            seen = set()
+            while stop < len(addresses):
+                physical = self._physical(addresses[stop])
+                if physical in seen:
+                    break
+                seen.add(physical)
+                stop += 1
+            outcomes.extend(self._read_group(addresses[start:stop], scheme))
+            start = stop
+        return outcomes
+
+    def _read_group(self, addresses, scheme) -> List[Tuple[int, bool]]:
+        """One fused ladder call over distinct words, scalar accounting."""
+        self.reads += len(addresses)
+        words = self.memory.read_words(
+            [self._physical(address) for address in addresses], scheme, self.rng
+        )
+        outcomes = []
+        for address, word in zip(addresses, words):
+            if word.failed:
+                self.failed_words += 1
+                attempts, failed = max(1, word.attempts), True
+            else:
+                if word.attempts > 1:
+                    self.retried_words += 1
+                expected = self._truth.get(self._physical(address))
+                if expected is not None and word.value != expected:
+                    self.corrupted_words += 1
+                attempts, failed = word.attempts, False
+            self._meter_outcome(attempts, failed)
+            outcomes.append((attempts, failed))
+        return outcomes
 
     def statistics(self) -> dict:
         """Backend counters as a plain dict."""
@@ -221,14 +355,30 @@ class ArrayBackend:
 
 
 class _Bank:
-    """One bank: an arrival-ordered queue plus busy state."""
+    """One bank: arrival-ordered pending requests plus busy state.
 
-    __slots__ = ("queue", "busy", "served")
+    FCFS keeps the single interleaved ``queue`` (relative read/write
+    order is its semantics); the read-priority and batch policies only
+    ever consume "next read in arrival order" or "next write in arrival
+    order", so they store the two ops in separate deques — O(1) pops
+    instead of rescanning a deep saturated queue.  ``queued_writes``
+    mirrors the number of writes currently in ``queue`` (FCFS only).
+    """
+
+    __slots__ = ("queue", "reads", "writes", "busy", "served",
+                 "queued_writes")
 
     def __init__(self) -> None:
         self.queue: List[Request] = []
+        self.reads: Deque[Request] = collections.deque()
+        self.writes: Deque[Request] = collections.deque()
         self.busy = False
         self.served = 0
+        self.queued_writes = 0
+
+    def depth(self) -> int:
+        """Pending requests across whichever storage the policy uses."""
+        return len(self.queue) + len(self.reads) + len(self.writes)
 
 
 class MemoryController:
@@ -242,10 +392,16 @@ class MemoryController:
         cache: Optional[ReadCache] = None,
         backend: Optional[ArrayBackend] = None,
         retry_policy=None,
+        backend_mode: str = BACKEND_BATCHED,
     ):
         if policy not in POLICIES:
             raise ConfigurationError(
                 f"unknown policy {policy!r}; expected one of {POLICIES}"
+            )
+        if backend_mode not in BACKEND_MODES:
+            raise ConfigurationError(
+                f"unknown backend_mode {backend_mode!r}; expected one of "
+                f"{BACKEND_MODES}"
             )
         self.engine = engine
         self.config = config
@@ -253,6 +409,7 @@ class MemoryController:
         self.cache = cache
         self.backend = backend
         self.retry_policy = retry_policy
+        self.backend_mode = backend_mode
         self._banks = [_Bank() for _ in range(config.banks)]
         self.completions: List[CompletedRequest] = []
         self.depth_samples: List[int] = []
@@ -271,9 +428,16 @@ class MemoryController:
         self.engine.schedule_at(request.time, self._arrive, request)
 
     def submit_all(self, requests: Sequence[Request]) -> None:
-        """Schedule a whole stream."""
-        for request in requests:
-            self.submit(request)
+        """Schedule a whole stream as one bulk calendar load.
+
+        :meth:`DiscreteEventEngine.schedule_batch` assigns sequence numbers
+        in iteration order, so the execution order — ties included — is
+        identical to submitting one request at a time.
+        """
+        self.submitted += len(requests)
+        self.engine.schedule_batch(
+            (request.time, self._arrive, (request,)) for request in requests
+        )
 
     # ------------------------------------------------------------------
     # Event handlers
@@ -296,7 +460,14 @@ class MemoryController:
             self.cache.invalidate(request.address)
         bank_index = self.bank_of(request.address)
         bank = self._banks[bank_index]
-        bank.queue.append(request)
+        if self.policy == FCFS:
+            bank.queue.append(request)
+            if not request.is_read:
+                bank.queued_writes += 1
+        elif request.is_read:
+            bank.reads.append(request)
+        else:
+            bank.writes.append(request)
         if not bank.busy:
             self._start_service(bank_index)
 
@@ -315,10 +486,10 @@ class MemoryController:
         if not taken:
             return
         bank.busy = True
-        self.depth_samples.append(len(bank.queue))
+        self.depth_samples.append(bank.depth())
         if _obs.active():
             _obs.get_registry().observe(
-                "service.queue_depth", len(bank.queue), edges=QUEUE_DEPTH_EDGES
+                "service.queue_depth", bank.depth(), edges=QUEUE_DEPTH_EDGES
             )
         duration, attempts, failed = self._serve(taken)
         self.engine.schedule(
@@ -350,38 +521,58 @@ class MemoryController:
             ))
         bank.served += group
         bank.busy = False
-        if bank.queue:
+        if bank.depth():
             self._start_service(bank_index)
 
     # ------------------------------------------------------------------
     # Policy and service model
     # ------------------------------------------------------------------
+    def _read_window(self) -> int:
+        """Reads the FCFS/read-priority policies may coalesce per service.
+
+        Accumulation windows are a *backed-serving* feature: in timing
+        mode the historical one-request-at-a-time semantics are kept
+        (there is no per-word backend work to amortize).
+        """
+        if self.backend is None:
+            return 1
+        return self.config.backend_window
+
     def _select(self, bank: _Bank) -> List[Request]:
         """Pop the next group to serve according to the policy."""
-        queue = bank.queue
-        if not queue:
-            return []
         if self.policy == FCFS:
-            return [queue.pop(0)]
-        pending_writes = sum(1 for r in queue if not r.is_read)
-        has_read = pending_writes < len(queue)
-        if not has_read or pending_writes > self.config.write_buffer_depth:
-            for index, request in enumerate(queue):
-                if not request.is_read:
-                    return [queue.pop(index)]
-        if self.policy == READ_PRIORITY:
-            for index, request in enumerate(queue):
-                if request.is_read:
-                    return [queue.pop(index)]
-        # BATCH: coalesce up to batch_limit reads, preserving queue order.
-        taken: List[Request] = []
-        index = 0
-        while index < len(queue) and len(taken) < self.config.batch_limit:
-            if queue[index].is_read:
-                taken.append(queue.pop(index))
-            else:
-                index += 1
-        return taken
+            # Strict arrival order: only the *leading* run of consecutive
+            # reads may coalesce (no read overtakes a queued write).
+            queue = bank.queue
+            if not queue:
+                return []
+            window = self._read_window()
+            taken = [queue.pop(0)]
+            if not taken[0].is_read:
+                bank.queued_writes -= 1
+            while (
+                taken[0].is_read
+                and len(taken) < window
+                and queue
+                and queue[0].is_read
+            ):
+                taken.append(queue.pop(0))
+            return taken
+        # Read-priority/batch: reads overtake writes, each op served in
+        # its own arrival order, so the split deques pop in O(1) — no
+        # rescans of a deep saturated queue.
+        reads, writes = bank.reads, bank.writes
+        if not reads and not writes:
+            return []
+        if not reads or len(writes) > self.config.write_buffer_depth:
+            if writes:
+                return [writes.popleft()]
+        limit = (
+            self.config.batch_limit
+            if self.policy == BATCH
+            else self._read_window()
+        )
+        return [reads.popleft() for _ in range(min(limit, len(reads)))]
 
     def _serve(self, taken: List[Request]) -> Tuple[float, int, Tuple[int, ...]]:
         """Bank occupancy of one group; backed mode performs real reads.
@@ -401,8 +592,17 @@ class MemoryController:
         attempts = 1
         failed: List[int] = []
         if self.backend is not None:
-            for request in taken:
-                word_attempts, word_failed = self.backend.read(request.address)
+            if self.backend_mode == BACKEND_BATCHED:
+                with _obs.profile_block("service.backend.batched"):
+                    outcomes = self.backend.read_batch(
+                        [request.address for request in taken]
+                    )
+            else:
+                with _obs.profile_block("service.backend.scalar"):
+                    outcomes = [
+                        self.backend.read(request.address) for request in taken
+                    ]
+            for request, (word_attempts, word_failed) in zip(taken, outcomes):
                 attempts = max(attempts, word_attempts)
                 if word_failed:
                     failed.append(request.request_id)
@@ -454,6 +654,7 @@ def simulate_service(
     retry_policy=None,
     scheme: str = "",
     offered_rate: float = 0.0,
+    backend_mode: str = BACKEND_BATCHED,
 ):
     """Run one full simulation and return its
     :class:`~repro.service.report.ServiceReport`.
@@ -469,7 +670,7 @@ def simulate_service(
     engine = DiscreteEventEngine()
     controller = MemoryController(
         engine, config, policy=policy, cache=cache, backend=backend,
-        retry_policy=retry_policy,
+        retry_policy=retry_policy, backend_mode=backend_mode,
     )
     controller.submit_all(requests)
     engine.run()
@@ -524,6 +725,7 @@ def build_backend(
     fault_rate: float = 0.0,
     data_bits: int = 64,
     retry_policy=None,
+    transients: bool = True,
 ) -> Tuple[ArrayBackend, object]:
     """A fully initialized :class:`ArrayBackend` on the 16kb test chip.
 
@@ -533,7 +735,11 @@ def build_backend(
     three-way RNG split (build / fault / read streams), writes a known
     pattern into every word, and (at ``fault_rate > 0``) injects
     :func:`~repro.faults.campaign.default_fault_models` so the service
-    simulation reads a genuinely damaged array.
+    simulation reads a genuinely damaged array.  ``transients=False``
+    restricts the injection to permanent faults — the configuration the
+    batched-vs-scalar parity regressions use, since per-operation noise
+    transients deliberately draw once per coalesced group rather than
+    once per word (see :meth:`ArrayBackend.read_batch`).
 
     Returns ``(backend, retry_policy)`` — the policy so the controller can
     charge simulated backoff time for retried reads.
@@ -571,7 +777,8 @@ def build_backend(
     injector = None
     if fault_rate > 0.0:
         injector = FaultInjector(
-            list(default_fault_models(fault_rate, transients=True)), rng_fault
+            list(default_fault_models(fault_rate, transients=transients)),
+            rng_fault,
         )
     backend = ArrayBackend(ladder, sensing, rng_read, injector=injector)
     for address in range(backend.size_words):

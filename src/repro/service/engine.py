@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -79,6 +79,32 @@ class DiscreteEventEngine:
         if delay < 0.0:
             raise ConfigurationError(f"delay must be non-negative, got {delay}")
         self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_batch(
+        self, events: Iterable[Tuple[float, Callable, tuple]]
+    ) -> int:
+        """Bulk-load ``(time, callback, args)`` events in one heapify pass.
+
+        Execution order is identical to calling :meth:`schedule_at` once
+        per event in iteration order: sequence numbers are assigned in that
+        order, and the heap is a total order on ``(time, seq)``, so how the
+        entries entered the heap cannot change pop order.  What changes is
+        the cost — one :func:`heapq.heapify` (O(n)) instead of n pushes —
+        which is what lets a controller submit a whole request trace as a
+        single vectorized chunk.  Returns the number of events loaded.
+        """
+        entries = [
+            (time, next(self._seq), callback, args)
+            for time, callback, args in events
+        ]
+        for time, _, _, _ in entries:
+            if time < self._now:
+                raise ConfigurationError(
+                    f"cannot schedule an event at {time} before now ({self._now})"
+                )
+        self._heap.extend(entries)
+        heapq.heapify(self._heap)
+        return len(entries)
 
     # ------------------------------------------------------------------
     # Execution
