@@ -53,7 +53,14 @@ from repro.device import (
 )
 from repro import obs
 
-__version__ = "1.0.0"
+try:
+    # Single source of truth is pyproject.toml; the literal below is only
+    # the fallback for source checkouts that were never pip-installed.
+    from importlib.metadata import PackageNotFoundError, version
+
+    __version__ = version("repro")
+except PackageNotFoundError:
+    __version__ = "1.0.0"
 
 __all__ = [
     "__version__",

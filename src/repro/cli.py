@@ -31,15 +31,15 @@ __all__ = ["main", "build_parser", "Experiment", "EXPERIMENTS", "package_version
 
 
 def package_version() -> str:
-    """The installed package version (falls back to ``repro.__version__``)."""
-    try:
-        import importlib.metadata
+    """The package version.
 
-        return importlib.metadata.version("repro")
-    except Exception:
-        import repro
+    ``repro.__version__`` already resolves through ``importlib.metadata``
+    (with the pyproject literal as fallback), so this is the single
+    source of truth for every front end.
+    """
+    import repro
 
-        return repro.__version__
+    return repro.__version__
 
 
 def _cmd_table1(args) -> None:
@@ -559,6 +559,7 @@ def _serve_requests(args):
         rate=args.rate,
         addresses=args.addresses,
         write_fraction=args.write_fraction,
+        low_priority_fraction=args.low_priority_fraction,
     )
     return stream.generate(args.requests, np.random.default_rng((args.seed, 0)))
 
@@ -582,17 +583,102 @@ def _serve_config(args):
         raise SystemExit(2) from None
 
 
+def _serve_backed(args) -> bool:
+    """Whether the run needs a real array (drift and adaptive imply it)."""
+    return (
+        args.backed or args.fault_rate > 0.0
+        or args.adaptive or args.drift != "none"
+    )
+
+
+def _serve_slo(args):
+    """The SLO target and adaptive tuning, with knob errors surfaced as
+    clean CLI messages rather than tracebacks."""
+    from repro.errors import ConfigurationError
+    from repro.service import AdaptiveConfig, SLOTarget
+
+    try:
+        slo = SLOTarget(
+            p99_read_latency=args.slo_p99_ns * 1e-9, guardband=args.guardband
+        )
+        adaptive_config = AdaptiveConfig(
+            control_interval=args.control_interval_ns * 1e-9,
+            window=args.window,
+            burst=args.burst,
+            low_priority_reserve=args.low_priority_reserve,
+            backpressure_depth=args.shed_depth,
+        )
+    except ConfigurationError as error:
+        print(f"error: invalid adaptive configuration: {error}")
+        raise SystemExit(2) from None
+    return slo, adaptive_config
+
+
+def _serve_drift(args, requests):
+    """The mid-trace drift scenario (and its dedicated strike RNG).
+
+    Scenarios are placed across the middle half of the trace: onset at
+    25% of the stream's span, clearing (where the scenario clears at
+    all) at 75%.
+    """
+    import numpy as np
+
+    from repro.errors import ConfigurationError
+    from repro.faults import (
+        aging_rolloff_shift,
+        field_disturbance_window,
+        sense_amp_drift_step,
+        temperature_ramp,
+    )
+
+    if args.drift == "none":
+        return None, None
+    span = max(request.time for request in requests)
+    offset = args.drift_offset_mv * 1e-3
+    start, duration = 0.25 * span, 0.5 * span
+    try:
+        if args.drift == "temperature-ramp":
+            scenario = temperature_ramp(start, duration, offset)
+        elif args.drift == "field-window":
+            scenario = field_disturbance_window(
+                start, duration, offset, flip_fraction=args.drift_flip_fraction
+            )
+        elif args.drift == "rolloff-shift":
+            scenario = aging_rolloff_shift(start, duration, offset)
+        else:
+            scenario = sense_amp_drift_step(start, offset)
+    except ConfigurationError as error:
+        print(f"error: invalid drift scenario: {error}")
+        raise SystemExit(2) from None
+    return scenario, np.random.default_rng((args.seed, 5))
+
+
 def _serve_once(args, requests):
     """One full service simulation with freshly built components."""
-    from repro.service import ReadCache, build_backend, simulate_service
+    from repro.service import (
+        ReadCache,
+        build_backend,
+        simulate_adaptive_service,
+        simulate_service,
+    )
 
     config = _serve_config(args)
     cache = ReadCache(args.cache) if args.cache > 0 else None
     backend = None
     retry_policy = None
-    if args.backed or args.fault_rate > 0.0:
+    if _serve_backed(args):
         backend, retry_policy = build_backend(
             args.scheme, seed=args.seed, fault_rate=args.fault_rate
+        )
+    if args.adaptive or args.drift != "none":
+        slo, adaptive_config = _serve_slo(args) if args.adaptive else (None, None)
+        scenario, drift_rng = _serve_drift(args, requests)
+        return simulate_adaptive_service(
+            requests, config, backend=backend, slo=slo,
+            adaptive_config=adaptive_config, adaptive=args.adaptive,
+            policy=args.policy, cache=cache, retry_policy=retry_policy,
+            scenario=scenario, drift_rng=drift_rng, scheme=args.scheme,
+            offered_rate=args.rate, backend_mode=args.backend_mode,
         )
     return simulate_service(
         requests, config, policy=args.policy, cache=cache, backend=backend,
@@ -648,10 +734,22 @@ def _cmd_serve(args) -> None:
     if args.cache > 0:
         rows.append(["cache hit rate", f"{report.cache_hit_rate:.1%} "
                                        f"({report.cache_hits} hits)"])
-    if args.backed or args.fault_rate > 0.0:
+    if _serve_backed(args):
         rows.append(["recovery", f"{report.retried_words} retried, "
                                  f"{report.failed_words} failed, "
                                  f"{report.corrupted_words} corrupted"])
+    if args.drift != "none":
+        rows.append(["drift scenario", f"{args.drift} "
+                                       f"({args.drift_offset_mv:g} mV peak)"])
+    if args.adaptive:
+        rows.append(["SLO p99", f"{args.slo_p99_ns:g} ns "
+                                f"(guardband {args.guardband:g})"])
+        rows.append(["adaptation", f"{report.adaptive_actions} actions, "
+                                   f"{report.adaptive_alarms} alarms, "
+                                   f"{report.scrubbed_words} scrubbed"])
+        rows.append(["degradation", f"{report.shed} shed "
+                                    f"({report.shed_low_priority} low-priority, "
+                                    f"{report.shed_rate:.1%} of offered)"])
     print(format_table(["metric", "value"], rows))
 
     if args.check:
@@ -841,6 +939,67 @@ def _args_serve(sub: argparse.ArgumentParser) -> None:
     sub.add_argument(
         "--seed", type=int, default=2010,
         help="workload RNG seed (default 2010)",
+    )
+    sub.add_argument(
+        "--adaptive", action="store_true",
+        help="close the loop: an online controller watches windowed obs "
+        "signals and adapts retry policy, scrub, cache, and admission "
+        "to defend the SLO (implies --backed)",
+    )
+    sub.add_argument(
+        "--drift", default="none",
+        choices=("none", "temperature-ramp", "field-window",
+                 "rolloff-shift", "sense-step"),
+        help="inject a mid-trace drift scenario over the middle half of "
+        "the stream (implies --backed; default none)",
+    )
+    sub.add_argument(
+        "--drift-offset-mv", type=float, default=6.0,
+        help="peak sense-amp offset the scenario applies in mV (default 6)",
+    )
+    sub.add_argument(
+        "--drift-flip-fraction", type=float, default=0.0,
+        help="fraction of stored cells a field-window strike flips "
+        "(default 0)",
+    )
+    sub.add_argument(
+        "--slo-p99-ns", type=float, default=1000.0,
+        help="p99 read-latency SLO the adaptive controller defends, in ns "
+        "(default 1000)",
+    )
+    sub.add_argument(
+        "--guardband", type=float, default=0.75,
+        help="fraction of the SLO at which the controller starts acting, "
+        "within (0, 1] (default 0.75)",
+    )
+    sub.add_argument(
+        "--control-interval-ns", type=float, default=250.0,
+        help="simulated time between control ticks in ns (default 250)",
+    )
+    sub.add_argument(
+        "--window", type=int, default=96,
+        help="completed reads in the controller's rolling latency window "
+        "(default 96)",
+    )
+    sub.add_argument(
+        "--burst", type=float, default=32.0,
+        help="admission token-bucket depth once shedding engages "
+        "(default 32)",
+    )
+    sub.add_argument(
+        "--low-priority-reserve", type=float, default=4.0,
+        help="tokens held back from priority>0 requests so the background "
+        "tier sheds first; must stay below --burst (default 4)",
+    )
+    sub.add_argument(
+        "--shed-depth", type=int, default=256,
+        help="per-bank queue depth at which arrivals are shed regardless "
+        "of tokens (default 256)",
+    )
+    sub.add_argument(
+        "--low-priority-fraction", type=float, default=0.0,
+        help="fraction of generated requests marked priority 1 "
+        "(shed-first background tier; default 0)",
     )
     sub.add_argument(
         "--trace-in", metavar="PATH", default=None,

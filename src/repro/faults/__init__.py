@@ -43,6 +43,15 @@ from repro.faults.campaign import (
     default_fault_models,
     run_fault_campaign,
 )
+from repro.faults.drift import (
+    DriftPoint,
+    DriftScenario,
+    aging_rolloff_shift,
+    field_disturbance_window,
+    install_drift,
+    sense_amp_drift_step,
+    temperature_ramp,
+)
 from repro.faults.injector import FaultInjector, FaultMap
 from repro.faults.models import (
     BitlineNoiseFault,
@@ -79,4 +88,11 @@ __all__ = [
     "build_scheme",
     "default_fault_models",
     "run_fault_campaign",
+    "DriftPoint",
+    "DriftScenario",
+    "temperature_ramp",
+    "field_disturbance_window",
+    "aging_rolloff_shift",
+    "sense_amp_drift_step",
+    "install_drift",
 ]

@@ -54,6 +54,7 @@ from repro.obs.runtime import (
     reset,
     trace,
 )
+from repro.obs.window import DeltaTracker, RollingWindow
 from repro.obs.trace import (
     ECC_CORRECTED,
     ECC_DETECTED,
@@ -81,6 +82,8 @@ __all__ = [
     "profile_block",
     "MetricsRegistry",
     "metric_key",
+    "RollingWindow",
+    "DeltaTracker",
     "TraceBuffer",
     "TraceEvent",
     "BACKOFF_NS_EDGES",

@@ -1,0 +1,106 @@
+"""Windowed-signal helpers for online feedback control.
+
+The adaptive serving controller (:mod:`repro.service.adaptive`) watches
+the live simulation — rolling p99 latency, per-interval retry and
+failure rates — and must do so *deterministically*: the same completion
+stream has to produce the same control decisions on every replay.  These
+helpers are the plumbing for that:
+
+* :class:`RollingWindow` — a fixed-capacity ring of float samples with
+  deterministic summary statistics (mean, max, percentile, fraction
+  above a threshold).  Pure ``numpy`` reductions over the retained
+  samples; no randomness, no wall-clock.
+* :class:`DeltaTracker` — turns monotonically increasing counters (the
+  backend's cumulative ``reads`` / ``retried_words`` / ``failed_words``)
+  into per-control-interval deltas, so rates are computed over the
+  *recent* window instead of the whole run.
+
+Neither touches the process-global obs switch: they are plain data
+structures a controller owns, usable with observability off.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Deque, Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RollingWindow", "DeltaTracker"]
+
+
+class RollingWindow:
+    """Fixed-capacity ring of float samples with deterministic stats."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ConfigurationError(f"window capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._values: Deque[float] = collections.deque(maxlen=self.capacity)
+        self.pushed = 0  #: total samples ever pushed (retained or evicted)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def push(self, value: float) -> None:
+        """Append a sample, evicting the oldest once full."""
+        self._values.append(float(value))
+        self.pushed += 1
+
+    def clear(self) -> None:
+        """Drop the retained samples (``pushed`` is preserved)."""
+        self._values.clear()
+
+    def values(self) -> np.ndarray:
+        """Retained samples, oldest first."""
+        return np.asarray(self._values, dtype=float)
+
+    def mean(self) -> float:
+        """Mean of the retained samples (0.0 when empty)."""
+        if not self._values:
+            return 0.0
+        return float(np.mean(self.values()))
+
+    def maximum(self) -> float:
+        """Max of the retained samples (0.0 when empty)."""
+        if not self._values:
+            return 0.0
+        return float(np.max(self.values()))
+
+    def percentile(self, q: float) -> float:
+        """``q``-th percentile of the retained samples (0.0 when empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be within [0, 100], got {q}")
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self.values(), q))
+
+    def fraction_above(self, threshold: float) -> float:
+        """Fraction of retained samples strictly above ``threshold``."""
+        if not self._values:
+            return 0.0
+        return float(np.mean(self.values() > threshold))
+
+
+class DeltaTracker:
+    """Per-interval deltas of monotonically increasing counters.
+
+    Each :meth:`update` call takes the current cumulative totals and
+    returns how much each advanced since the previous call (missing keys
+    start from 0).  Callers that want a baseline — e.g. ignore an
+    initialization fill — simply call :meth:`update` once at attach time
+    and discard the result.
+    """
+
+    def __init__(self) -> None:
+        self._last: Dict[str, float] = {}
+
+    def update(self, **totals: float) -> Dict[str, float]:
+        """Deltas since the previous call; updates the stored totals."""
+        deltas = {}
+        for key, total in totals.items():
+            deltas[key] = total - self._last.get(key, 0.0)
+            self._last[key] = total
+        return deltas

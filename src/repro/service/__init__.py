@@ -26,6 +26,13 @@ CLI front end: ``python -m repro serve`` (``--check`` replays a saved
 trace and asserts report equality with the live run).
 """
 
+from repro.service.adaptive import (
+    AdaptiveConfig,
+    AdaptiveController,
+    AdmissionGate,
+    SLOTarget,
+    simulate_adaptive_service,
+)
 from repro.service.cache import ReadCache
 from repro.service.controller import (
     BACKEND_BATCHED,
@@ -100,4 +107,9 @@ __all__ = [
     "build_report",
     "publish_report",
     "find_saturation_rate",
+    "SLOTarget",
+    "AdaptiveConfig",
+    "AdmissionGate",
+    "AdaptiveController",
+    "simulate_adaptive_service",
 ]

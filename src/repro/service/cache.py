@@ -97,6 +97,20 @@ class ReadCache:
         """Drop every line (counters are preserved)."""
         self._lines.clear()
 
+    def resize(self, capacity: int) -> None:
+        """Change the capacity in place (the adaptive controller's knob).
+
+        Shrinking evicts least-recently-used lines (counted as
+        evictions); growing keeps every resident line.  Resizing to 0
+        disables the cache and drops everything.
+        """
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = int(capacity)
+        while len(self._lines) > self.capacity:
+            self._lines.popitem(last=False)
+            self.evictions += 1
+
     def statistics(self) -> dict:
         """Counters as a plain dict (report/JSON friendly)."""
         return {

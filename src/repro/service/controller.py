@@ -152,6 +152,7 @@ class CompletedRequest:
     batched_with: int = 1  #: size of the coalesced group it rode in
     attempts: int = 1      #: worst sensing attempts (backed mode)
     failed: bool = False   #: recovery ladder exhausted (detected loss)
+    shed: bool = False     #: rejected by admission control (never served)
 
     @property
     def latency(self) -> float:
@@ -200,6 +201,13 @@ class ArrayBackend:
         self.failed_words = 0     #: detected losses (ladder exhausted)
         self.corrupted_words = 0  #: silent wrong values (escaped)
         self.retried_words = 0    #: words that needed > 1 attempt
+        #: Extra input-referred sense-amp offset [V] currently in effect;
+        #: the drift scenario layer (:mod:`repro.faults.drift`) steps this
+        #: mid-trace via the event calendar.  0.0 keeps the read paths
+        #: byte-identical to a build without the drift layer.
+        self.drift_offset = 0.0
+        self.drift_flips = 0      #: stored cells flipped by drift strikes
+        self.scrubbed_words = 0   #: words rewritten by background scrub
         if _obs.active():
             # Register the loss counter at zero so "no failures" is an
             # explicit 0 row in metric dumps, not an absent series.
@@ -225,6 +233,54 @@ class ArrayBackend:
         self.memory.write_word(physical, value)
         self._truth[physical] = value
         self.writes += 1
+
+    # ------------------------------------------------------------------
+    # Drift-scenario hooks (see :mod:`repro.faults.drift`)
+    # ------------------------------------------------------------------
+    def set_drift_offset(self, offset: float) -> None:
+        """Set the sense-amp offset [V] in effect from now on (0 clears)."""
+        self.drift_offset = float(offset)
+
+    def _drifted(self, scheme):
+        """The scheme as the current drift conditions see it."""
+        if self.drift_offset == 0.0:
+            return scheme
+        from repro.faults.injector import _with_sense_offset
+
+        return _with_sense_offset(scheme, self.drift_offset)
+
+    def strike_flips(self, fraction: float, rng: np.random.Generator) -> int:
+        """Flip ``fraction`` of stored cells (an external-field strike).
+
+        Draws one uniform per cell from the **dedicated** drift ``rng`` —
+        never from the sensing stream — so a struck run stays
+        draw-for-draw aligned with an unstruck one.  Returns the flip
+        count.  Flips persist until a write or scrub rewrites the word.
+        """
+        states = self.memory.memory.array._states
+        idx = np.nonzero(rng.random(states.size) < fraction)[0]
+        states[idx] ^= 1
+        self.drift_flips += int(idx.size)
+        return int(idx.size)
+
+    def rewrite_words(self, addresses: Sequence[int]) -> int:
+        """Background scrub: rewrite known-good payloads over ``addresses``.
+
+        Restores the ground-truth value of every address that has one
+        (clearing accumulated disturb/drift flips) without touching the
+        sensing RNG and without counting as workload writes.  Returns the
+        number of words rewritten.
+        """
+        count = 0
+        for address in addresses:
+            physical = self._physical(address)
+            value = self._truth.get(physical)
+            if value is None:
+                continue
+            self.memory.write_word(physical, value)
+            count += 1
+        self.scrubbed_words += count
+        return count
 
     def _meter_outcome(self, attempts: int, failed: bool) -> None:
         """Record one word's ladder outcome in obs (no-op when off).
@@ -252,6 +308,7 @@ class ArrayBackend:
         scheme = self.scheme
         if self.injector is not None:
             scheme = self.injector.perturb_scheme(scheme)
+        scheme = self._drifted(scheme)
         self.reads += 1
         try:
             recovered = self.memory.read_word(physical, scheme, self.rng)
@@ -300,6 +357,7 @@ class ArrayBackend:
         scheme = self.scheme
         if self.injector is not None:
             scheme = self.injector.perturb_scheme(scheme)
+        scheme = self._drifted(scheme)
         if _obs.active():
             _obs.get_registry().observe(
                 "service.backend.batch_size",
@@ -351,6 +409,8 @@ class ArrayBackend:
             "retried_words": self.retried_words,
             "failed_words": self.failed_words,
             "corrupted_words": self.corrupted_words,
+            "drift_flips": self.drift_flips,
+            "scrubbed_words": self.scrubbed_words,
         }
 
 
@@ -410,6 +470,11 @@ class MemoryController:
         self.backend = backend
         self.retry_policy = retry_policy
         self.backend_mode = backend_mode
+        #: Optional admission gate (see
+        #: :class:`repro.service.adaptive.AdmissionGate`): consulted at
+        #: every arrival; a rejected request is recorded as a ``shed``
+        #: completion at its arrival time and never touches a bank.
+        self.admission = None
         self._banks = [_Bank() for _ in range(config.banks)]
         self.completions: List[CompletedRequest] = []
         self.depth_samples: List[int] = []
@@ -445,6 +510,18 @@ class MemoryController:
     def _arrive(self, request: Request) -> None:
         if _obs.active():
             _obs.get_registry().inc("service.requests", op=request.op)
+        if self.admission is not None:
+            bank_index = self.bank_of(request.address)
+            depth = self._banks[bank_index].depth()
+            if not self.admission.admit(request, depth, self.engine.now):
+                self._record(CompletedRequest(
+                    request=request,
+                    bank=bank_index,
+                    start=self.engine.now,
+                    finish=self.engine.now,
+                    shed=True,
+                ))
+                return
         if request.is_read and self.cache is not None:
             if self.cache.lookup(request.address):
                 bank = self.bank_of(request.address)
@@ -620,6 +697,12 @@ class MemoryController:
         self.completions.append(completed)
         if _obs.active():
             registry = _obs.get_registry()
+            if completed.shed:
+                registry.inc(
+                    "service.admission.shed",
+                    priority="low" if completed.request.priority > 0 else "normal",
+                )
+                return
             registry.inc("service.completions", op=completed.request.op)
             registry.observe(
                 "service.latency_ns",

@@ -108,6 +108,20 @@ class ServiceReport:
     write_latency: LatencyStats
     queue_depth: QueueStats
     bank_served: Tuple[int, ...]
+    # Adaptive-serving accounting (all zero for a static run, so reports
+    # from before the adaptive layer compare unchanged).  Every request
+    # is either served (``completed``) or shed — nothing escapes
+    # silently: ``requests == completed + shed`` on a drained run.
+    shed: int = 0                #: rejected by admission control
+    shed_low_priority: int = 0   #: of which priority > 0
+    scrubbed_words: int = 0      #: background scrub rewrites
+    adaptive_actions: int = 0    #: actuator steps the controller applied
+    adaptive_alarms: int = 0     #: healthy → breached transitions
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submitted requests shed by admission control."""
+        return self.shed / self.requests if self.requests else 0.0
 
     @property
     def read_slowdown(self) -> float:
@@ -130,7 +144,9 @@ def build_report(
     is a pure function of the completion set — independent of the order
     events happened to fire in.
     """
-    completions = sorted(controller.completions, key=lambda c: c.request.request_id)
+    ordered = sorted(controller.completions, key=lambda c: c.request.request_id)
+    completions = [c for c in ordered if not c.shed]
+    shed_requests = [c for c in ordered if c.shed]
     read_latencies = [c.latency for c in completions if c.request.is_read]
     write_latencies = [c.latency for c in completions if not c.request.is_read]
     cache_hits = sum(1 for c in completions if c.cache_hit)
@@ -139,6 +155,7 @@ def build_report(
         (c.bank, c.start) for c in completions if c.batched_with > 1
     })
     backend = controller.backend
+    adaptive = getattr(controller, "adaptive", None)
     duration = max((c.finish for c in completions), default=0.0)
     completed = len(completions)
     return ServiceReport(
@@ -163,6 +180,13 @@ def build_report(
         write_latency=LatencyStats.from_samples(write_latencies),
         queue_depth=QueueStats.from_samples(controller.depth_samples),
         bank_served=controller.bank_served_counts(),
+        shed=len(shed_requests),
+        shed_low_priority=sum(
+            1 for c in shed_requests if c.request.priority > 0
+        ),
+        scrubbed_words=backend.scrubbed_words if backend else 0,
+        adaptive_actions=adaptive.actions if adaptive else 0,
+        adaptive_alarms=adaptive.alarms if adaptive else 0,
     )
 
 
@@ -191,6 +215,11 @@ def publish_report(report: ServiceReport) -> None:
         "service.queue_depth_mean", report.queue_depth.mean_depth, **labels
     )
     registry.set_gauge("service.cache_hit_rate", report.cache_hit_rate, **labels)
+    registry.set_gauge("service.shed_requests", report.shed, **labels)
+    registry.set_gauge("service.shed_rate", report.shed_rate, **labels)
+    registry.set_gauge(
+        "service.adaptive.actions_total", report.adaptive_actions, **labels
+    )
 
 
 def find_saturation_rate(

@@ -67,12 +67,17 @@ class Request:
         Logical word address.
     op:
         ``"read"`` or ``"write"``.
+    priority:
+        Shedding class: 0 (the default) is foreground traffic; larger
+        values are lower priority and are dropped first when admission
+        control engages (see :class:`repro.service.adaptive.AdmissionGate`).
     """
 
     request_id: int
     time: float
     address: int
     op: str = READ
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.op not in (READ, WRITE):
@@ -81,6 +86,8 @@ class Request:
             raise ConfigurationError(f"arrival time must be >= 0, got {self.time}")
         if self.address < 0:
             raise ConfigurationError(f"address must be >= 0, got {self.address}")
+        if self.priority < 0:
+            raise ConfigurationError(f"priority must be >= 0, got {self.priority}")
 
     @property
     def is_read(self) -> bool:
@@ -222,18 +229,28 @@ class RequestStream:
     """An arrival process × address distribution × read/write mix.
 
     ``write_fraction`` of the requests (an independent coin per request)
-    are writes.  Draw order inside :meth:`generate` is fixed: all arrival
-    times, then all addresses, then all op coins.
+    are writes, and ``low_priority_fraction`` (another independent coin)
+    are priority-1 background traffic that admission control sheds first.
+    Draw order inside :meth:`generate` is fixed: all arrival times, then
+    all addresses, then all op coins, then all priority coins — and each
+    coin block is only drawn when its fraction is nonzero, so streams
+    generated before these knobs existed are unchanged.
     """
 
     arrivals: object
     addresses: object
     write_fraction: float = 0.0
+    low_priority_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.write_fraction <= 1.0:
             raise ConfigurationError(
                 f"write_fraction must be within [0, 1], got {self.write_fraction}"
+            )
+        if not 0.0 <= self.low_priority_fraction <= 1.0:
+            raise ConfigurationError(
+                "low_priority_fraction must be within [0, 1], got "
+                f"{self.low_priority_fraction}"
             )
 
     def generate(self, count: int, rng: np.random.Generator) -> Tuple[Request, ...]:
@@ -246,12 +263,17 @@ class RequestStream:
             writes = rng.random(count) < self.write_fraction
         else:
             writes = np.zeros(count, dtype=bool)
+        if self.low_priority_fraction > 0.0:
+            low = rng.random(count) < self.low_priority_fraction
+        else:
+            low = np.zeros(count, dtype=bool)
         return tuple(
             Request(
                 request_id=index,
                 time=float(times[index]),
                 address=int(addresses[index]),
                 op=WRITE if writes[index] else READ,
+                priority=1 if low[index] else 0,
             )
             for index in range(count)
         )
@@ -263,6 +285,7 @@ def build_workload(
     rate: float = 5.0e7,
     addresses: int = 2048,
     write_fraction: float = 0.0,
+    low_priority_fraction: float = 0.0,
     burst_ratio: float = 4.0,
     mean_on: float = 1.0e-6,
     mean_off: float = 1.0e-6,
@@ -307,7 +330,10 @@ def build_workload(
             f"unknown addressing {addressing!r}; expected uniform/zipfian"
         )
     return RequestStream(
-        arrivals=arrivals, addresses=address_dist, write_fraction=write_fraction
+        arrivals=arrivals,
+        addresses=address_dist,
+        write_fraction=write_fraction,
+        low_priority_fraction=low_priority_fraction,
     )
 
 
@@ -323,15 +349,17 @@ def save_trace(path, requests: Iterable[Request]) -> int:
     count = 0
     with open(path, "w") as handle:
         for request in requests:
-            handle.write(json.dumps(
-                {
-                    "id": request.request_id,
-                    "t": request.time,
-                    "addr": request.address,
-                    "op": request.op,
-                },
-                sort_keys=True,
-            ))
+            record = {
+                "id": request.request_id,
+                "t": request.time,
+                "addr": request.address,
+                "op": request.op,
+            }
+            if request.priority:
+                # Written only when nonzero: priority-0 traces stay
+                # byte-identical to those from before the field existed.
+                record["pri"] = request.priority
+            handle.write(json.dumps(record, sort_keys=True))
             handle.write("\n")
             count += 1
     return count
@@ -352,6 +380,7 @@ def load_trace(path) -> Tuple[Request, ...]:
                     time=float(record["t"]),
                     address=int(record["addr"]),
                     op=str(record["op"]),
+                    priority=int(record.get("pri", 0)),
                 ))
             except (KeyError, ValueError, TypeError) as error:
                 raise ConfigurationError(

@@ -1,6 +1,8 @@
 """Tests for the repro.service subsystem: engine, workloads, traces,
 controller policies, cache, backed mode, reports, and obs metering."""
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
@@ -468,6 +470,70 @@ class TestReports:
         with pytest.raises(ConfigurationError):
             find_saturation_rate(lambda r: None, low=2.0, high=1.0,
                                  read_time=1e-9)
+
+
+class TestSaturationSearch:
+    """Corner cases of find_saturation_rate beyond the happy-path knee."""
+
+    @staticmethod
+    def _always_fast(calls):
+        def sim(rate):
+            calls.append(rate)
+            return SimpleNamespace(read_latency=SimpleNamespace(mean=0.0))
+        return sim
+
+    def test_never_saturating_stops_after_max_expansions(self):
+        # low=1, high=2, three doublings: 2 -> 4 -> 8, then give up and
+        # report the last sustained low without probing 16.
+        calls = []
+        knee = find_saturation_rate(
+            self._always_fast(calls), low=1.0, high=2.0, read_time=1e-9,
+            max_expansions=3,
+        )
+        assert knee == 8.0
+        assert calls == [1.0, 2.0, 4.0, 8.0]
+
+    def test_inverted_and_degenerate_bounds_are_rejected(self):
+        for low, high in ((2.0, 1.0), (1.0, 1.0), (0.0, 1.0), (-1.0, 1.0)):
+            with pytest.raises(ConfigurationError):
+                find_saturation_rate(self._always_fast([]), low=low,
+                                     high=high, read_time=1e-9)
+        with pytest.raises(ConfigurationError):
+            find_saturation_rate(self._always_fast([]), low=1.0, high=2.0,
+                                 read_time=0.0)
+
+    def test_single_bank_knee_is_below_bank_capacity(self):
+        config = _config(banks=1)
+
+        def sim(rate):
+            stream = build_workload(rate=rate, addresses=256)
+            requests = stream.generate(600, np.random.default_rng(21))
+            return simulate_service(requests, config, offered_rate=rate)
+
+        knee = find_saturation_rate(sim, low=5e6, high=2e8,
+                                    read_time=config.read_time)
+        # One bank of 10 ns reads caps at 1e8 req/s; a Poisson stream
+        # saturates it well before that but far above the light-load floor.
+        assert 1e7 < knee < 1e8
+
+    def test_backed_batched_knee_is_sustained(self):
+        backend, retry = build_backend("nondestructive", 77, bits=2304)
+        read_time, write_time = scheme_service_times("nondestructive")
+        config = ControllerConfig(read_time=read_time,
+                                  write_time=write_time, banks=2)
+
+        def sim(rate):
+            stream = build_workload(rate=rate, addresses=32)
+            requests = stream.generate(200, np.random.default_rng(22))
+            return simulate_service(
+                requests, config, backend=backend, retry_policy=retry,
+                scheme="nondestructive", offered_rate=rate,
+            )
+
+        knee = find_saturation_rate(sim, low=1e6, high=4e8,
+                                    read_time=read_time)
+        assert knee > 1e6
+        assert sim(knee).read_latency.mean <= 4.0 * read_time
 
 
 class TestServiceObservability:
