@@ -545,6 +545,31 @@ def _cmd_export(args) -> None:
         print(f"  {path}")
 
 
+def _serve_topology(args):
+    """The parsed :class:`~repro.service.Topology`, or None without
+    ``--topology``; spec errors surface as clean CLI messages."""
+    from repro.errors import ConfigurationError
+    from repro.service import Topology
+
+    if not args.topology:
+        return None
+    try:
+        return Topology.parse(args.topology, rows=args.rows)
+    except ConfigurationError as error:
+        print(f"error: invalid topology: {error}")
+        raise SystemExit(2) from None
+
+
+def _serve_addresses(args) -> int:
+    """The logical address-space size: explicit ``--addresses``, else the
+    topology's full capacity (so the workload exercises the whole part),
+    else the historical 2048-word default."""
+    if args.addresses is not None:
+        return args.addresses
+    topology = _serve_topology(args)
+    return topology.capacity if topology is not None else 2048
+
+
 def _serve_requests(args):
     """The request stream for ``repro serve``: replayed or generated."""
     import numpy as np
@@ -557,7 +582,7 @@ def _serve_requests(args):
         kind=args.workload,
         addressing=args.addressing,
         rate=args.rate,
-        addresses=args.addresses,
+        addresses=_serve_addresses(args),
         write_fraction=args.write_fraction,
         low_priority_fraction=args.low_priority_fraction,
     )
@@ -653,6 +678,45 @@ def _serve_drift(args, requests):
     return scenario, np.random.default_rng((args.seed, 5))
 
 
+def _serve_topology_once(args, requests):
+    """One sharded topology simulation (see :mod:`repro.service.topology`)."""
+    from repro.errors import ConfigurationError
+    from repro.service import scheme_service_times, simulate_topology
+
+    if args.adaptive or args.drift != "none":
+        print("error: --topology runs static policies only; "
+              "--adaptive/--drift do not compose with it yet")
+        raise SystemExit(2)
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}")
+        raise SystemExit(2)
+    topology = _serve_topology(args)
+    read_time, write_time = scheme_service_times(args.scheme)
+    try:
+        return simulate_topology(
+            requests,
+            topology,
+            interleave=args.interleave,
+            read_time=read_time,
+            write_time=write_time,
+            policy=args.policy,
+            scheme=args.scheme,
+            offered_rate=args.rate,
+            cache_capacity=args.cache,
+            batch_limit=args.batch_limit,
+            batch_extra_fraction=args.batch_extra_fraction,
+            backend_window=args.backend_window,
+            backend_mode=args.backend_mode,
+            backed=_serve_backed(args),
+            fault_rate=args.fault_rate,
+            seed=args.seed,
+            processes=args.shards,
+        )
+    except ConfigurationError as error:
+        print(f"error: invalid topology configuration: {error}")
+        raise SystemExit(2) from None
+
+
 def _serve_once(args, requests):
     """One full service simulation with freshly built components."""
     from repro.service import (
@@ -662,6 +726,8 @@ def _serve_once(args, requests):
         simulate_service,
     )
 
+    if args.topology:
+        return _serve_topology_once(args, requests)
     config = _serve_config(args)
     cache = ReadCache(args.cache) if args.cache > 0 else None
     backend = None
@@ -692,7 +758,12 @@ def _cmd_serve(args) -> None:
     import tempfile
 
     from repro import obs
-    from repro.service import load_trace, publish_report, save_trace
+    from repro.service import (
+        load_trace,
+        publish_report,
+        publish_topology_report,
+        save_trace,
+    )
 
     requests = _serve_requests(args)
     if args.trace_out:
@@ -705,39 +776,63 @@ def _cmd_serve(args) -> None:
     try:
         report = _serve_once(args, requests)
         if metered:
-            publish_report(report)
+            if args.topology:
+                publish_topology_report(report)
+            else:
+                publish_report(report)
             registry.write_json(args.metrics_out, profile=args.profile)
             print(f"wrote metrics to {args.metrics_out}")
     finally:
         if metered:
             obs.reset()
 
+    # A topology run yields a TopologyReport; its merged ServiceReport
+    # carries the same summary surface as a flat single-controller run.
+    topology_report = report if args.topology else None
+    summary = report.merged if args.topology else report
+
     source = f"trace {args.trace_in}" if args.trace_in else (
         f"{args.workload}/{args.addressing} workload, seed {args.seed}")
-    print(f"service simulation — {args.scheme} scheme, {args.policy} policy, "
-          f"{report.banks} banks, {source}")
-    stats = report.read_latency
+    if topology_report is not None:
+        shape = topology_report.topology
+        print(f"topology service simulation — {args.scheme} scheme, "
+              f"{args.policy} policy, {shape.describe()} topology "
+              f"({summary.banks} banks), {args.interleave} interleave, "
+              f"{args.shards} shard process(es), {source}")
+    else:
+        print(f"service simulation — {args.scheme} scheme, {args.policy} "
+              f"policy, {summary.banks} banks, {source}")
+    stats = summary.read_latency
     rows = [
-        ["requests", f"{report.requests} ({report.reads} reads, "
-                     f"{report.writes} writes)"],
-        ["offered rate", f"{report.offered_rate:.3g} req/s"],
-        ["throughput", f"{report.throughput:.3g} req/s"],
+        ["requests", f"{summary.requests} ({summary.reads} reads, "
+                     f"{summary.writes} writes)"],
+        ["offered rate", f"{summary.offered_rate:.3g} req/s"],
+        ["throughput", f"{summary.throughput:.3g} req/s"],
         ["read latency mean", f"{stats.mean * 1e9:.2f} ns "
-                              f"({report.read_slowdown:.2f}x unloaded)"],
+                              f"({summary.read_slowdown:.2f}x unloaded)"],
         ["read latency p50/p99/p99.9",
          f"{stats.p50 * 1e9:.2f} / {stats.p99 * 1e9:.2f} / "
          f"{stats.p999 * 1e9:.2f} ns"],
         ["queue depth mean/max",
-         f"{report.queue_depth.mean_depth:.2f} / {report.queue_depth.max_depth}"],
-        ["bank loads", "/".join(str(n) for n in report.bank_served)],
+         f"{summary.queue_depth.mean_depth:.2f} / {summary.queue_depth.max_depth}"],
+        ["bank loads", "/".join(str(n) for n in summary.bank_served)],
     ]
+    if topology_report is not None:
+        rows.append(["channel loads", "/".join(
+            str(n) for n in topology_report.channel_served)])
+        if topology_report.topology.ranks > 1:
+            rows.append(["rank loads", "/".join(
+                str(n) for n in topology_report.rank_served)])
+        rows.append(["channel p99 read", " / ".join(
+            f"{r.read_latency.p99 * 1e9:.1f}"
+            for r in topology_report.channel_reports) + " ns"])
     if args.cache > 0:
-        rows.append(["cache hit rate", f"{report.cache_hit_rate:.1%} "
-                                       f"({report.cache_hits} hits)"])
+        rows.append(["cache hit rate", f"{summary.cache_hit_rate:.1%} "
+                                       f"({summary.cache_hits} hits)"])
     if _serve_backed(args):
-        rows.append(["recovery", f"{report.retried_words} retried, "
-                                 f"{report.failed_words} failed, "
-                                 f"{report.corrupted_words} corrupted"])
+        rows.append(["recovery", f"{summary.retried_words} retried, "
+                                 f"{summary.failed_words} failed, "
+                                 f"{summary.corrupted_words} corrupted"])
     if args.drift != "none":
         rows.append(["drift scenario", f"{args.drift} "
                                        f"({args.drift_offset_mv:g} mV peak)"])
@@ -883,7 +978,31 @@ def _args_serve(sub: argparse.ArgumentParser) -> None:
     )
     sub.add_argument(
         "--banks", type=int, default=4,
-        help="independent banks (default 4)",
+        help="independent banks (default 4; ignored with --topology, "
+        "which defines the bank hierarchy)",
+    )
+    sub.add_argument(
+        "--topology", metavar="CxRxB", default=None,
+        help="shard the run across a channels x ranks x banks hierarchy "
+        "(e.g. 4x2x4) with per-channel controllers on independent "
+        "engines (default: one flat controller)",
+    )
+    sub.add_argument(
+        "--rows", type=int, default=512,
+        help="rows (words) per bank in the topology address space "
+        "(default 512)",
+    )
+    sub.add_argument(
+        "--interleave", default="channel-striped",
+        choices=("row-major", "bank-xor", "channel-striped"),
+        help="address-interleaving scheme mapping a logical address to "
+        "(channel, rank, bank, row) (default channel-striped)",
+    )
+    sub.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes for the topology driver; 1 runs the "
+        "sequential reference (the merged report is bit-identical "
+        "either way; default 1)",
     )
     sub.add_argument(
         "--workload", default="poisson", choices=("poisson", "bursty"),
@@ -894,8 +1013,9 @@ def _args_serve(sub: argparse.ArgumentParser) -> None:
         help="address popularity (default uniform)",
     )
     sub.add_argument(
-        "--addresses", type=int, default=2048,
-        help="logical address-space size (default 2048)",
+        "--addresses", type=int, default=None,
+        help="logical address-space size (default 2048, or the full "
+        "topology capacity with --topology)",
     )
     sub.add_argument(
         "--write-fraction", type=float, default=0.0,

@@ -20,10 +20,18 @@ Layers (see ``docs/SERVICE.md`` for the full model):
   under fault injection;
 * :class:`ServiceReport` — throughput, mean/p50/p99/p99.9 latency,
   queue-depth stats, and :func:`find_saturation_rate`, all mirrored into
-  ``service.*`` :mod:`repro.obs` metrics.
+  ``service.*`` :mod:`repro.obs` metrics;
+* :mod:`~repro.service.topology` — the sharded channel → rank → bank
+  hierarchy: pluggable address interleavers, a :class:`ShardRouter`
+  fanning one stream across per-channel controllers on independent
+  engines with seed-split RNG, and :func:`simulate_topology` (sequential
+  reference or bit-identical multiprocess executor) merging the shards
+  into one :class:`TopologyReport` (see ``docs/TOPOLOGY.md``).
 
 CLI front end: ``python -m repro serve`` (``--check`` replays a saved
-trace and asserts report equality with the live run).
+trace and asserts report equality with the live run;
+``--topology CxRxB --interleave <scheme> --shards N`` runs the sharded
+hierarchy under the same gate).
 """
 
 from repro.service.adaptive import (
@@ -58,6 +66,21 @@ from repro.service.report import (
     build_report,
     find_saturation_rate,
     publish_report,
+)
+from repro.service.topology import (
+    BANK_XOR,
+    CHANNEL_STRIPED,
+    INTERLEAVINGS,
+    ROW_MAJOR,
+    Coord,
+    Interleaver,
+    ShardRouter,
+    Topology,
+    TopologyReport,
+    build_interleaver,
+    publish_topology_report,
+    shard_seeds,
+    simulate_topology,
 )
 from repro.service.workload import (
     READ,
@@ -112,4 +135,17 @@ __all__ = [
     "AdmissionGate",
     "AdaptiveController",
     "simulate_adaptive_service",
+    "ROW_MAJOR",
+    "BANK_XOR",
+    "CHANNEL_STRIPED",
+    "INTERLEAVINGS",
+    "Coord",
+    "Topology",
+    "Interleaver",
+    "build_interleaver",
+    "ShardRouter",
+    "TopologyReport",
+    "shard_seeds",
+    "simulate_topology",
+    "publish_topology_report",
 ]

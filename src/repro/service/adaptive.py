@@ -25,6 +25,12 @@ consumes no RNG, so ``repro serve --adaptive --check`` replays
 bit-exactly, and a run with zero drift and a slack SLO never actuates —
 its :class:`~repro.service.report.ServiceReport` is identical to the
 static policy's (the determinism guard in ``tests/test_adaptive.py``).
+
+Scope note: the adaptive loop drives a *single* controller.  The sharded
+:mod:`repro.service.topology` driver runs static policies only for now —
+``repro serve --topology`` rejects ``--adaptive``/``--drift`` — since a
+per-channel control loop (or a global one spanning shards) is a
+coordination design of its own (see ``docs/TOPOLOGY.md``).
 """
 
 from __future__ import annotations

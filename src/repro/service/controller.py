@@ -3,7 +3,9 @@
 The controller models the array-level serving path the paper's §V argues
 about: requests arrive (from a :mod:`repro.service.workload` stream or a
 replayed trace), are interleaved over ``banks`` independent banks
-(``bank = address % banks``), queue per bank, and occupy their bank for
+(``bank = address % banks``, or a pluggable ``bank_map`` — the topology
+layer routes each channel's requests through its interleaver this way),
+queue per bank, and occupy their bank for
 the sensing scheme's full read time — ~27 ns for the destructive
 self-reference scheme versus ~12.6 ns for the nondestructive one, which
 is why the same request rate saturates one macro and not the other.
@@ -453,6 +455,7 @@ class MemoryController:
         backend: Optional[ArrayBackend] = None,
         retry_policy=None,
         backend_mode: str = BACKEND_BATCHED,
+        bank_map=None,
     ):
         if policy not in POLICIES:
             raise ConfigurationError(
@@ -470,6 +473,11 @@ class MemoryController:
         self.backend = backend
         self.retry_policy = retry_policy
         self.backend_mode = backend_mode
+        #: Optional ``address -> bank index`` override.  The topology
+        #: layer (:mod:`repro.service.topology`) supplies each channel
+        #: controller's interleaver-driven local bank mapping here; None
+        #: keeps the historical flat ``address % banks`` interleaving.
+        self.bank_map = bank_map
         #: Optional admission gate (see
         #: :class:`repro.service.adaptive.AdmissionGate`): consulted at
         #: every arrival; a rejected request is recorded as a ``shed``
@@ -484,7 +492,10 @@ class MemoryController:
     # Submission
     # ------------------------------------------------------------------
     def bank_of(self, address: int) -> int:
-        """Modulo bank interleaving."""
+        """The bank an address queues on: ``bank_map`` if set, else
+        flat modulo interleaving."""
+        if self.bank_map is not None:
+            return self.bank_map(address)
         return address % self.config.banks
 
     def submit(self, request: Request) -> None:

@@ -237,8 +237,23 @@ def find_saturation_rate(
     return its report.  A rate is *sustained* while the mean read latency
     stays within ``slowdown_limit`` unloaded read times; the boundary is
     bisected until the bracket is within ``tolerance`` (relative) and the
-    sustained end is returned.  ``high`` doubles up to ``max_expansions``
-    times if it is itself still sustained.
+    sustained end is returned.
+
+    Corner behaviors (regression-pinned in
+    ``tests/test_service.py::TestSaturationSearch``):
+
+    * **Bracket expansion is capped.**  While ``high`` itself is still
+      sustained the bracket slides up (``low = high; high *= 2``), at
+      most ``max_expansions`` times.  A workload that never saturates
+      therefore does not loop forever: after the last expansion the
+      search returns the last *sustained* ``low`` — a lower bound on the
+      knee, reached after exactly ``max_expansions + 1`` probes and no
+      bisection.
+    * **Degenerate brackets are rejected up front.**  ``low <= 0``,
+      ``high <= low`` (inverted or empty), and ``read_time <= 0`` all
+      raise :class:`~repro.errors.ConfigurationError` before any
+      simulation runs.  A ``low`` that is already saturated also raises,
+      since no sustained rate is bracketed.
     """
     if low <= 0.0 or high <= low:
         raise ConfigurationError(

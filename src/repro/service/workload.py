@@ -212,7 +212,22 @@ class ZipfianAddresses:
         if self.s <= 0.0:
             raise ConfigurationError(f"zipf exponent must be positive, got {self.s}")
 
+    def probabilities(self) -> np.ndarray:
+        """Normalized popularity of every address (hottest first).
+
+        The analytic ground truth the topology layer's spread statistics
+        compare against: summing these per channel/bank gives the exact
+        expected share of traffic each shard receives under a given
+        interleaving (``tests/test_topology.py``).
+        """
+        weights = 1.0 / np.power(np.arange(1, self.addresses + 1, dtype=float), self.s)
+        return weights / weights.sum()
+
     def _cdf(self) -> np.ndarray:
+        # Kept as cumsum-then-normalize (NOT cumsum of probabilities()):
+        # the rounding of this exact expression is regression-pinned by
+        # every saved trace and --check gate, so the draw stream must not
+        # move by even one ulp.
         weights = 1.0 / np.power(np.arange(1, self.addresses + 1, dtype=float), self.s)
         cdf = np.cumsum(weights)
         return cdf / cdf[-1]

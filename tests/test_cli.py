@@ -206,3 +206,51 @@ class TestServeCommand:
         out = capsys.readouterr().out
         assert "writes" in out
         assert "cache hit rate" in out
+
+
+class TestServeTopologyCommand:
+    """`repro serve --topology` — the sharded channel/rank/bank hierarchy."""
+
+    SERVE = ["serve", "--requests", "200", "--seed", "7",
+             "--addressing", "zipfian"]
+
+    def test_topology_summary_and_check(self, capsys):
+        command = self.SERVE + ["--topology", "2x2x2", "--rows", "64",
+                                "--interleave", "bank-xor", "--check"]
+        assert main(command) == 0
+        out = capsys.readouterr().out
+        assert "topology service simulation" in out
+        assert "2x2x2 topology (8 banks)" in out
+        assert "bank-xor interleave" in out
+        assert "channel loads" in out
+        assert "rank loads" in out
+        assert "PASS" in out
+
+    def test_topology_multiprocess_check(self, capsys):
+        command = self.SERVE + ["--topology", "2x1x2", "--rows", "64",
+                                "--shards", "2", "--check"]
+        assert main(command) == 0
+        out = capsys.readouterr().out
+        assert "2 shard process(es)" in out
+        assert "PASS" in out
+
+    def test_topology_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        command = self.SERVE + ["--topology", "2x1x2", "--rows", "64",
+                                "--metrics-out", str(metrics)]
+        assert main(command) == 0
+        gauges = json.loads(metrics.read_text())["gauges"]
+        assert gauges["service.topology.channels"] == 2
+        assert "service.topology.channel_served{channel=0}" in gauges
+
+    def test_bad_topology_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.SERVE + ["--topology", "abc"])
+        assert excinfo.value.code == 2
+        assert "invalid topology" in capsys.readouterr().out
+
+    def test_adaptive_does_not_compose_with_topology(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(self.SERVE + ["--topology", "2x1x2", "--adaptive"])
+        assert excinfo.value.code == 2
+        assert "static policies only" in capsys.readouterr().out

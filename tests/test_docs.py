@@ -8,7 +8,9 @@ Two classes of doc rot are caught here instead of in review:
 * **API.md drift** — every symbol named in the first column of an API.md
   layer table is actually importable from the package root that section
   documents (this is how the missing ``TESTCHIP_VARIATION`` export was
-  found).
+  found), and — the reverse direction — every public
+  ``repro.service.__all__`` export is named somewhere in the service
+  sections, so new exports cannot ship undocumented.
 """
 
 import importlib
@@ -92,6 +94,44 @@ class TestApiReferenceDrift:
                 f"but {obj!r} has no attribute {part!r}"
             )
             obj = getattr(obj, part)
+
+
+def service_section_tokens():
+    """Every identifier in backticks inside API.md's ``repro.service``
+    sections (tables and prose alike)."""
+    module = None
+    tokens = set()
+    for line in (REPO / "docs" / "API.md").read_text().splitlines():
+        match = _SECTION_RE.match(line)
+        if match:
+            module = match.group(1)
+        elif line.startswith("## "):
+            module = None
+        if module != "repro.service":
+            continue
+        for chunk in _CHUNK_RE.findall(line):
+            tokens.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", chunk))
+    return tokens
+
+
+class TestServiceSectionCompleteness:
+    """The reverse drift direction: code → doc.
+
+    ``repro.service`` is where exports have historically outrun the
+    reference (the adaptive and topology layers each added a dozen), so
+    every name in its ``__all__`` must appear in API.md's service
+    sections — adding an export without documenting it fails here.
+    """
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(importlib.import_module("repro.service").__all__),
+    )
+    def test_every_service_export_is_documented(self, name):
+        assert name in service_section_tokens(), (
+            f"repro.service exports `{name}` but docs/API.md's service "
+            f"section never mentions it — add it to the reference table"
+        )
 
 
 class TestObsSurface:

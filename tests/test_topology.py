@@ -1,0 +1,392 @@
+"""Topology layer: interleavers, shard routing, merged reports, executors.
+
+The load-bearing properties here are the ones the serving claims stand on:
+
+* every interleaver is a **bijection** on ``[0, capacity)`` (hypothesis
+  round-trip plus an exhaustive small-topology permutation check), and
+  its vectorized path agrees with the scalar path;
+* channel striping spreads Zipf-hot traffic per the **analytic** shares
+  from :meth:`ZipfianAddresses.probabilities`, while row-major
+  concentrates the same traffic on channel 0;
+* a 1×1×B topology run is **exactly** a flat
+  :func:`~repro.service.controller.simulate_service` run — the anchor
+  tying the sharded layer back to the single-controller reference;
+* the multiprocess executor is **bit-identical** to the sequential one
+  (the determinism contract in ``docs/TOPOLOGY.md``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.service import (
+    BANK_XOR,
+    CHANNEL_STRIPED,
+    INTERLEAVINGS,
+    ROW_MAJOR,
+    ControllerConfig,
+    Coord,
+    DiscreteEventEngine,
+    MemoryController,
+    Request,
+    ShardRouter,
+    Topology,
+    ZipfianAddresses,
+    build_interleaver,
+    build_workload,
+    publish_topology_report,
+    shard_seeds,
+    simulate_service,
+    simulate_topology,
+)
+
+# Fixed service times: interleaving/merging properties are timing-model
+# independent, so skip the calibrated latency stack for speed.
+READ_TIME = 12.6e-9
+WRITE_TIME = 22.0e-9
+
+
+def zipf_requests(count=400, addresses=2048, seed=2010, write_fraction=0.0,
+                  rate=5.0e7):
+    stream = build_workload(
+        kind="poisson", addressing="zipfian", rate=rate,
+        addresses=addresses, write_fraction=write_fraction,
+    )
+    return stream.generate(count, np.random.default_rng((seed, 0)))
+
+
+def run_topology(requests, topology, **kwargs):
+    kwargs.setdefault("read_time", READ_TIME)
+    kwargs.setdefault("write_time", WRITE_TIME)
+    return simulate_topology(requests, topology, **kwargs)
+
+
+topologies = st.builds(
+    Topology,
+    channels=st.integers(1, 5),
+    ranks=st.integers(1, 4),
+    banks=st.integers(1, 8),
+    rows=st.integers(1, 64),
+)
+
+
+class TestTopology:
+    def test_parse_round_trips_describe(self):
+        topology = Topology.parse("4x2x8", rows=128)
+        assert topology == Topology(channels=4, ranks=2, banks=8, rows=128)
+        assert topology.describe() == "4x2x8"
+        assert Topology.parse(topology.describe(), rows=128) == topology
+
+    def test_derived_sizes(self):
+        topology = Topology(channels=4, ranks=2, banks=4, rows=128)
+        assert topology.banks_per_channel == 8
+        assert topology.total_banks == 32
+        assert topology.capacity == 32 * 128
+
+    @pytest.mark.parametrize("spec", ["abc", "4x2", "4x2x4x1", "", "4x0x2"])
+    def test_parse_rejects_malformed(self, spec):
+        with pytest.raises(ConfigurationError):
+            Topology.parse(spec)
+
+    @pytest.mark.parametrize(
+        "field", ["channels", "ranks", "banks", "rows"]
+    )
+    def test_rejects_nonpositive_dimensions(self, field):
+        with pytest.raises(ConfigurationError):
+            Topology(**{field: 0})
+
+
+class TestInterleavers:
+    @given(topology=topologies, scheme=st.sampled_from(INTERLEAVINGS),
+           data=st.data())
+    @settings(max_examples=60)
+    def test_round_trip_with_bounded_coordinates(self, topology, scheme, data):
+        address = data.draw(st.integers(0, topology.capacity - 1))
+        interleaver = build_interleaver(scheme, topology)
+        coord = interleaver.decompose(address)
+        assert 0 <= coord.channel < topology.channels
+        assert 0 <= coord.rank < topology.ranks
+        assert 0 <= coord.bank < topology.banks
+        assert 0 <= coord.row < topology.rows
+        assert interleaver.compose(*coord) == address
+
+    @pytest.mark.parametrize("scheme", INTERLEAVINGS)
+    def test_vectorized_bijection_matches_scalar(self, scheme):
+        topology = Topology(channels=3, ranks=2, banks=4, rows=8)
+        interleaver = build_interleaver(scheme, topology)
+        addresses = np.arange(topology.capacity)
+        coords = interleaver.decompose(addresses)
+        assert np.array_equal(interleaver.compose(*coords), addresses)
+        # Bijection: every (channel, rank, bank, row) tuple is distinct.
+        packed = (
+            (coords.channel * topology.ranks + coords.rank) * topology.banks
+            + coords.bank
+        ) * topology.rows + coords.row
+        assert len(np.unique(packed)) == topology.capacity
+        for address in (0, 1, topology.capacity // 2, topology.capacity - 1):
+            assert interleaver.decompose(address) == Coord(
+                *(int(axis[address]) for axis in coords)
+            )
+
+    def test_bank_xor_falls_back_for_non_power_of_two_banks(self):
+        topology = Topology(channels=2, ranks=1, banks=3, rows=9)
+        interleaver = build_interleaver(BANK_XOR, topology)
+        addresses = np.arange(topology.capacity)
+        assert np.array_equal(
+            interleaver.compose(*interleaver.decompose(addresses)), addresses
+        )
+
+    def test_channel_striping_spreads_hot_prefix(self):
+        # The Zipf-hottest addresses 0..C-1 land on C distinct channels
+        # under striping, and all on channel 0 under row-major.
+        topology = Topology(channels=4, ranks=1, banks=4, rows=16)
+        striped = build_interleaver(CHANNEL_STRIPED, topology)
+        row_major = build_interleaver(ROW_MAJOR, topology)
+        hot = range(topology.channels)
+        assert sorted(int(striped.decompose(a).channel) for a in hot) == [0, 1, 2, 3]
+        assert {int(row_major.decompose(a).channel) for a in hot} == {0}
+
+    def test_bank_xor_breaks_same_bank_stride(self):
+        # A scan strided by channels*ranks*banks hammers one bank under
+        # pure striping; the XOR permutation walks every bank instead.
+        topology = Topology(channels=2, ranks=1, banks=4, rows=32)
+        stride = topology.channels * topology.ranks * topology.banks
+        addresses = np.arange(0, topology.capacity, stride)
+        striped = build_interleaver(CHANNEL_STRIPED, topology).decompose(addresses)
+        xored = build_interleaver(BANK_XOR, topology).decompose(addresses)
+        assert len(set(striped.bank.tolist())) == 1
+        assert set(xored.bank.tolist()) == set(range(topology.banks))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_interleaver("diagonal", Topology())
+
+
+class TestZipfianSpread:
+    def test_probabilities_normalized_and_consistent_with_cdf(self):
+        distribution = ZipfianAddresses(512, s=1.1)
+        probabilities = distribution.probabilities()
+        assert probabilities.shape == (512,)
+        assert probabilities[0] > probabilities[-1] > 0.0
+        assert np.isclose(probabilities.sum(), 1.0)
+        # probabilities() must agree with the draw stream's pinned CDF.
+        assert np.allclose(np.cumsum(probabilities), distribution._cdf())
+
+    def test_striped_channel_shares_match_analytic(self):
+        topology = Topology(channels=4, ranks=1, banks=4, rows=128)
+        distribution = ZipfianAddresses(topology.capacity, s=1.1)
+        draws = distribution.draw(20_000, np.random.default_rng((2010, 4)))
+        striped = build_interleaver(CHANNEL_STRIPED, topology)
+        channels = striped.decompose(draws % topology.capacity).channel
+        empirical = np.bincount(channels, minlength=4) / draws.size
+        probabilities = distribution.probabilities()
+        analytic = np.array(
+            [probabilities[c::topology.channels].sum() for c in range(4)]
+        )
+        assert np.all(np.abs(empirical - analytic) < 0.02)
+        # Striping genuinely spreads the skew: no channel dominates.
+        assert analytic.max() < 0.5
+
+    def test_row_major_concentrates_the_same_traffic(self):
+        topology = Topology(channels=4, ranks=1, banks=4, rows=128)
+        distribution = ZipfianAddresses(topology.capacity, s=1.1)
+        probabilities = distribution.probabilities()
+        words_per_channel = topology.capacity // topology.channels
+        row_major_hot = probabilities[:words_per_channel].sum()
+        striped_max = max(
+            probabilities[c::topology.channels].sum()
+            for c in range(topology.channels)
+        )
+        # Channel 0 under row-major absorbs the whole hot prefix.
+        assert row_major_hot > 0.8
+        assert row_major_hot > 2.0 * striped_max
+
+
+class TestShardRouter:
+    def test_split_partitions_and_preserves_order(self):
+        requests = zipf_requests(600)
+        topology = Topology(channels=4, ranks=2, banks=2, rows=64)
+        router = ShardRouter(topology, CHANNEL_STRIPED)
+        shards = router.split(requests)
+        assert len(shards) == topology.channels
+        assert sum(len(shard) for shard in shards) == len(requests)
+        for channel, shard in enumerate(shards):
+            ids = [request.request_id for request in shard]
+            assert ids == sorted(ids)
+            for request in shard:
+                assert router.channel_of(request.address) == channel
+
+    def test_local_bank_matches_coordinate(self):
+        topology = Topology(channels=2, ranks=2, banks=4, rows=32)
+        router = ShardRouter(topology, BANK_XOR)
+        for address in range(0, topology.capacity, 7):
+            coord = router.coordinate(address)
+            local = router.local_bank(address)
+            assert local == coord.rank * topology.banks + coord.bank
+            assert 0 <= local < topology.banks_per_channel
+
+    def test_addresses_wrap_modulo_capacity(self):
+        topology = Topology(channels=3, ranks=1, banks=2, rows=16)
+        router = ShardRouter(topology, CHANNEL_STRIPED)
+        for address in (0, 5, topology.capacity - 1):
+            assert router.coordinate(address + topology.capacity) == \
+                router.coordinate(address)
+
+
+class TestBankMap:
+    def test_bank_map_overrides_flat_modulo(self):
+        engine = DiscreteEventEngine()
+        config = ControllerConfig(
+            read_time=READ_TIME, write_time=WRITE_TIME, banks=4
+        )
+        controller = MemoryController(engine, config, bank_map=lambda a: 3)
+        assert controller.bank_of(17) == 3
+        controller.submit_all([Request(0, 0.0, 17)])
+        engine.run()
+        assert controller.bank_served_counts() == (0, 0, 0, 1)
+
+    def test_default_stays_flat_modulo(self):
+        engine = DiscreteEventEngine()
+        config = ControllerConfig(
+            read_time=READ_TIME, write_time=WRITE_TIME, banks=4
+        )
+        controller = MemoryController(engine, config)
+        assert controller.bank_of(17) == 1
+
+
+class TestShardSeeds:
+    def test_deterministic_distinct_and_prefix_stable(self):
+        seeds = shard_seeds(2010, 4)
+        assert seeds == shard_seeds(2010, 4)
+        assert len(set(seeds)) == 4
+        # Channel c's seed is independent of the channel count.
+        assert shard_seeds(2010, 2) == seeds[:2]
+        assert shard_seeds(2011, 4) != seeds
+
+    def test_rejects_nonpositive_channel_count(self):
+        with pytest.raises(ConfigurationError):
+            shard_seeds(2010, 0)
+
+
+class TestSimulateTopology:
+    def test_single_channel_matches_flat_controller(self):
+        # The anchor: a 1x1x4 topology IS the single-controller reference.
+        topology = Topology(channels=1, ranks=1, banks=4, rows=512)
+        requests = zipf_requests(300, addresses=topology.capacity,
+                                 write_fraction=0.2)
+        report = run_topology(requests, topology, offered_rate=5.0e7)
+        flat = simulate_service(
+            requests,
+            ControllerConfig(read_time=READ_TIME, write_time=WRITE_TIME,
+                             banks=4),
+            offered_rate=5.0e7,
+        )
+        assert report.merged == flat
+        assert report.channel_reports == (flat,)
+
+    def test_merged_accounting_is_consistent(self):
+        topology = Topology(channels=4, ranks=2, banks=2, rows=64)
+        requests = zipf_requests(500, write_fraction=0.1)
+        report = run_topology(requests, topology, cache_capacity=32,
+                              offered_rate=5.0e7)
+        merged = report.merged
+        assert merged.requests == len(requests)
+        assert merged.completed == len(requests)
+        assert merged.banks == topology.total_banks
+        assert len(merged.bank_served) == topology.total_banks
+        assert sum(report.channel_served) == merged.completed
+        assert sum(report.rank_served) == sum(merged.bank_served)
+        assert len(report.rank_served) == topology.channels * topology.ranks
+        assert sum(r.requests for r in report.channel_reports) == len(requests)
+        assert sum(r.cache_hits for r in report.channel_reports) == \
+            merged.cache_hits
+        # Per-channel offered rate is the fair split of the global rate.
+        for channel_report in report.channel_reports:
+            assert channel_report.offered_rate == pytest.approx(
+                5.0e7 / topology.channels
+            )
+
+    def test_same_seed_runs_compare_equal(self):
+        topology = Topology(channels=2, ranks=1, banks=4, rows=64)
+        requests = zipf_requests(200)
+        first = run_topology(requests, topology, seed=7)
+        second = run_topology(requests, topology, seed=7)
+        assert first == second
+        assert first.to_dict() == second.to_dict()
+
+    def test_multiprocess_is_bit_identical_to_sequential(self):
+        topology = Topology(channels=4, ranks=1, banks=4, rows=64)
+        requests = zipf_requests(400, write_fraction=0.1)
+        sequential = run_topology(requests, topology, processes=1)
+        multiprocess = run_topology(requests, topology, processes=2)
+        assert multiprocess == sequential
+
+    def test_backed_multiprocess_bit_identical_and_seed_split(self):
+        topology = Topology(channels=2, ranks=1, banks=4, rows=64)
+        requests = zipf_requests(120)
+        sequential = run_topology(
+            requests, topology, scheme="nondestructive",
+            fault_rate=1e-3, seed=2010,
+        )
+        multiprocess = run_topology(
+            requests, topology, scheme="nondestructive",
+            fault_rate=1e-3, seed=2010, processes=2,
+        )
+        assert multiprocess == sequential
+        assert sequential.merged.retried_words == sum(
+            r.retried_words for r in sequential.channel_reports
+        )
+
+    def test_interleave_changes_channel_balance(self):
+        topology = Topology(channels=4, ranks=1, banks=4, rows=128)
+        requests = zipf_requests(800, addresses=topology.capacity)
+        striped = run_topology(requests, topology, interleave=CHANNEL_STRIPED)
+        row_major = run_topology(requests, topology, interleave=ROW_MAJOR)
+        assert max(striped.channel_served) < max(row_major.channel_served)
+
+    def test_validation_errors(self):
+        topology = Topology(channels=2, ranks=1, banks=2, rows=16)
+        requests = zipf_requests(50)
+        with pytest.raises(ConfigurationError):
+            run_topology((), topology)
+        with pytest.raises(ConfigurationError):
+            run_topology(requests, topology, processes=0)
+        with pytest.raises(ConfigurationError):
+            run_topology(requests, topology, interleave="diagonal")
+        with pytest.raises(ConfigurationError):
+            run_topology(requests, topology, backed=True)  # no scheme
+        with pytest.raises(ConfigurationError):
+            run_topology(requests, topology, policy="lifo")
+
+
+class TestTopologyObs:
+    def test_publish_topology_report_gauges(self):
+        topology = Topology(channels=2, ranks=2, banks=2, rows=64)
+        report = run_topology(
+            zipf_requests(200), topology, scheme="nondestructive",
+            offered_rate=5.0e7,
+        )
+        with obs.capture() as (registry, _tracer):
+            publish_topology_report(report)
+            gauges = registry.snapshot()["gauges"]
+        assert gauges["service.topology.channels"] == topology.channels
+        assert gauges["service.topology.total_banks"] == topology.total_banks
+        for channel in range(topology.channels):
+            key = f"service.topology.channel_served{{channel={channel}}}"
+            assert gauges[key] == report.channel_served[channel]
+        rank_keys = [k for k in gauges if k.startswith(
+            "service.topology.rank_served"
+        )]
+        assert len(rank_keys) == topology.channels * topology.ranks
+        # The merged report's plain service.* gauges ride along.
+        assert any(k.startswith("service.throughput_rps") for k in gauges)
+
+    def test_publish_is_noop_when_obs_off(self):
+        topology = Topology(channels=1, ranks=1, banks=2, rows=32)
+        report = run_topology(zipf_requests(40), topology)
+        publish_topology_report(report)  # must not raise
