@@ -531,6 +531,28 @@ def _cmd_stats(args) -> None:
                 ["trace event", "count"],
                 [[kind, str(n)] for kind, n in sorted(counts.items())],
             ))
+
+        # Durability counters: a one-rate fault campaign surfaces what
+        # the recovery ladder holds onto across mid-read power loss —
+        # the request-level complement of the chaos campaign's
+        # write-ahead-journal gate.
+        from repro.faults import run_fault_campaign
+
+        campaign = run_fault_campaign(
+            rates=(args.rate,), bits=args.bits, scheme=args.scheme,
+            policy=policy, seed=args.seed,
+        )
+        durability = campaign.rows[0]
+        print()
+        print(format_table(
+            ["durability counter", "value"],
+            [
+                ["power_failure_words", str(durability.power_failure_words)],
+                ["detected_words", str(durability.detected_words)],
+                ["escaped_words", str(durability.escaped_words)],
+                ["recovery_fraction", f"{durability.recovery_fraction:.1%}"],
+            ],
+        ))
         _write_obs_outputs(args, registry, tracer)
     finally:
         obs.reset()
@@ -586,7 +608,18 @@ def _serve_requests(args):
         write_fraction=args.write_fraction,
         low_priority_fraction=args.low_priority_fraction,
     )
-    return stream.generate(args.requests, np.random.default_rng((args.seed, 0)))
+    requests = stream.generate(
+        args.requests, np.random.default_rng((args.seed, 0))
+    )
+    if args.deadline_ns > 0.0:
+        # Stamp deadlines before --trace-out runs so a saved trace
+        # replays bit-identically under --check.
+        slack = args.deadline_ns * 1e-9
+        requests = [
+            dataclasses.replace(request, deadline=request.time + slack)
+            for request in requests
+        ]
+    return requests
 
 
 def _serve_config(args):
@@ -602,6 +635,9 @@ def _serve_config(args):
             batch_limit=args.batch_limit,
             batch_extra_fraction=args.batch_extra_fraction,
             backend_window=args.backend_window,
+            request_retries=args.request_retries,
+            retry_backoff=args.retry_backoff_ns * 1e-9,
+            hedge_after=args.hedge_after_ns * 1e-9,
         )
     except ConfigurationError as error:
         print(f"error: invalid controller configuration: {error}")
@@ -678,7 +714,40 @@ def _serve_drift(args, requests):
     return scenario, np.random.default_rng((args.seed, 5))
 
 
-def _serve_topology_once(args, requests):
+def _serve_failures(args, requests):
+    """The structural failure scenario for ``repro serve``, or None.
+
+    The scenario geometry is a pure function of the reserved ``(seed, 7)``
+    stream and the trace span, so ``--check``'s replayed and regenerated
+    runs rebuild the identical failure calendar.
+    """
+    from repro.service import build_failure_scenario
+
+    if args.failures == "none":
+        return None
+    if args.adaptive or args.drift != "none":
+        print("error: --failures does not compose with --adaptive/--drift")
+        raise SystemExit(2)
+    topology = _serve_topology(args)
+    if args.failures == "channel-outage" and topology is None:
+        print("error: --failures channel-outage takes whole channels "
+              "down and needs --topology")
+        raise SystemExit(2)
+    if args.failures != "channel-outage" and topology is not None:
+        print(f"error: --failures {args.failures} runs on the flat "
+              "controller; only channel-outage composes with --topology")
+        raise SystemExit(2)
+    span = max(request.time for request in requests)
+    return build_failure_scenario(
+        args.failures, span,
+        seed=args.seed,
+        banks=args.banks,
+        channels=topology.channels if topology is not None else 1,
+        stall_factor=args.stall_factor,
+    )
+
+
+def _serve_topology_once(args, requests, failures=None):
     """One sharded topology simulation (see :mod:`repro.service.topology`)."""
     from repro.errors import ConfigurationError
     from repro.service import scheme_service_times, simulate_topology
@@ -711,6 +780,7 @@ def _serve_topology_once(args, requests):
             fault_rate=args.fault_rate,
             seed=args.seed,
             processes=args.shards,
+            failures=failures,
         )
     except ConfigurationError as error:
         print(f"error: invalid topology configuration: {error}")
@@ -726,8 +796,9 @@ def _serve_once(args, requests):
         simulate_service,
     )
 
+    failures = _serve_failures(args, requests)
     if args.topology:
-        return _serve_topology_once(args, requests)
+        return _serve_topology_once(args, requests, failures)
     config = _serve_config(args)
     cache = ReadCache(args.cache) if args.cache > 0 else None
     backend = None
@@ -749,7 +820,7 @@ def _serve_once(args, requests):
     return simulate_service(
         requests, config, policy=args.policy, cache=cache, backend=backend,
         retry_policy=retry_policy, scheme=args.scheme, offered_rate=args.rate,
-        backend_mode=args.backend_mode,
+        backend_mode=args.backend_mode, failures=failures,
     )
 
 
@@ -836,6 +907,27 @@ def _cmd_serve(args) -> None:
     if args.drift != "none":
         rows.append(["drift scenario", f"{args.drift} "
                                        f"({args.drift_offset_mv:g} mV peak)"])
+    if args.failures != "none":
+        rows.append(["failure scenario", args.failures])
+    resilient = (
+        args.failures != "none" or args.deadline_ns > 0.0
+        or args.request_retries > 0 or args.hedge_after_ns > 0.0
+    )
+    if resilient:
+        rows.append(["resilience", f"{summary.timed_out} timed out, "
+                                   f"{summary.failed_requests} failed, "
+                                   f"{summary.detected_loss} detected-loss"])
+        rows.append(["hedging/retries", f"{summary.hedged} hedged "
+                                        f"({summary.hedge_wins} wins), "
+                                        f"{summary.request_retries} retries"])
+        rows.append(["availability", f"{summary.availability:.1%}"])
+    if topology_report is not None and topology_report.failover is not None:
+        failover = topology_report.failover
+        rows.append(["failover", f"{failover.rerouted_writes} writes "
+                                 f"rerouted, "
+                                 f"{failover.unreachable_requests} "
+                                 f"unreachable, {failover.restored_words} of "
+                                 f"{failover.remapped_words} remaps restored"])
     if args.adaptive:
         rows.append(["SLO p99", f"{args.slo_p99_ns:g} ns "
                                 f"(guardband {args.guardband:g})"])
@@ -863,6 +955,51 @@ def _cmd_serve(args) -> None:
             print("FAIL: replayed/regenerated runs diverged from the live run")
             raise SystemExit(1)
         print("PASS: trace replay and same-seed regeneration are bit-identical")
+
+
+def _cmd_chaos(args) -> None:
+    from repro.errors import FaultError
+    from repro.service import run_chaos_campaign
+
+    result = run_chaos_campaign(
+        args.requests,
+        scheme=args.scheme,
+        seed=args.seed,
+        bits=args.bits,
+        availability_floor=args.availability_floor,
+    )
+    print(f"chaos campaign — {result.scheme} scheme, {result.bits} bits, "
+          f"seed {result.seed}, availability floor "
+          f"{result.availability_floor:.0%}")
+    rows = []
+    for row in result.rows:
+        rows.append([
+            row.scenario,
+            str(row.requests),
+            str(row.completed),
+            str(row.shed),
+            str(row.timed_out),
+            str(row.failed_requests),
+            str(row.detected_loss),
+            str(row.retries),
+            str(row.hedged),
+            f"{row.availability:.1%}",
+            "yes" if row.conserved else "NO",
+            "yes" if row.bit_exact else "NO",
+        ])
+    print(format_table(
+        ["scenario", "reqs", "done", "shed", "t/o", "fail", "loss",
+         "retry", "hedge", "avail", "conserved", "bit-exact"],
+        rows,
+    ))
+    if args.check:
+        try:
+            result.check()
+        except FaultError as error:
+            print(f"FAIL: {error}")
+            raise SystemExit(1)
+        print("PASS: requests conserved, zero silent escapes, bit-exact "
+              "crash recovery, availability above floor")
 
 
 def _cmd_list(args) -> None:
@@ -1122,6 +1259,41 @@ def _args_serve(sub: argparse.ArgumentParser) -> None:
         "(shed-first background tier; default 0)",
     )
     sub.add_argument(
+        "--failures", default="none",
+        choices=("none", "controller-stall", "bank-offline",
+                 "sense-lockup", "channel-outage"),
+        help="inject a deterministic structural failure scenario whose "
+        "geometry is drawn from the reserved (seed, 7) stream "
+        "(channel-outage requires --topology; the other kinds run on "
+        "the flat controller; default none)",
+    )
+    sub.add_argument(
+        "--deadline-ns", type=float, default=0.0,
+        help="deadline slack in ns added to every generated arrival "
+        "time; service must start before it or the request is dropped "
+        "as timed out (0 disables; default 0)",
+    )
+    sub.add_argument(
+        "--request-retries", type=int, default=0,
+        help="controller-level retry budget for reads whose backend "
+        "word failed, with exponential backoff (default 0)",
+    )
+    sub.add_argument(
+        "--retry-backoff-ns", type=float, default=0.0,
+        help="base controller retry backoff in ns, doubled per retry "
+        "already spent (default 0)",
+    )
+    sub.add_argument(
+        "--hedge-after-ns", type=float, default=0.0,
+        help="clone a still-queued read to the next bank after this "
+        "many ns; the first copy to finish wins (0 disables; default 0)",
+    )
+    sub.add_argument(
+        "--stall-factor", type=float, default=8.0,
+        help="latency inflation a controller-stall scenario applies "
+        "while active (default 8)",
+    )
+    sub.add_argument(
         "--trace-in", metavar="PATH", default=None,
         help="replay a saved JSONL request trace instead of generating",
     )
@@ -1138,6 +1310,38 @@ def _args_serve(sub: argparse.ArgumentParser) -> None:
         "--check", action="store_true",
         help="verify trace replay and same-seed regeneration reproduce the "
         "run bit-for-bit; exit nonzero otherwise",
+    )
+
+
+def _args_chaos(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--requests", type=int, default=400,
+        help="requests per chaos scenario (default 400)",
+    )
+    sub.add_argument(
+        "--bits", type=int, default=2304,
+        help="backed-array size in cells per controller "
+        "(default 2304 = 32 SECDED words)",
+    )
+    sub.add_argument(
+        "--scheme", default="nondestructive",
+        choices=("destructive", "nondestructive"),
+        help="sensing scheme under chaos (default nondestructive)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=2010,
+        help="workload and failure-geometry RNG seed (default 2010)",
+    )
+    sub.add_argument(
+        "--availability-floor", type=float, default=0.5,
+        help="minimum fraction of requests every scenario must still "
+        "serve (default 0.5)",
+    )
+    sub.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless every scenario conserves requests, "
+        "escapes nothing silently, restarts bit-exactly, and clears "
+        "the availability floor",
     )
 
 
@@ -1171,6 +1375,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "faults": Experiment(_cmd_faults, "extension: fault-injection campaign + recovery ladder", _args_faults),
     "stats": Experiment(_cmd_stats, "observability: instrumented read workload + metrics dump", _args_stats),
     "serve": Experiment(_cmd_serve, "service: trace-driven memory-controller simulation", _args_serve),
+    "chaos": Experiment(_cmd_chaos, "resilience: structural-failure chaos campaign + recovery gates", _args_chaos),
     "export": Experiment(_cmd_export, "write every figure series to CSV", _args_export),
     "list": Experiment(_cmd_list, "list available experiments"),
 }

@@ -32,6 +32,17 @@ CLI front end: ``python -m repro serve`` (``--check`` replays a saved
 trace and asserts report equality with the live run;
 ``--topology CxRxB --interleave <scheme> --shards N`` runs the sharded
 hierarchy under the same gate).
+
+The resilience layer (:mod:`~repro.service.failures` +
+:mod:`~repro.service.journal`, see ``docs/RESILIENCE.md``) adds
+deterministic structural failure scenarios (channel outage, controller
+stall, bank-offline, sense-amp lockup) scheduled from the reserved
+``(seed, 7)`` stream, request deadlines / hedged reads / bounded
+controller retries, degraded-mode failover over surviving channels, and
+a write-ahead journal whose replay after a mid-trace crash is bit-exact
+for every acknowledged write — all swept by :func:`run_chaos_campaign`
+under the enforced conservation invariant
+``requests == completed + shed + timed_out + failed``.
 """
 
 from repro.service.adaptive import (
@@ -59,6 +70,27 @@ from repro.service.controller import (
     simulate_service,
 )
 from repro.service.engine import DiscreteEventEngine
+from repro.service.failures import (
+    CHAOS_SCENARIOS,
+    FAILURE_KINDS,
+    ChaosCampaignResult,
+    ChaosRow,
+    FailureEvent,
+    FailureScenario,
+    bank_offline,
+    build_failure_scenario,
+    channel_outage,
+    controller_stall,
+    install_failures,
+    run_chaos_campaign,
+    sense_amp_lockup,
+)
+from repro.service.journal import (
+    CrashRestartResult,
+    JournalRecord,
+    WriteAheadJournal,
+    run_crash_restart,
+)
 from repro.service.report import (
     LatencyStats,
     QueueStats,
@@ -73,6 +105,7 @@ from repro.service.topology import (
     INTERLEAVINGS,
     ROW_MAJOR,
     Coord,
+    FailoverStats,
     Interleaver,
     ShardRouter,
     Topology,
@@ -144,8 +177,26 @@ __all__ = [
     "Interleaver",
     "build_interleaver",
     "ShardRouter",
+    "FailoverStats",
     "TopologyReport",
     "shard_seeds",
     "simulate_topology",
     "publish_topology_report",
+    "FAILURE_KINDS",
+    "CHAOS_SCENARIOS",
+    "FailureEvent",
+    "FailureScenario",
+    "controller_stall",
+    "bank_offline",
+    "sense_amp_lockup",
+    "channel_outage",
+    "build_failure_scenario",
+    "install_failures",
+    "ChaosRow",
+    "ChaosCampaignResult",
+    "run_chaos_campaign",
+    "JournalRecord",
+    "WriteAheadJournal",
+    "CrashRestartResult",
+    "run_crash_restart",
 ]

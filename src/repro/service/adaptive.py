@@ -610,4 +610,7 @@ def simulate_adaptive_service(
         install_drift(engine, backend, scenario, rng=drift_rng)
     controller.submit_all(requests)
     engine.run()
-    return build_report(controller, scheme=scheme, offered_rate=offered_rate)
+    report = build_report(controller, scheme=scheme, offered_rate=offered_rate)
+    # A drained calendar must account for every request exactly once.
+    report.check_conservation()
+    return report

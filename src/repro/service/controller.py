@@ -115,6 +115,20 @@ class ControllerConfig:
     #: the historical strictly-scalar service order; BATCH ignores it and
     #: uses ``batch_limit``.  Timing-mode runs are unaffected.
     backend_window: int = 1
+    #: Controller-level read retries: a read whose recovery ladder is
+    #: exhausted is re-queued up to this many times before the controller
+    #: gives up and records a terminal failure (``unreachable``).  0 (the
+    #: default) keeps the historical semantics — a detected loss completes
+    #: with ``failed=True`` and is never re-queued.
+    request_retries: int = 0
+    #: Base delay [s] before a controller-level re-queue; doubles with
+    #: every retry the request has already consumed (exponential backoff).
+    retry_backoff: float = 0.0
+    #: Hedged reads: a read still waiting this long [s] after arrival is
+    #: cloned onto the next bank and the first completion wins (the
+    #: straggler copy is dropped when it reaches the head of its queue).
+    #: 0 (the default) disables hedging.
+    hedge_after: float = 0.0
 
     def __post_init__(self) -> None:
         if self.read_time <= 0.0 or self.write_time <= 0.0:
@@ -136,6 +150,18 @@ class ControllerConfig:
             raise ConfigurationError(
                 f"backend_window must be >= 1, got {self.backend_window}"
             )
+        if self.request_retries < 0:
+            raise ConfigurationError(
+                f"request_retries must be >= 0, got {self.request_retries}"
+            )
+        if self.retry_backoff < 0.0:
+            raise ConfigurationError(
+                f"retry_backoff must be >= 0, got {self.retry_backoff}"
+            )
+        if self.hedge_after < 0.0:
+            raise ConfigurationError(
+                f"hedge_after must be >= 0, got {self.hedge_after}"
+            )
 
     def batch_duration(self, reads: int) -> float:
         """Bank occupancy of ``reads`` coalesced reads [s]."""
@@ -155,6 +181,13 @@ class CompletedRequest:
     attempts: int = 1      #: worst sensing attempts (backed mode)
     failed: bool = False   #: recovery ladder exhausted (detected loss)
     shed: bool = False     #: rejected by admission control (never served)
+    timed_out: bool = False  #: deadline expired before service (dropped)
+    #: Terminal failure without a served response: the controller's retry
+    #: budget ran out, the data's home shard was unreachable, or the
+    #: request was in flight when the controller crashed.  Distinct from
+    #: ``failed`` (which is a *served* response carrying a detected loss).
+    unreachable: bool = False
+    retries: int = 0       #: controller-level re-queues this request used
 
     @property
     def latency(self) -> float:
@@ -483,7 +516,28 @@ class MemoryController:
         #: every arrival; a rejected request is recorded as a ``shed``
         #: completion at its arrival time and never touches a bank.
         self.admission = None
+        #: Optional :class:`repro.service.journal.WriteAheadJournal`: every
+        #: write is journaled at arrival (ahead of the write buffer) and
+        #: acknowledged at completion, so a mid-trace crash can replay the
+        #: acknowledged suffix bit-exactly (see ``docs/RESILIENCE.md``).
+        self.journal = None
+        #: Service-time multiplier (1.0 = healthy).  The failure-scenario
+        #: layer (:mod:`repro.service.failures`) inflates this mid-trace to
+        #: model a stalled controller; every occupancy is stretched by it.
+        self.stall_factor = 1.0
         self._banks = [_Bank() for _ in range(config.banks)]
+        self._offline_banks: set = set()
+        self._locked_banks: set = set()
+        #: Terminal request ids + ids currently occupying a bank — the
+        #: dedupe state hedged reads need; maintained only while hedging.
+        self._finished: set = set()
+        self._in_service: set = set()
+        self._retry_counts: Dict[int, int] = {}
+        self._deadlines = False
+        self._hedging = config.hedge_after > 0.0 and config.banks > 1
+        self.hedged = 0
+        self.hedge_wins = 0
+        self.retries_performed = 0
         self.completions: List[CompletedRequest] = []
         self.depth_samples: List[int] = []
         self.submitted = 0
@@ -501,6 +555,8 @@ class MemoryController:
     def submit(self, request: Request) -> None:
         """Schedule one request's arrival on the engine."""
         self.submitted += 1
+        if request.deadline > 0.0:
+            self._deadlines = True
         self.engine.schedule_at(request.time, self._arrive, request)
 
     def submit_all(self, requests: Sequence[Request]) -> None:
@@ -511,6 +567,8 @@ class MemoryController:
         identical to submitting one request at a time.
         """
         self.submitted += len(requests)
+        if not self._deadlines and any(r.deadline > 0.0 for r in requests):
+            self._deadlines = True
         self.engine.schedule_batch(
             (request.time, self._arrive, (request,)) for request in requests
         )
@@ -546,6 +604,14 @@ class MemoryController:
                 return
         elif not request.is_read and self.cache is not None:
             self.cache.invalidate(request.address)
+        if self.journal is not None and not request.is_read:
+            # Write-ahead: journaled before the write buffer may hold it.
+            self.journal.append(
+                request.request_id,
+                request.address,
+                ArrayBackend.payload(request.request_id),
+                self.engine.now,
+            )
         bank_index = self.bank_of(request.address)
         bank = self._banks[bank_index]
         if self.policy == FCFS:
@@ -556,6 +622,10 @@ class MemoryController:
             bank.reads.append(request)
         else:
             bank.writes.append(request)
+        if self._hedging and request.is_read:
+            self.engine.schedule(
+                self.config.hedge_after, self._maybe_hedge, request, bank_index
+            )
         if not bank.busy:
             self._start_service(bank_index)
 
@@ -570,7 +640,17 @@ class MemoryController:
 
     def _start_service(self, bank_index: int) -> None:
         bank = self._banks[bank_index]
+        if bank.busy or bank_index in self._offline_banks:
+            return
         taken = self._select(bank)
+        if self._deadlines or self._hedging:
+            # Screening drops expired and already-won requests at the
+            # head of the queue; keep selecting until a group survives.
+            while taken:
+                taken = self._screen(taken, bank_index)
+                if taken:
+                    break
+                taken = self._select(bank)
         if not taken:
             return
         bank.busy = True
@@ -579,11 +659,79 @@ class MemoryController:
             _obs.get_registry().observe(
                 "service.queue_depth", bank.depth(), edges=QUEUE_DEPTH_EDGES
             )
-        duration, attempts, failed = self._serve(taken)
+        if self._hedging:
+            self._in_service.update(r.request_id for r in taken)
+        duration, attempts, failed = self._serve(taken, bank_index)
         self.engine.schedule(
             duration, self._complete, bank_index, taken, self.engine.now,
             attempts, failed,
         )
+
+    def _screen(self, taken: List[Request], bank_index: int) -> List[Request]:
+        """Drop finished hedge twins and expired requests from a group.
+
+        A request whose deadline passed while it queued is recorded as a
+        ``timed_out`` drop — the deadline bounds *service start*, so an
+        expired request never occupies a bank.  Only active when deadlines
+        or hedging are in play; otherwise selection is untouched.
+        """
+        kept: List[Request] = []
+        now = self.engine.now
+        for request in taken:
+            rid = request.request_id
+            if self._hedging and (rid in self._finished or rid in self._in_service):
+                continue  # the twin already won (or is being served)
+            if 0.0 < request.deadline < now:
+                self._record(CompletedRequest(
+                    request=request,
+                    bank=bank_index,
+                    start=now,
+                    finish=now,
+                    timed_out=True,
+                ))
+                continue
+            kept.append(request)
+        return kept
+
+    def _maybe_hedge(self, request: Request, home_bank: int) -> None:
+        """Clone a still-waiting read onto the sibling bank.
+
+        Fires ``hedge_after`` seconds after arrival; a no-op if the read
+        already finished or is being served.  The clone joins the sibling
+        bank's read queue and whichever copy is served first wins — the
+        straggler is screened out when it reaches the head of its queue.
+        """
+        rid = request.request_id
+        if rid in self._finished or rid in self._in_service:
+            return
+        sibling = (home_bank + 1) % self.config.banks
+        if sibling == home_bank or sibling in self._offline_banks:
+            return
+        bank = self._banks[sibling]
+        if self.policy == FCFS:
+            bank.queue.append(request)
+        else:
+            bank.reads.append(request)
+        self.hedged += 1
+        if _obs.active():
+            _obs.get_registry().inc("service.hedged")
+        if not bank.busy:
+            self._start_service(sibling)
+
+    def _requeue(self, request: Request) -> None:
+        """Re-enqueue a read whose ladder failed (controller-level retry)."""
+        bank_index = self.bank_of(request.address)
+        bank = self._banks[bank_index]
+        if self.policy == FCFS:
+            bank.queue.append(request)
+            if not request.is_read:
+                bank.queued_writes += 1
+        elif request.is_read:
+            bank.reads.append(request)
+        else:
+            bank.writes.append(request)
+        if not bank.busy:
+            self._start_service(bank_index)
 
     def _complete(
         self,
@@ -595,7 +743,39 @@ class MemoryController:
     ) -> None:
         bank = self._banks[bank_index]
         group = len(taken)
+        budget = self.config.request_retries
         for request in taken:
+            rid = request.request_id
+            if self._hedging:
+                self._in_service.discard(rid)
+            word_failed = rid in failed
+            if word_failed and budget > 0 and request.is_read:
+                used = self._retry_counts.get(rid, 0)
+                if used < budget:
+                    # The ladder lost this word: back off and re-queue
+                    # rather than answering with a detected loss.
+                    self._retry_counts[rid] = used + 1
+                    self.retries_performed += 1
+                    if _obs.active():
+                        _obs.get_registry().inc("service.retries")
+                    self.engine.schedule(
+                        self.config.retry_backoff * (2 ** used),
+                        self._requeue,
+                        request,
+                    )
+                    continue
+                self._record(CompletedRequest(
+                    request=request,
+                    bank=bank_index,
+                    start=start,
+                    finish=self.engine.now,
+                    batched_with=group,
+                    attempts=attempts,
+                    failed=True,
+                    unreachable=True,
+                    retries=used,
+                ))
+                continue
             if request.is_read and self.cache is not None:
                 self.cache.fill(request.address)
             self._record(CompletedRequest(
@@ -605,12 +785,63 @@ class MemoryController:
                 finish=self.engine.now,
                 batched_with=group,
                 attempts=attempts,
-                failed=request.request_id in failed,
+                failed=word_failed,
+                retries=self._retry_counts.get(rid, 0),
             ))
         bank.served += group
         bank.busy = False
         if bank.depth():
             self._start_service(bank_index)
+
+    # ------------------------------------------------------------------
+    # Structural-failure hooks (see :mod:`repro.service.failures`)
+    # ------------------------------------------------------------------
+    def _failure_event(self, kind: str) -> None:
+        if _obs.active():
+            _obs.get_registry().inc("service.failures.events", kind=kind)
+
+    def _check_bank(self, bank_index: int) -> None:
+        if not 0 <= bank_index < self.config.banks:
+            raise ConfigurationError(
+                f"bank {bank_index} out of range for {self.config.banks} banks"
+            )
+
+    def set_stall_factor(self, factor: float) -> None:
+        """Inflate (or restore) every occupancy by ``factor`` from now on."""
+        if factor <= 0.0:
+            raise ConfigurationError(f"stall factor must be > 0, got {factor}")
+        self.stall_factor = float(factor)
+        self._failure_event(
+            "controller-stall" if factor != 1.0 else "stall-cleared"
+        )
+
+    def set_bank_offline(self, bank_index: int) -> None:
+        """Take a bank offline: its in-flight group finishes, nothing new
+        starts, arrivals keep queueing until :meth:`set_bank_online`."""
+        self._check_bank(bank_index)
+        self._offline_banks.add(bank_index)
+        self._failure_event("bank-offline")
+
+    def set_bank_online(self, bank_index: int) -> None:
+        """Heal an offline bank and kick its queue back into service."""
+        self._check_bank(bank_index)
+        self._offline_banks.discard(bank_index)
+        self._failure_event("bank-online")
+        if self._banks[bank_index].depth():
+            self._start_service(bank_index)
+
+    def lock_bank(self, bank_index: int) -> None:
+        """Latch a bank's sense amps: reads occupy the bank but return
+        detected losses (no sensing happens); writes are unaffected."""
+        self._check_bank(bank_index)
+        self._locked_banks.add(bank_index)
+        self._failure_event("sense-lockup")
+
+    def unlock_bank(self, bank_index: int) -> None:
+        """Release a latched bank's sense amps."""
+        self._check_bank(bank_index)
+        self._locked_banks.discard(bank_index)
+        self._failure_event("sense-unlocked")
 
     # ------------------------------------------------------------------
     # Policy and service model
@@ -662,12 +893,17 @@ class MemoryController:
         )
         return [reads.popleft() for _ in range(min(limit, len(reads)))]
 
-    def _serve(self, taken: List[Request]) -> Tuple[float, int, Tuple[int, ...]]:
+    def _serve(
+        self, taken: List[Request], bank_index: int = 0
+    ) -> Tuple[float, int, Tuple[int, ...]]:
         """Bank occupancy of one group; backed mode performs real reads.
 
         Returns ``(duration, worst_attempts, failed_request_ids)``.  In
         backed mode every extra sensing attempt of the slowest word adds
         one more read pass plus the retry policy's simulated backoff.
+        A nonzero stall factor stretches the final duration; a latched
+        bank (:meth:`lock_bank`) turns every read of the group into a
+        detected loss without touching the backend or its RNG.
         """
         if not taken[0].is_read:
             if self.backend is not None:
@@ -675,7 +911,12 @@ class MemoryController:
                 self.backend.write(
                     request.address, ArrayBackend.payload(request.request_id)
                 )
-            return self.config.write_time, 1, ()
+            return self.config.write_time * self.stall_factor, 1, ()
+        if bank_index in self._locked_banks:
+            # Sense amps latched: the occupancy happens, the sensing
+            # doesn't — every word comes back as a flagged loss.
+            duration = self.config.batch_duration(len(taken)) * self.stall_factor
+            return duration, 1, tuple(r.request_id for r in taken)
         duration = self.config.batch_duration(len(taken))
         attempts = 1
         failed: List[int] = []
@@ -702,10 +943,26 @@ class MemoryController:
             registry = _obs.get_registry()
             registry.inc("service.batches")
             registry.inc("service.batched_reads", len(taken))
-        return duration, attempts, tuple(failed)
+        return duration * self.stall_factor, attempts, tuple(failed)
 
     def _record(self, completed: CompletedRequest) -> None:
         self.completions.append(completed)
+        request = completed.request
+        if self._hedging:
+            self._finished.add(request.request_id)
+            if (
+                request.is_read
+                and not (completed.shed or completed.timed_out or completed.cache_hit)
+                and completed.bank != self.bank_of(request.address)
+            ):
+                # Terminal record came from the sibling bank: the hedge won.
+                self.hedge_wins += 1
+        if (
+            self.journal is not None
+            and not request.is_read
+            and not (completed.shed or completed.timed_out or completed.unreachable)
+        ):
+            self.journal.acknowledge(request.request_id, self.engine.now)
         if _obs.active():
             registry = _obs.get_registry()
             if completed.shed:
@@ -713,6 +970,12 @@ class MemoryController:
                     "service.admission.shed",
                     priority="low" if completed.request.priority > 0 else "normal",
                 )
+                return
+            if completed.timed_out:
+                registry.inc("service.timed_out", op=request.op)
+                return
+            if completed.unreachable:
+                registry.inc("service.failed_requests", op=request.op)
                 return
             registry.inc("service.completions", op=completed.request.op)
             registry.observe(
@@ -749,6 +1012,7 @@ def simulate_service(
     scheme: str = "",
     offered_rate: float = 0.0,
     backend_mode: str = BACKEND_BATCHED,
+    failures=None,
 ):
     """Run one full simulation and return its
     :class:`~repro.service.report.ServiceReport`.
@@ -756,6 +1020,9 @@ def simulate_service(
     The convenience entry point the CLI, the benchmarks, and the
     :func:`repro.array.scheduler.simulate_read_queue` wrapper all share:
     build an engine, submit the stream, drain the calendar, summarize.
+    ``failures`` optionally installs a
+    :class:`~repro.service.failures.FailureScenario` on the calendar
+    before the stream runs (channel outages need the topology driver).
     """
     from repro.service.report import build_report
 
@@ -766,11 +1033,18 @@ def simulate_service(
         engine, config, policy=policy, cache=cache, backend=backend,
         retry_policy=retry_policy, backend_mode=backend_mode,
     )
+    if failures is not None:
+        from repro.service.failures import install_failures
+
+        install_failures(engine, controller, failures)
     controller.submit_all(requests)
     engine.run()
-    return build_report(
+    report = build_report(
         controller, scheme=scheme, offered_rate=offered_rate
     )
+    # A drained calendar must account for every request exactly once.
+    report.check_conservation()
+    return report
 
 
 def scheme_service_times(scheme: str, config=None) -> Tuple[float, float]:

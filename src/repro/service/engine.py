@@ -106,6 +106,19 @@ class DiscreteEventEngine:
         heapq.heapify(self._heap)
         return len(entries)
 
+    def drop_pending(self) -> int:
+        """Discard every event still on the calendar; returns the count.
+
+        This is the power-loss primitive the crash/restart scenario uses
+        (:func:`repro.service.journal.run_crash_restart`): whatever was
+        scheduled — queued arrivals, in-flight completions, retry timers —
+        vanishes, exactly as volatile controller state does when power
+        drops.  The clock is left where it stopped.
+        """
+        dropped = len(self._heap)
+        self._heap.clear()
+        return dropped
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------

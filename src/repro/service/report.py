@@ -23,7 +23,7 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultError
 from repro.obs import runtime as _obs
 
 __all__ = [
@@ -117,11 +117,48 @@ class ServiceReport:
     scrubbed_words: int = 0      #: background scrub rewrites
     adaptive_actions: int = 0    #: actuator steps the controller applied
     adaptive_alarms: int = 0     #: healthy → breached transitions
+    # Resilience accounting (all zero unless deadlines, hedging,
+    # controller retries, failover, or a crash were in play, so reports
+    # from before the resilience layer compare unchanged).  The full
+    # conservation invariant a drained run must satisfy is
+    # ``requests == completed + shed + timed_out + failed_requests``
+    # (:meth:`check_conservation`).
+    timed_out: int = 0           #: deadline expired before service
+    failed_requests: int = 0     #: terminal failures (no served response)
+    detected_loss: int = 0       #: served completions flagged failed
+    hedged: int = 0              #: reads cloned to a sibling bank
+    hedge_wins: int = 0          #: of which the clone finished first
+    request_retries: int = 0     #: controller-level re-queues performed
 
     @property
     def shed_rate(self) -> float:
         """Fraction of submitted requests shed by admission control."""
         return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of submitted requests served with a real response."""
+        return self.completed / self.requests if self.requests else 1.0
+
+    def check_conservation(self) -> "ServiceReport":
+        """Enforce ``requests == completed + shed + timed_out + failed``.
+
+        Raises :class:`~repro.errors.FaultError` when a drained run lost
+        track of a request — the invariant that makes "zero silent
+        escapes" checkable at the request level.  Returns ``self`` so the
+        call chains.
+        """
+        accounted = (
+            self.completed + self.shed + self.timed_out + self.failed_requests
+        )
+        if self.requests != accounted:
+            raise FaultError(
+                f"request conservation violated: {self.requests} submitted "
+                f"but {accounted} accounted for ({self.completed} completed "
+                f"+ {self.shed} shed + {self.timed_out} timed out + "
+                f"{self.failed_requests} failed)"
+            )
+        return self
 
     @property
     def read_slowdown(self) -> float:
@@ -145,8 +182,13 @@ def build_report(
     events happened to fire in.
     """
     ordered = sorted(controller.completions, key=lambda c: c.request.request_id)
-    completions = [c for c in ordered if not c.shed]
+    completions = [
+        c for c in ordered if not (c.shed or c.timed_out or c.unreachable)
+    ]
     shed_requests = [c for c in ordered if c.shed]
+    timed_out = sum(1 for c in ordered if c.timed_out)
+    failed_requests = sum(1 for c in ordered if c.unreachable)
+    detected_loss = sum(1 for c in completions if c.failed)
     read_latencies = [c.latency for c in completions if c.request.is_read]
     write_latencies = [c.latency for c in completions if not c.request.is_read]
     cache_hits = sum(1 for c in completions if c.cache_hit)
@@ -187,6 +229,12 @@ def build_report(
         scrubbed_words=backend.scrubbed_words if backend else 0,
         adaptive_actions=adaptive.actions if adaptive else 0,
         adaptive_alarms=adaptive.alarms if adaptive else 0,
+        timed_out=timed_out,
+        failed_requests=failed_requests,
+        detected_loss=detected_loss,
+        hedged=getattr(controller, "hedged", 0),
+        hedge_wins=getattr(controller, "hedge_wins", 0),
+        request_retries=getattr(controller, "retries_performed", 0),
     )
 
 
@@ -217,6 +265,11 @@ def publish_report(report: ServiceReport) -> None:
     registry.set_gauge("service.cache_hit_rate", report.cache_hit_rate, **labels)
     registry.set_gauge("service.shed_requests", report.shed, **labels)
     registry.set_gauge("service.shed_rate", report.shed_rate, **labels)
+    registry.set_gauge("service.timed_out_requests", report.timed_out, **labels)
+    registry.set_gauge(
+        "service.failed_requests_total", report.failed_requests, **labels
+    )
+    registry.set_gauge("service.availability", report.availability, **labels)
     registry.set_gauge(
         "service.adaptive.actions_total", report.adaptive_actions, **labels
     )

@@ -53,6 +53,7 @@ from repro.service.controller import (
     BACKEND_MODES,
     FCFS,
     POLICIES,
+    CompletedRequest,
     ControllerConfig,
     MemoryController,
     build_backend,
@@ -71,6 +72,7 @@ __all__ = [
     "Interleaver",
     "build_interleaver",
     "ShardRouter",
+    "FailoverStats",
     "TopologyReport",
     "shard_seeds",
     "simulate_topology",
@@ -329,6 +331,126 @@ class ShardRouter:
                 shards[int(channel)].append(request)
         return [tuple(shard) for shard in shards]
 
+    def split_with_failover(
+        self,
+        requests: Sequence[Request],
+        outages: Sequence[Tuple[int, float, float]],
+    ):
+        """Split under channel outages; degraded-mode additive failover.
+
+        ``outages`` is a sequence of ``(channel, start, end)`` windows
+        (see :meth:`repro.service.failures.FailureScenario.outage_windows`).
+        The front end scans the stream in arrival order, maintaining a
+        remap table from each relocated address to the surviving channel
+        now holding its data:
+
+        * a **write** whose target channel is down reroutes to the first
+          surviving channel counting up from its home (additive
+          fallback) and the address is remapped there — the data now
+          *lives* on the fallback, so later reads follow it;
+        * a **read** whose data is resident on a down channel fails
+          loudly at the front end (an ``unreachable`` terminal record) —
+          a detected loss, never a silently stale or invented value;
+        * a **write** arriving after the home channel healed lands back
+          home and the remap entry is dropped — the mapping restores
+          itself through write traffic, no migration pass needed.
+
+        Returns ``(shards, frontend_failures, stats)``: the per-channel
+        shards, the terminal :class:`CompletedRequest` records the front
+        end produced (bank indices already global), and a
+        :class:`FailoverStats` summary.
+        """
+        channels = self.topology.channels
+        windows: List[List[Tuple[float, float]]] = [[] for _ in range(channels)]
+        for channel, start, end in outages:
+            if not 0 <= channel < channels:
+                raise ConfigurationError(
+                    f"outage channel {channel} out of range for "
+                    f"{channels} channels"
+                )
+            windows[int(channel)].append((float(start), float(end)))
+
+        def down(channel: int, time: float) -> bool:
+            return any(s <= time < e for s, e in windows[channel])
+
+        per_channel = self.topology.banks_per_channel
+        shards: List[List[Request]] = [[] for _ in range(channels)]
+        frontend: List[CompletedRequest] = []
+        remap: Dict[int, int] = {}
+        ever_remapped: set = set()
+        unreachable = rerouted = restored = 0
+        for request in requests:
+            address = request.address % self.topology.capacity
+            home = int(self.interleaver.decompose(address).channel)
+            target = remap.get(address, home)
+            if request.is_read:
+                if down(target, request.time):
+                    # The resident copy is unreachable: fail loudly.
+                    unreachable += 1
+                    frontend.append(CompletedRequest(
+                        request=request,
+                        bank=home * per_channel + self.local_bank(address),
+                        start=request.time,
+                        finish=request.time,
+                        failed=True,
+                        unreachable=True,
+                    ))
+                else:
+                    shards[target].append(request)
+                continue
+            # Writes carry fresh data, so they may land on any live
+            # channel: first survivor counting up from home.
+            fallback = None
+            for offset in range(channels):
+                candidate = (home + offset) % channels
+                if not down(candidate, request.time):
+                    fallback = candidate
+                    break
+            if fallback is None:
+                unreachable += 1
+                frontend.append(CompletedRequest(
+                    request=request,
+                    bank=home * per_channel + self.local_bank(address),
+                    start=request.time,
+                    finish=request.time,
+                    failed=True,
+                    unreachable=True,
+                ))
+                continue
+            if fallback == home:
+                if address in remap:
+                    del remap[address]
+                    restored += 1
+            elif remap.get(address) != fallback:
+                remap[address] = fallback
+                ever_remapped.add(address)
+                rerouted += 1
+            shards[fallback].append(request)
+        stats = FailoverStats(
+            outages=tuple(
+                (int(channel), float(start), float(end))
+                for channel, start, end in outages
+            ),
+            unreachable_requests=unreachable,
+            rerouted_writes=rerouted,
+            remapped_words=len(ever_remapped),
+            restored_words=restored,
+            residual_remaps=len(remap),
+        )
+        return [tuple(shard) for shard in shards], tuple(frontend), stats
+
+
+@dataclasses.dataclass(frozen=True)
+class FailoverStats:
+    """Front-end accounting of a degraded-mode (channel outage) run."""
+
+    outages: Tuple[Tuple[int, float, float], ...]  #: (channel, start, end)
+    unreachable_requests: int  #: failed loudly at the front end
+    rerouted_writes: int       #: writes diverted to a surviving channel
+    remapped_words: int        #: distinct addresses ever relocated
+    restored_words: int        #: remaps undone by post-heal writes
+    residual_remaps: int       #: still relocated when the trace ended
+
 
 # ---------------------------------------------------------------------------
 # Seed split
@@ -376,6 +498,7 @@ class _ShardSpec:
     scheme: str
     fault_rate: float
     shard_seed: int
+    backend_bits: int = 16384
 
 
 @dataclasses.dataclass(frozen=True)
@@ -411,7 +534,8 @@ def _run_shard(spec: _ShardSpec) -> _ShardResult:
     backend = retry_policy = None
     if spec.backed:
         backend, retry_policy = build_backend(
-            spec.scheme, seed=spec.shard_seed, fault_rate=spec.fault_rate
+            spec.scheme, seed=spec.shard_seed, bits=spec.backend_bits,
+            fault_rate=spec.fault_rate,
         )
     engine = DiscreteEventEngine()
     controller = MemoryController(
@@ -494,6 +618,9 @@ class TopologyReport:
     interleave: str
     merged: ServiceReport
     channel_reports: Tuple[ServiceReport, ...]
+    #: Front-end failover accounting; None for a healthy (no-outage) run,
+    #: so reports from before the resilience layer compare unchanged.
+    failover: Optional["FailoverStats"] = None
 
     @property
     def channel_served(self) -> Tuple[int, ...]:
@@ -519,6 +646,10 @@ class TopologyReport:
             "channel_reports": [r.to_dict() for r in self.channel_reports],
             "channel_served": list(self.channel_served),
             "rank_served": list(self.rank_served),
+            "failover": (
+                dataclasses.asdict(self.failover)
+                if self.failover is not None else None
+            ),
         }
 
 
@@ -531,12 +662,18 @@ def _merge_results(
     read_time: float,
     scheme: str,
     offered_rate: float,
+    frontend: Tuple = (),
+    failover: Optional[FailoverStats] = None,
 ) -> TopologyReport:
     """Fold per-shard results (ordered by channel) into one report.
 
     Bank indices are globalized (``bank + channel × banks_per_channel``)
     before the merged :func:`build_report` pass so per-occupancy batch
     dedup — keyed on ``(bank, start)`` — cannot collide across channels.
+    ``frontend`` carries the router's terminal failure records from a
+    degraded-mode run (bank indices already global): they join the merged
+    accounting — so the conservation invariant covers them — but no
+    channel's own report, which stays a pure function of its shard.
     """
     per_channel = topology.banks_per_channel
     channel_reports = []
@@ -571,6 +708,8 @@ def _merge_results(
         merged_depths.extend(result.depth_samples)
         merged_banks.extend(result.bank_served)
         submitted += result.submitted
+    merged_completions.extend(frontend)
+    submitted += len(frontend)
     merged = build_report(
         _ResultView(
             merged_completions,
@@ -585,11 +724,17 @@ def _merge_results(
         scheme=scheme,
         offered_rate=offered_rate,
     )
+    # Every shard drained and the front end accounted for what it never
+    # forwarded, so the merged view must conserve requests exactly.
+    merged.check_conservation()
+    for channel_report in channel_reports:
+        channel_report.check_conservation()
     return TopologyReport(
         topology=topology,
         interleave=interleave,
         merged=merged,
         channel_reports=tuple(channel_reports),
+        failover=failover,
     )
 
 
@@ -615,6 +760,8 @@ def simulate_topology(
     fault_rate: float = 0.0,
     seed: int = 2010,
     processes: int = 1,
+    backend_bits: int = 16384,
+    failures=None,
 ) -> TopologyReport:
     """Fan ``requests`` across the topology and merge the shard runs.
 
@@ -635,6 +782,16 @@ def simulate_topology(
     with ``processes > 1`` must be importable without side effects
     (guard the call with ``if __name__ == "__main__":``), or the
     workers re-execute the script top level.
+
+    ``failures`` optionally passes a
+    :class:`~repro.service.failures.FailureScenario` whose events must
+    all be channel outages: the router runs
+    :meth:`ShardRouter.split_with_failover` instead of :meth:`split`,
+    serving degraded over the surviving channels (see
+    ``docs/RESILIENCE.md``).  Flat scenarios (stalls, bank failures)
+    belong to a single controller — install them via
+    :func:`~repro.service.controller.simulate_service` — and are
+    rejected here.
     """
     if not requests:
         raise ConfigurationError("requests must be a non-empty sequence")
@@ -653,7 +810,23 @@ def simulate_topology(
     if backed and not scheme:
         raise ConfigurationError("backed topology runs need a sensing scheme")
     router = ShardRouter(topology, interleave)
-    shards = router.split(requests)
+    frontend: Tuple = ()
+    failover = None
+    if failures is not None:
+        from repro.service.failures import CHANNEL_OUTAGE
+
+        bad = [e.kind for e in failures.events if e.kind != CHANNEL_OUTAGE]
+        if bad:
+            raise ConfigurationError(
+                f"topology runs only take channel-outage scenarios; got "
+                f"{sorted(set(bad))} — install flat scenarios on a single "
+                "controller via simulate_service(failures=...)"
+            )
+        shards, frontend, failover = router.split_with_failover(
+            requests, failures.outage_windows()
+        )
+    else:
+        shards = router.split(requests)
     seeds = shard_seeds(seed, topology.channels)
     specs = [
         _ShardSpec(
@@ -673,6 +846,7 @@ def simulate_topology(
             scheme=scheme,
             fault_rate=fault_rate,
             shard_seed=seeds[channel],
+            backend_bits=backend_bits,
         )
         for channel, shard in enumerate(shards)
     ]
@@ -689,6 +863,7 @@ def simulate_topology(
         results, topology, interleave,
         policy=policy, read_time=read_time,
         scheme=scheme, offered_rate=offered_rate,
+        frontend=frontend, failover=failover,
     )
 
 
@@ -727,3 +902,16 @@ def publish_topology_report(report: TopologyReport) -> None:
         )
     for index, served in enumerate(report.rank_served):
         registry.set_gauge("service.topology.rank_served", served, rank=index)
+    if report.failover is not None:
+        registry.set_gauge(
+            "service.topology.failover.unreachable",
+            report.failover.unreachable_requests,
+        )
+        registry.set_gauge(
+            "service.topology.failover.rerouted_writes",
+            report.failover.rerouted_writes,
+        )
+        registry.set_gauge(
+            "service.topology.failover.remapped_words",
+            report.failover.remapped_words,
+        )

@@ -71,6 +71,11 @@ class Request:
         Shedding class: 0 (the default) is foreground traffic; larger
         values are lower priority and are dropped first when admission
         control engages (see :class:`repro.service.adaptive.AdmissionGate`).
+    deadline:
+        Absolute service-start deadline [s]; 0 (the default) means no
+        deadline.  A request still waiting when the clock passes its
+        deadline is dropped by the controller and recorded as
+        ``timed_out`` instead of being served (see ``docs/RESILIENCE.md``).
     """
 
     request_id: int
@@ -78,6 +83,7 @@ class Request:
     address: int
     op: str = READ
     priority: int = 0
+    deadline: float = 0.0
 
     def __post_init__(self) -> None:
         if self.op not in (READ, WRITE):
@@ -88,6 +94,8 @@ class Request:
             raise ConfigurationError(f"address must be >= 0, got {self.address}")
         if self.priority < 0:
             raise ConfigurationError(f"priority must be >= 0, got {self.priority}")
+        if self.deadline < 0.0:
+            raise ConfigurationError(f"deadline must be >= 0, got {self.deadline}")
 
     @property
     def is_read(self) -> bool:
@@ -374,6 +382,10 @@ def save_trace(path, requests: Iterable[Request]) -> int:
                 # Written only when nonzero: priority-0 traces stay
                 # byte-identical to those from before the field existed.
                 record["pri"] = request.priority
+            if request.deadline:
+                # Same backward-compatibility contract as ``pri``: the
+                # key only appears when a deadline is actually set.
+                record["dl"] = request.deadline
             handle.write(json.dumps(record, sort_keys=True))
             handle.write("\n")
             count += 1
@@ -396,6 +408,7 @@ def load_trace(path) -> Tuple[Request, ...]:
                     address=int(record["addr"]),
                     op=str(record["op"]),
                     priority=int(record.get("pri", 0)),
+                    deadline=float(record.get("dl", 0.0)),
                 ))
             except (KeyError, ValueError, TypeError) as error:
                 raise ConfigurationError(

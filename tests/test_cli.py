@@ -11,13 +11,13 @@ class TestVersion:
     def test_version_matches_package_metadata(self):
         import repro
 
-        assert package_version() == repro.__version__ == "1.0.0"
+        assert package_version() == repro.__version__ == "1.1.0"
 
     def test_version_flag_prints_and_exits_zero(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
-        assert "1.0.0" in capsys.readouterr().out
+        assert "1.1.0" in capsys.readouterr().out
 
 
 class TestParser:

@@ -134,6 +134,50 @@ class TestServiceSectionCompleteness:
         )
 
 
+class TestResilienceDocDrift:
+    """The drift contract extended to the resilience modules.
+
+    The class/function exports of ``repro.service.failures`` and
+    ``repro.service.journal`` must flow through ``repro.service.__all__``
+    (so :class:`TestServiceSectionCompleteness` forces them into API.md),
+    and RESILIENCE.md must name the load-bearing surface it documents.
+    """
+
+    @pytest.mark.parametrize(
+        "module_name", ["repro.service.failures", "repro.service.journal"]
+    )
+    def test_resilience_exports_reach_the_package_root(self, module_name):
+        module = importlib.import_module(module_name)
+        service = importlib.import_module("repro.service")
+        missing = [
+            name
+            for name in module.__all__
+            # Scenario-name string constants stay module-level detail;
+            # classes and callables are the documented API surface.
+            if not name.isupper() or name in ("FAILURE_KINDS", "CHAOS_SCENARIOS")
+            if name not in service.__all__
+        ]
+        assert not missing, (
+            f"{module_name} exports {missing} but repro.service does not "
+            f"re-export them — they would escape the API.md drift test"
+        )
+
+    def test_resilience_doc_names_the_surface(self):
+        text = (REPO / "docs" / "RESILIENCE.md").read_text()
+        for needle in (
+            "FailureScenario",
+            "build_failure_scenario",
+            "install_failures",
+            "split_with_failover",
+            "WriteAheadJournal",
+            "run_crash_restart",
+            "run_chaos_campaign",
+            "(seed, 7)",
+            "requests == completed + shed + timed_out + failed_requests",
+        ):
+            assert needle in text, needle
+
+
 class TestObsSurface:
     def test_all_public_obs_symbols_resolve(self):
         obs = importlib.import_module("repro.obs")
@@ -158,5 +202,9 @@ class TestObsSurface:
             "timing.read_latency_ns",
             "read_issued",
             "fault_injected",
+            "service.failures.events",
+            "service.hedged",
+            "service.availability",
+            "service.topology.failover.unreachable",
         ):
             assert needle in text, needle

@@ -32,10 +32,13 @@ from repro.service import (
     ControllerConfig,
     Coord,
     DiscreteEventEngine,
+    FailoverStats,
     MemoryController,
     Request,
     ShardRouter,
     Topology,
+    bank_offline,
+    channel_outage,
     ZipfianAddresses,
     build_interleaver,
     build_workload,
@@ -390,3 +393,129 @@ class TestTopologyObs:
         topology = Topology(channels=1, ranks=1, banks=2, rows=32)
         report = run_topology(zipf_requests(40), topology)
         publish_topology_report(report)  # must not raise
+
+
+class TestSplitOrderPreservation:
+    """Sharding must preserve per-channel arrival order — the property
+    the engines' deterministic tie-breaking (and thus every merged
+    report) stands on, even when addresses repeat within a stream."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=60))
+    def test_duplicate_addresses_preserve_arrival_order(self, addresses):
+        topology = Topology(channels=4, ranks=1, banks=2, rows=2)
+        router = ShardRouter(topology)
+        requests = [
+            Request(i, i * 1.0e-9, address, "read")
+            for i, address in enumerate(addresses)
+        ]
+        shards = router.split(requests)
+        for shard in shards:
+            ids = [request.request_id for request in shard]
+            assert ids == sorted(ids)
+        routed = sorted(r.request_id for shard in shards for r in shard)
+        assert routed == list(range(len(requests)))
+
+    def test_failover_split_without_outages_is_plain_split(self):
+        topology = Topology(channels=2, ranks=1, banks=2, rows=4)
+        router = ShardRouter(topology)
+        requests = zipf_requests(80, addresses=topology.capacity,
+                                 write_fraction=0.3)
+        shards, frontend, stats = router.split_with_failover(requests, ())
+        assert shards == router.split(requests)
+        assert frontend == ()
+        assert stats == FailoverStats(
+            outages=(), unreachable_requests=0, rerouted_writes=0,
+            remapped_words=0, restored_words=0, residual_remaps=0,
+        )
+
+
+class TestDegradedModeFailover:
+    """Channel-outage failover: writes reroute additively to a surviving
+    channel, reads follow the relocated data, detected loss is loud, and
+    post-heal writes restore the home mapping."""
+
+    def _router(self):
+        topology = Topology(channels=2, ranks=1, banks=2, rows=4)
+        router = ShardRouter(topology)
+        # An address resident on channel 1, so the outage below hits it.
+        address = next(
+            a for a in range(topology.capacity) if router.channel_of(a) == 1
+        )
+        return router, address
+
+    def test_write_reroutes_read_follows_heal_restores(self):
+        router, address = self._router()
+        outages = ((1, 0.0, 100.0e-9),)
+        requests = [
+            Request(0, 10.0e-9, address, "write"),    # rerouted to ch 0
+            Request(1, 20.0e-9, address, "read"),     # follows the remap
+            Request(2, 150.0e-9, address, "write"),   # post-heal: restores
+            Request(3, 160.0e-9, address, "read"),    # back home on ch 1
+        ]
+        shards, frontend, stats = router.split_with_failover(
+            requests, outages
+        )
+        assert [r.request_id for r in shards[0]] == [0, 1]
+        assert [r.request_id for r in shards[1]] == [2, 3]
+        assert frontend == ()
+        assert stats.rerouted_writes == 1
+        assert stats.remapped_words == 1
+        assert stats.restored_words == 1
+        assert stats.residual_remaps == 0
+        assert stats.unreachable_requests == 0
+
+    def test_read_of_down_resident_data_fails_loudly(self):
+        router, address = self._router()
+        requests = [Request(0, 10.0e-9, address, "read")]
+        shards, frontend, stats = router.split_with_failover(
+            requests, ((1, 0.0, 100.0e-9),)
+        )
+        assert all(not shard for shard in shards)
+        (record,) = frontend
+        assert record.failed and record.unreachable
+        assert record.start == record.finish == 10.0e-9
+        assert stats.unreachable_requests == 1
+        assert stats.rerouted_writes == 0
+
+    def test_write_with_every_channel_down_is_unreachable(self):
+        router, address = self._router()
+        outages = ((0, 0.0, 100.0e-9), (1, 0.0, 100.0e-9))
+        shards, frontend, stats = router.split_with_failover(
+            [Request(0, 10.0e-9, address, "write")], outages
+        )
+        assert all(not shard for shard in shards)
+        (record,) = frontend
+        assert record.unreachable
+        assert stats.unreachable_requests == 1
+
+    def test_outage_channel_range_validated(self):
+        router, _ = self._router()
+        with pytest.raises(ConfigurationError):
+            router.split_with_failover([], ((5, 0.0, 1.0),))
+
+    def test_topology_run_under_outage_conserves(self):
+        topology = Topology(channels=2, ranks=1, banks=2, rows=16)
+        requests = zipf_requests(300, addresses=topology.capacity,
+                                 write_fraction=0.3, rate=2.0e8)
+        span = max(r.time for r in requests)
+        scenario = channel_outage(0.25 * span, 0.5 * span, channel=1)
+        report = run_topology(requests, topology, failures=scenario)
+        merged = report.merged
+        assert merged.requests == len(requests)
+        assert merged.requests == (
+            merged.completed + merged.shed + merged.timed_out
+            + merged.failed_requests
+        )
+        assert report.failover is not None
+        assert merged.failed_requests == report.failover.unreachable_requests
+        assert report.failover.rerouted_writes > 0
+        assert report.to_dict()["failover"] is not None
+
+    def test_non_outage_scenarios_rejected_at_the_topology_layer(self):
+        topology = Topology(channels=2, ranks=1, banks=2, rows=16)
+        requests = zipf_requests(40, addresses=topology.capacity)
+        with pytest.raises(ConfigurationError):
+            run_topology(
+                requests, topology, failures=bank_offline(1.0e-9, 1.0e-9)
+            )

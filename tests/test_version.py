@@ -1,0 +1,54 @@
+"""Version single-sourcing: every declared version must agree.
+
+``repro.__version__`` resolves through ``importlib.metadata`` with the
+``src/repro/__init__.py`` literal as fallback; ``pyproject.toml`` and
+``CITATION.cff`` each carry their own copy for packaging and citation
+tooling.  This test pins all of them together so a release bump cannot
+drift one surface out of sync (the failure mode: a wheel that reports a
+different version than its citation metadata).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import repro
+from repro.cli import package_version
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _pyproject_version() -> str:
+    text = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    match = re.search(r'^version = "([^"]+)"$', text, flags=re.MULTILINE)
+    assert match, "pyproject.toml lost its version field"
+    return match.group(1)
+
+
+def _citation_version() -> str:
+    text = (ROOT / "CITATION.cff").read_text(encoding="utf-8")
+    match = re.search(r"^version: (\S+)$", text, flags=re.MULTILINE)
+    assert match, "CITATION.cff lost its version field"
+    return match.group(1)
+
+
+def _fallback_literal() -> str:
+    text = (ROOT / "src" / "repro" / "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'__version__ = "([^"]+)"', text)
+    assert match, "src/repro/__init__.py lost its fallback version literal"
+    return match.group(1)
+
+
+class TestVersionAgreement:
+    def test_every_surface_reports_one_version(self):
+        assert (
+            repro.__version__
+            == package_version()
+            == _pyproject_version()
+            == _citation_version()
+            == _fallback_literal()
+        )
+
+    def test_version_is_semver_shaped(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)

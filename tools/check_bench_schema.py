@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Stdlib-only schema check for the machine-readable benchmark artifacts.
+
+Every ``benchmarks/results/BENCH_*.json`` file is a map of *sections*
+(one per benchmark configuration, e.g. ``scaling`` / ``scaling_smoke``),
+and CI jobs assert against individual fields in those sections.  This
+checker pins the shared contract so a benchmark refactor cannot silently
+ship an artifact the CI asserts no longer reach:
+
+* the file must parse as a non-empty JSON object;
+* every section must itself be a JSON object;
+* every section must carry the required metadata keys (``requests`` —
+  the workload size that produced it, a positive integer).
+
+Exit status is the number of violations (0 = clean), so CI can run it
+directly.  Usage::
+
+    python tools/check_bench_schema.py              # benchmarks/results
+    python tools/check_bench_schema.py --results-dir path/to/results
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List
+
+#: Keys every benchmark section must carry.
+REQUIRED_KEYS = ("requests",)
+
+
+def check_file(path: pathlib.Path) -> List[str]:
+    """Violation messages for one BENCH_*.json file (empty = clean)."""
+    violations: List[str] = []
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as error:
+        return [f"{path.name}: unreadable ({error})"]
+    if not isinstance(data, dict) or not data:
+        return [f"{path.name}: expected a non-empty JSON object of sections"]
+    for section, payload in data.items():
+        if not isinstance(payload, dict):
+            violations.append(
+                f"{path.name}: section {section!r} is not an object"
+            )
+            continue
+        for key in REQUIRED_KEYS:
+            if key not in payload:
+                violations.append(
+                    f"{path.name}: section {section!r} is missing "
+                    f"required key {key!r}"
+                )
+            elif key == "requests" and not (
+                isinstance(payload[key], int)
+                and not isinstance(payload[key], bool)
+                and payload[key] > 0
+            ):
+                violations.append(
+                    f"{path.name}: section {section!r} has non-positive "
+                    f"or non-integer requests={payload[key]!r}"
+                )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        default=pathlib.Path(__file__).parent.parent
+        / "benchmarks" / "results",
+        type=pathlib.Path,
+        help="directory holding BENCH_*.json (default benchmarks/results)",
+    )
+    args = parser.parse_args(argv)
+    files = sorted(args.results_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json files under {args.results_dir}")
+        return 1
+    violations: List[str] = []
+    for path in files:
+        violations.extend(check_file(path))
+    for message in violations:
+        print(f"SCHEMA: {message}")
+    print(
+        f"checked {len(files)} artifact file(s): "
+        f"{len(violations)} violation(s)"
+    )
+    return len(violations)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
