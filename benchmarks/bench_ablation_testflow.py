@@ -9,7 +9,7 @@ find where the nondestructive scheme's product yield collapses.
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.array.testflow import TestFlowConfig, yield_curve
+from repro.prodtest import TestFlowConfig, yield_curve
 
 
 def test_ablation_testflow(benchmark, report):

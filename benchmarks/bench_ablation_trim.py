@@ -8,38 +8,12 @@ margin the trim recovers on parts whose divider ratio came out skewed.
 import numpy as np
 
 from repro.analysis.report import format_table
-from repro.core.margins import population_nondestructive_margins
-from repro.core.trim import trim_population_beta
-from repro.device.variation import CellPopulation, VariationModel
-
-
-def trim_experiment(calibration, alpha_skews, bits=2048, seed=5):
-    """For each systematic divider skew: worst-bit margin before/after the
-    β trim."""
-    results = []
-    for skew in alpha_skews:
-        rng = np.random.default_rng(seed)
-        population = CellPopulation.sample(
-            bits,
-            VariationModel(sigma_alpha_frac=0.005, sigma_beta_frac=0.0),
-            params=calibration.params,
-            rolloff_high=calibration.rolloff_high(),
-            rolloff_low=calibration.rolloff_low(),
-            rng=rng,
-        )
-        population.alpha_deviation = population.alpha_deviation + skew
-        sm0, sm1 = population_nondestructive_margins(
-            population, 200e-6, calibration.beta_nondestructive
-        )
-        untrimmed = float(np.min(np.minimum(sm0, sm1)))
-        trim = trim_population_beta(population)
-        results.append((float(skew), untrimmed, trim))
-    return results
+from repro.prodtest import trim_skew_experiment
 
 
 def test_ablation_trim(benchmark, calibration, report):
     skews = np.array([-0.06, -0.03, 0.0, +0.03, +0.06])
-    results = benchmark(trim_experiment, calibration, skews)
+    results = benchmark(trim_skew_experiment, calibration, skews)
 
     report("Ablation A7 — β trim vs systematic divider skew (2048-bit lots)")
     rows = []

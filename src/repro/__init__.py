@@ -60,7 +60,7 @@ try:
 
     __version__ = version("repro")
 except PackageNotFoundError:
-    __version__ = "1.1.0"
+    __version__ = "1.2.0"
 
 __all__ = [
     "__version__",

@@ -594,8 +594,6 @@ def _serve_addresses(args) -> int:
 
 def _serve_requests(args):
     """The request stream for ``repro serve``: replayed or generated."""
-    import numpy as np
-
     from repro.service import build_workload, load_trace
 
     if args.trace_in:
@@ -608,9 +606,9 @@ def _serve_requests(args):
         write_fraction=args.write_fraction,
         low_priority_fraction=args.low_priority_fraction,
     )
-    requests = stream.generate(
-        args.requests, np.random.default_rng((args.seed, 0))
-    )
+    from repro.streams import stream_rng
+
+    requests = stream.generate(args.requests, stream_rng(args.seed, "workload"))
     if args.deadline_ns > 0.0:
         # Stamp deadlines before --trace-out runs so a saved trace
         # replays bit-identically under --check.
@@ -682,8 +680,6 @@ def _serve_drift(args, requests):
     25% of the stream's span, clearing (where the scenario clears at
     all) at 75%.
     """
-    import numpy as np
-
     from repro.errors import ConfigurationError
     from repro.faults import (
         aging_rolloff_shift,
@@ -711,7 +707,9 @@ def _serve_drift(args, requests):
     except ConfigurationError as error:
         print(f"error: invalid drift scenario: {error}")
         raise SystemExit(2) from None
-    return scenario, np.random.default_rng((args.seed, 5))
+    from repro.streams import stream_rng
+
+    return scenario, stream_rng(args.seed, "drift")
 
 
 def _serve_failures(args, requests):
@@ -1000,6 +998,90 @@ def _cmd_chaos(args) -> None:
             raise SystemExit(1)
         print("PASS: requests conserved, zero silent escapes, bit-exact "
               "crash recovery, availability above floor")
+
+
+def _cmd_prodtest(args) -> None:
+    import dataclasses as _dataclasses
+
+    from repro import obs
+    from repro.prodtest import (
+        WaferConfig, build_wafer, publish_wafer_report, run_wafer,
+    )
+
+    schemes = (
+        ("conventional", "destructive", "nondestructive")
+        if args.scheme == "all"
+        else (args.scheme,)
+    )
+    base = WaferConfig(
+        dies=args.dies,
+        march=args.march,
+        seed=args.seed,
+        variation_scale=args.variation_scale,
+    )
+    metered = bool(args.metrics_out)
+    if metered:
+        registry, tracer = obs.configure(enabled=True)
+
+    summaries = []
+    for scheme in schemes:
+        config = _dataclasses.replace(base, scheme=scheme)
+        result = run_wafer(build_wafer(config))
+        summaries.append((config, result, publish_wafer_report(result)))
+    if metered:
+        _write_obs_outputs(args, registry, tracer)
+        obs.reset()
+
+    print(f"production test — {args.dies} dies/wafer, {base.cells} cells/die, "
+          f"march {summaries[0][1].march}, seed {args.seed}, "
+          f"variation {args.variation_scale:g}x")
+    rows = []
+    for _, result, summary in summaries:
+        rows.append([
+            summary.scheme,
+            f"{summary.ship_rate:.1%}",
+            f"{summary.shipped}/{summary.dies}",
+            str(summary.gross_fails),
+            str(summary.char_fails),
+            str(summary.ecc_uncovered),
+            f"{summary.coverage['overall']:.1%}",
+            f"{summary.mean_test_seconds * 1e3:.3f}",
+            f"{summary.cost_per_good_bit:.3f}"
+            if summary.good_bits else "inf",
+        ])
+    print(format_table(
+        ["scheme", "yield", "shipped", "gross", "char", "ecc",
+         "coverage", "ms/die", "$/bit"],
+        rows,
+    ))
+    if len(summaries) == 1:
+        classified = summaries[0][2].classified
+        if classified:
+            print("diagnosis: " + ", ".join(
+                f"{kind}={count}" for kind, count in sorted(classified.items())
+            ))
+
+    if args.check:
+        # Determinism gates on a reduced wafer: the vectorized engine must
+        # match the per-die reference loop bit for bit, and a same-seed
+        # rebuild must reproduce the result exactly.
+        check_config = _dataclasses.replace(
+            base, scheme=schemes[0], dies=min(args.dies, 256)
+        )
+        wafer = build_wafer(check_config)
+        vectorized = run_wafer(wafer, engine="vectorized")
+        reference = run_wafer(wafer, engine="reference")
+        rebuilt = run_wafer(build_wafer(check_config), engine="vectorized")
+        if not vectorized.equals(reference):
+            print("FAIL: vectorized wafer flow diverged from the per-die "
+                  "reference loop")
+            raise SystemExit(1)
+        if not vectorized.equals(rebuilt):
+            print("FAIL: same-seed wafer rebuild did not reproduce the run")
+            raise SystemExit(1)
+        print(f"PASS: vectorized == per-die reference and same-seed rebuild "
+              f"is bit-identical ({check_config.dies} dies, "
+              f"{schemes[0]} scheme)")
 
 
 def _cmd_list(args) -> None:
@@ -1345,6 +1427,43 @@ def _args_chaos(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _args_prodtest(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--dies", type=int, default=512,
+        help="dies per wafer (default 512)",
+    )
+    sub.add_argument(
+        "--scheme", default="all",
+        choices=("conventional", "destructive", "nondestructive", "all"),
+        help="sensing scheme under test, or all three (default all)",
+    )
+    sub.add_argument(
+        "--march", default="march-1t1j",
+        choices=("mats+", "march-c-", "march-1t1j"),
+        help="march algorithm (default march-1t1j, the disturb-aware "
+        "STT-RAM variant)",
+    )
+    sub.add_argument(
+        "--seed", type=int, default=2010,
+        help="prodtest-stream RNG seed (default 2010)",
+    )
+    sub.add_argument(
+        "--variation-scale", type=float, default=1.0,
+        help="within-die variation scale (default 1.0)",
+    )
+    sub.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write prodtest.* gauges (repro.obs snapshot) to PATH as JSON",
+    )
+    _args_profile(sub)
+    sub.add_argument(
+        "--check", action="store_true",
+        help="exit nonzero unless the vectorized wafer flow matches the "
+        "per-die reference loop bit for bit and a same-seed rebuild "
+        "reproduces it exactly",
+    )
+
+
 @dataclasses.dataclass(frozen=True)
 class Experiment:
     """One CLI subcommand: its runner, description, and argument hook."""
@@ -1376,6 +1495,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "stats": Experiment(_cmd_stats, "observability: instrumented read workload + metrics dump", _args_stats),
     "serve": Experiment(_cmd_serve, "service: trace-driven memory-controller simulation", _args_serve),
     "chaos": Experiment(_cmd_chaos, "resilience: structural-failure chaos campaign + recovery gates", _args_chaos),
+    "prodtest": Experiment(_cmd_prodtest, "production: wafer-scale march test + trim + yield/cost curves", _args_prodtest),
     "export": Experiment(_cmd_export, "write every figure series to CSV", _args_export),
     "list": Experiment(_cmd_list, "list available experiments"),
 }

@@ -75,10 +75,16 @@ class MarginPair:
         return self.sm1 - self.sm0
 
 
-def _check_currents(i_read2: float, beta: float) -> float:
-    if i_read2 <= 0.0:
+def _check_currents(i_read2, beta):
+    """Validate the read currents and return ``I_R1 = I_R2 / β``.
+
+    Accepts scalars or per-bit arrays for either argument (the production
+    test flow trims β and scales ``I_R2`` per die), preserving the scalar
+    fast path exactly.
+    """
+    if np.any(np.asarray(i_read2) <= 0.0):
         raise ConfigurationError(f"i_read2 must be positive, got {i_read2}")
-    if beta <= 0.0:
+    if np.any(np.asarray(beta) <= 0.0):
         raise ConfigurationError(f"beta must be positive, got {beta}")
     return i_read2 / beta
 
@@ -162,8 +168,11 @@ def population_conventional_margins(
     Each bit additionally sees its local reference error (the shared
     reference is generated from reference MTJ cells and distributed, both
     subject to mismatch).  Returns ``(sm0, sm1)`` arrays [V].
+
+    ``i_read`` and ``v_ref`` may be scalars or per-bit arrays (the
+    production test flow trims the reference and read current per die).
     """
-    if i_read <= 0.0:
+    if np.any(np.asarray(i_read) <= 0.0):
         raise ConfigurationError(f"i_read must be positive, got {i_read}")
     v_ref_bit = v_ref + population.vref_error
     v_low = i_read * (population.resistance_low(i_read) + population.r_tr)
@@ -177,7 +186,9 @@ def _population_read_currents(
     """Per-bit first-read current including read-driver mismatch."""
     i1 = _check_currents(i_read2, beta)
     if not with_beta_variation:
-        return np.full(population.size, i1)
+        return np.broadcast_to(
+            np.asarray(i1, dtype=float), (population.size,)
+        ).copy()
     beta_bit = beta * (1.0 + population.beta_deviation)
     return i_read2 / beta_bit
 

@@ -11,8 +11,10 @@ quantifying how much variation headroom ECC buys each sensing scheme.
 from repro.ecc.array import EccArray, EccReadResult, ScrubReport
 from repro.ecc.hamming import HammingSECDED, DecodeStatus
 from repro.ecc.yield_model import (
+    EccProvision,
     EccYieldReport,
     ecc_yield_report,
+    provision_ecc,
     word_failure_probability,
 )
 
@@ -25,4 +27,6 @@ __all__ = [
     "word_failure_probability",
     "EccYieldReport",
     "ecc_yield_report",
+    "EccProvision",
+    "provision_ecc",
 ]

@@ -17,7 +17,13 @@ import numpy as np
 from repro.array.montecarlo import MonteCarloMargins
 from repro.errors import ConfigurationError
 
-__all__ = ["word_failure_probability", "EccYieldReport", "ecc_yield_report"]
+__all__ = [
+    "word_failure_probability",
+    "EccYieldReport",
+    "ecc_yield_report",
+    "EccProvision",
+    "provision_ecc",
+]
 
 
 def word_failure_probability(
@@ -87,4 +93,65 @@ def ecc_yield_report(
         required_margin=required_margin,
         raw_word_fail=raw,
         secded_word_fail=secded,
+    )
+
+
+def _parity_bits(level: np.ndarray, word_cells: int) -> np.ndarray:
+    """Check bits of a ``level``-error-correcting code over ``word_cells``
+    data bits: ``level * (ceil(log2(word_cells)) + 1) + 1`` (the BCH bound
+    with one extra detection bit; for 16 data bits this gives the familiar
+    SECDED 6 at level 1 and DECTED 11 at level 2), and 0 at level 0.
+    """
+    address_bits = int(np.ceil(np.log2(word_cells))) + 1
+    level = np.asarray(level, dtype=np.int64)
+    return np.where(level > 0, level * address_bits + 1, 0)
+
+
+@dataclasses.dataclass(frozen=True)
+class EccProvision:
+    """Per-die ECC provisioning from residual (post-repair) fail maps."""
+
+    word_cells: int
+    max_correctable: int
+    levels: np.ndarray       #: per-die correction level (worst word's fails)
+    parity_bits: np.ndarray  #: per-die check bits per word at that level
+    overhead: np.ndarray     #: per-die area overhead: parity / data bits
+    covered: np.ndarray      #: per-die True iff the level is provisionable
+
+    @property
+    def dies(self) -> int:
+        """Number of dies provisioned."""
+        return int(self.levels.size)
+
+
+def provision_ecc(
+    residual_fails: np.ndarray,
+    word_cells: int,
+    max_correctable: int = 1,
+) -> EccProvision:
+    """Provision each die's ECC strength from its residual fail map.
+
+    ``residual_fails`` is a ``(dies, words)`` array of per-word failing-cell
+    counts *after* spare repair.  Each die is provisioned with the smallest
+    correction level covering its worst word; a die whose worst word needs
+    more than ``max_correctable`` corrections is not provisionable (it
+    scraps).  Purely elementwise per die, so provisioning a stacked batch
+    is bit-exact with provisioning each die alone.
+    """
+    if word_cells < 1:
+        raise ConfigurationError("word_cells must be >= 1")
+    if max_correctable < 0:
+        raise ConfigurationError("max_correctable must be >= 0")
+    residual = np.atleast_2d(np.asarray(residual_fails, dtype=np.int64))
+    levels = residual.max(axis=1)
+    covered = levels <= max_correctable
+    # Uncovered dies scrap; they are still charged the capped provision.
+    parity = _parity_bits(np.minimum(levels, max_correctable), word_cells)
+    return EccProvision(
+        word_cells=word_cells,
+        max_correctable=max_correctable,
+        levels=levels,
+        parity_bits=parity,
+        overhead=parity / float(word_cells),
+        covered=covered,
     )

@@ -58,9 +58,11 @@ from repro.faults.models import (
     FaultKind,
     PowerFailureFault,
     ReadDisturbFault,
+    ReadDisturbProneFault,
     SenseOffsetDrift,
     StuckOpenFault,
     StuckShortFault,
+    TransitionFault,
 )
 from repro.faults.recovery import (
     LostWord,
@@ -73,7 +75,9 @@ __all__ = [
     "FaultKind",
     "StuckShortFault",
     "StuckOpenFault",
+    "TransitionFault",
     "ReadDisturbFault",
+    "ReadDisturbProneFault",
     "SenseOffsetDrift",
     "BitlineNoiseFault",
     "PowerFailureFault",

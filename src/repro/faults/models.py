@@ -35,7 +35,9 @@ __all__ = [
     "FaultKind",
     "StuckShortFault",
     "StuckOpenFault",
+    "TransitionFault",
     "ReadDisturbFault",
+    "ReadDisturbProneFault",
     "SenseOffsetDrift",
     "BitlineNoiseFault",
     "PowerFailureFault",
@@ -54,7 +56,10 @@ class FaultKind(enum.Enum):
 
     STUCK_SHORT = "stuck-short"          #: MgO pinhole: both states ~short
     STUCK_OPEN = "stuck-open"            #: broken contact: both states open
+    TRANSITION_UP = "transition-up"      #: cell cannot switch 0 → 1
+    TRANSITION_DOWN = "transition-down"  #: cell cannot switch 1 → 0
     READ_DISTURB = "read-disturb"        #: read current flipped the free layer
+    SENSE_MARGIN = "sense-margin"        #: marginal/metastable sensing
     SENSE_OFFSET_DRIFT = "sense-offset-drift"  #: aged sense-amp offset
     BITLINE_NOISE = "bitline-noise"      #: transient bit-line coupling noise
     POWER_FAILURE = "power-failure"      #: supply lost mid destructive read
@@ -127,6 +132,92 @@ class StuckOpenFault(_StuckFault):
     rate: float = 1.0e-3
     resistance: float = 5.0e5
     kind = FaultKind.STUCK_OPEN
+
+
+@dataclasses.dataclass(frozen=True)
+class TransitionFault:
+    """The cell cannot complete a write transition in one direction.
+
+    The STT-MRAM testing literature's *transition fault* (TF): a weak or
+    pinned free layer whose switching threshold exceeds the write driver's
+    current in one polarity, so a ``w1`` on a "0" cell (``direction="up"``)
+    or a ``w0`` on a "1" cell (``direction="down"``) leaves the state
+    unchanged.  The junction is *electrically healthy at read* — both
+    resistance states and margins look nominal — which is exactly why a
+    parametric screen misses it and a march test (write, then read back)
+    is required.
+    """
+
+    rate: float = 1.0e-3
+    direction: str = "up"
+
+    permanent = True
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if self.direction not in ("up", "down"):
+            raise ConfigurationError(
+                f"direction must be 'up' or 'down', got {self.direction!r}"
+            )
+
+    @property
+    def kind(self) -> FaultKind:
+        """Direction-specific kind (MATS+ detects only the up variant)."""
+        if self.direction == "up":
+            return FaultKind.TRANSITION_UP
+        return FaultKind.TRANSITION_DOWN
+
+    def select(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean mask of the cells this model strikes."""
+        return rng.random(size) < self.rate
+
+    def apply_population(self, population: CellPopulation, mask: np.ndarray) -> None:
+        """No electrical signature: the defect lives in the write path."""
+
+    def apply_cell(self, cell: Cell1T1J) -> None:
+        """No electrical signature on the standalone cell either."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ReadDisturbProneFault:
+    """A cell whose free layer flips after repeated reads without a write.
+
+    Unlike :class:`ReadDisturbFault` (an *accumulated* per-campaign flip
+    probability over the whole population), this is a *cell-level defect*:
+    a low-barrier bit that deterministically loses a stored "1" once
+    ``threshold`` consecutive reads have passed since it was last written
+    (the read current is parallelizing, so only the anti-parallel state is
+    at risk).  Single-read march elements never trip it — detecting these
+    cells is what the hammering read elements of the disturb-aware march
+    variant are for.
+    """
+
+    rate: float = 1.0e-3
+    threshold: int = 2  #: reads-since-write count at which the "1" is lost
+    kind = FaultKind.READ_DISTURB
+    permanent = True
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if self.threshold < 1:
+            raise ConfigurationError(
+                f"disturb threshold must be >= 1, got {self.threshold}"
+            )
+
+    def select(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """Boolean mask of the cells this model strikes."""
+        return rng.random(size) < self.rate
+
+    def apply_population(self, population: CellPopulation, mask: np.ndarray) -> None:
+        """No static electrical signature: margins look nominal."""
+
+    def apply_cell(self, cell: Cell1T1J) -> None:
+        """No static electrical signature on the standalone cell."""
+
+    def flip_mask(self, size: int, rng: np.random.Generator) -> np.ndarray:
+        """No per-operation transient flips (the defect needs read history;
+        campaigns treating it as a transient see it as inert)."""
+        return np.zeros(size, dtype=bool)
 
 
 @dataclasses.dataclass(frozen=True)

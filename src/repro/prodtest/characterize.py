@@ -1,0 +1,348 @@
+"""Per-die characterization: binary-search trim against a pass/fail shmoo.
+
+Production trim does not get to run an optimizer per die — it walks a
+*discrete trim-code lattice* (the fuse/register codes the design actually
+exposes) with a binary search against the tester's pass/fail verdict,
+OpenNVRAM style.  Per die this finds:
+
+* the **trim code** balancing the two worst-case sense margins — the β
+  ratio for the self-referenced schemes, the reference voltage ``V_REF``
+  for conventional sensing;
+* the minimal **sense-current factor** that still passes (read-energy
+  trim; margins grow with read current, so the search is monotone);
+* a **retry budget** sized from the die's marginal-cell count (cells whose
+  binding margin clears the requirement but sits inside the guardband).
+
+The pass/fail predicate is repair-aware: a die passes when its
+``fail_budget``-th-worst binding margin clears ``required_margin`` — the
+``fail_budget`` worst cells are the ones spare-word repair and ECC will
+absorb downstream.  Cells the parametric screen already condemned
+(stuck-short/open) are excluded from the margin statistics entirely;
+trim serves the repairable remainder, not the dead cells.
+
+Everything is vectorized over dies with a *fixed* iteration count and
+purely elementwise updates (per-die ``np.where`` on the search bounds), so
+characterizing a stacked chunk of dies is bit-exact with characterizing
+each die alone — the property the wafer driver's equivalence gate checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.core.margins import (
+    population_conventional_margins,
+    population_destructive_margins,
+    population_nondestructive_margins,
+)
+from repro.device.variation import CellPopulation
+from repro.errors import ConfigurationError
+from repro.prodtest.march import _parametric_stuck_masks, scheme_family
+
+__all__ = [
+    "CharacterizeConfig",
+    "CharacterizeResult",
+    "TrimRecord",
+    "characterize_dies",
+    "knob_bounds",
+]
+
+#: Sense-current factors the energy trim may select, best (cheapest) last.
+#: The search walks them descending and keeps the smallest passing one.
+_SENSE_FACTORS = (1.0, 0.9, 0.8, 0.7, 0.6)
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizeConfig:
+    """Knobs of the per-die characterization pass."""
+
+    code_bits: int = 6              #: trim-code lattice width (2^bits codes)
+    required_margin: float = 8.0e-3  #: pass threshold on the binding margin [V]
+    guardband: float = 1.5          #: marginal band = (required, guardband*required]
+    fail_budget: int = 16           #: worst cells repair/ECC will absorb
+    max_retry_budget: int = 4       #: cap on the provisioned retry budget
+    sense_factors: Tuple[float, ...] = _SENSE_FACTORS
+
+    def __post_init__(self) -> None:
+        if self.code_bits < 1 or self.code_bits > 16:
+            raise ConfigurationError(
+                f"code_bits must lie in [1, 16], got {self.code_bits}"
+            )
+        if self.required_margin <= 0.0:
+            raise ConfigurationError(
+                f"required_margin must be positive, got {self.required_margin}"
+            )
+        if self.guardband < 1.0:
+            raise ConfigurationError(
+                f"guardband must be >= 1, got {self.guardband}"
+            )
+        if self.fail_budget < 0:
+            raise ConfigurationError(
+                f"fail_budget must be >= 0, got {self.fail_budget}"
+            )
+        if self.max_retry_budget < 0:
+            raise ConfigurationError(
+                f"max_retry_budget must be >= 0, got {self.max_retry_budget}"
+            )
+        if not self.sense_factors or any(
+            not 0.0 < f <= 1.0 for f in self.sense_factors
+        ):
+            raise ConfigurationError(
+                "sense_factors must be a non-empty tuple of factors in (0, 1]"
+            )
+
+    @property
+    def codes(self) -> int:
+        """Number of points on the trim-code lattice."""
+        return 1 << self.code_bits
+
+
+def knob_bounds(scheme) -> Tuple[str, float, float]:
+    """``(knob_name, low, high)`` of a scheme's trim-code lattice.
+
+    The self-referenced schemes trim the current ratio β (the
+    nondestructive scheme has the wide usable range the paper's Fig. 8
+    flat-top implies; the destructive scheme's range is pinched by its
+    erase step), conventional sensing trims the shared reference around
+    its design point.
+    """
+    family = scheme_family(scheme)
+    if family == "nondestructive":
+        return "beta", 1.05, 3.6
+    if family == "destructive":
+        return "beta", 1.02, 1.8
+    return "v_ref", scheme.v_ref - 0.03, scheme.v_ref + 0.03
+
+
+@dataclasses.dataclass(frozen=True)
+class TrimRecord:
+    """One die's characterization outcome (what burns into its fuses)."""
+
+    die: int
+    knob: str               #: "beta" or "v_ref"
+    code: int               #: trim code on the lattice
+    value: float            #: knob value the code encodes
+    binding_margin: float   #: fail_budget-th-worst binding margin [V]
+    sense_factor: float     #: selected read-current scale
+    retry_budget: int       #: provisioned serving retries
+    passes: bool            #: die cleared the margin requirement
+
+
+@dataclasses.dataclass(frozen=True)
+class CharacterizeResult:
+    """Vectorized characterization outcome over a batch of dies."""
+
+    knob: str
+    codes: np.ndarray            #: per-die trim code
+    values: np.ndarray           #: per-die knob value
+    binding_margins: np.ndarray  #: per-die fail_budget-th-worst margin [V]
+    sense_factors: np.ndarray    #: per-die read-current scale
+    retry_budgets: np.ndarray    #: per-die provisioned retries
+    passes: np.ndarray           #: per-die pass verdicts
+    marginal_cells: np.ndarray   #: per-die guardband-cell counts
+
+    @property
+    def dies(self) -> int:
+        """Number of dies characterized."""
+        return int(self.codes.size)
+
+    def record(self, die: int) -> TrimRecord:
+        """The :class:`TrimRecord` of one die."""
+        return TrimRecord(
+            die=die,
+            knob=self.knob,
+            code=int(self.codes[die]),
+            value=float(self.values[die]),
+            binding_margin=float(self.binding_margins[die]),
+            sense_factor=float(self.sense_factors[die]),
+            retry_budget=int(self.retry_budgets[die]),
+            passes=bool(self.passes[die]),
+        )
+
+    def records(self) -> Iterator[TrimRecord]:
+        """All per-die records in die order."""
+        for die in range(self.dies):
+            yield self.record(die)
+
+
+def _code_values(codes: np.ndarray, low: float, high: float, config: CharacterizeConfig) -> np.ndarray:
+    """Map lattice codes to knob values (linear DAC over the bounds)."""
+    return low + (high - low) * codes / (config.codes - 1)
+
+
+def _margins_at(
+    scheme,
+    population: CellPopulation,
+    knob_per_cell: np.ndarray,
+    sense_factor,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cell margins at a per-cell knob value and sense-current scale."""
+    family = scheme_family(scheme)
+    if family == "conventional":
+        return population_conventional_margins(
+            population, scheme.i_read * sense_factor, knob_per_cell
+        )
+    if family == "destructive":
+        return population_destructive_margins(
+            population,
+            scheme.i_read2 * sense_factor,
+            knob_per_cell,
+            rtr_shift=scheme.rtr_shift,
+        )
+    return population_nondestructive_margins(
+        population,
+        scheme.i_read2 * sense_factor,
+        knob_per_cell,
+        alpha=scheme.divider.ratio,
+        rtr_shift=scheme.rtr_shift,
+    )
+
+
+def _die_stats(
+    scheme,
+    population: CellPopulation,
+    alive: np.ndarray,
+    codes: np.ndarray,
+    bounds: Tuple[str, float, float],
+    config: CharacterizeConfig,
+    cells: int,
+    sense_factor=1.0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-die ``(worst_sm0, worst_sm1, kth_binding)`` at per-die codes.
+
+    Dead (parametric-stuck) cells are masked to ``+inf`` so they bind
+    nothing; the k-th order statistic is taken per die row, which is
+    invariant to how dies are batched.
+    """
+    _, low, high = bounds
+    values = _code_values(codes, low, high, config)
+    knob_per_cell = np.repeat(values, cells)
+    sm0, sm1 = _margins_at(scheme, population, knob_per_cell, sense_factor)
+    sm0 = np.where(alive, sm0, np.inf).reshape(-1, cells)
+    sm1 = np.where(alive, sm1, np.inf).reshape(-1, cells)
+    binding = np.minimum(sm0, sm1)
+    k = min(config.fail_budget, cells - 1)
+    kth = np.partition(binding, k, axis=1)[:, k]
+    return sm0.min(axis=1), sm1.min(axis=1), kth
+
+
+def characterize_dies(
+    population: CellPopulation,
+    cells_per_die: int,
+    scheme,
+    config: Optional[CharacterizeConfig] = None,
+) -> CharacterizeResult:
+    """Binary-search characterize every die of a stacked population.
+
+    ``population`` holds the cells of ``population.size // cells_per_die``
+    dies, die-major.  The trim search balances each die's worst-case
+    ``SM0`` against its worst-case ``SM1`` (both monotone in the knob,
+    with opposite signs) over the discrete code lattice, then the
+    sense-current trim keeps the smallest factor that still passes, and
+    the retry budget is sized from the guardband-cell count.  Fully
+    deterministic and batch-invariant.
+    """
+    config = config if config is not None else CharacterizeConfig()
+    if cells_per_die < 1:
+        raise ConfigurationError(
+            f"cells_per_die must be >= 1, got {cells_per_die}"
+        )
+    if population.size % cells_per_die:
+        raise ConfigurationError(
+            f"population of {population.size} cells is not a whole number "
+            f"of {cells_per_die}-cell dies"
+        )
+    dies = population.size // cells_per_die
+    bounds = knob_bounds(scheme)
+    shorted, opened = _parametric_stuck_masks(population)
+    alive = ~(shorted | opened)
+
+    # Integer bisection on the monotone imbalance worst_sm0 - worst_sm1
+    # (increasing in β and in V_REF): fixed code_bits iterations so every
+    # die walks the lattice in lockstep.
+    lo = np.zeros(dies, dtype=np.int64)
+    hi = np.full(dies, config.codes - 1, dtype=np.int64)
+    for _ in range(config.code_bits):
+        mid = (lo + hi) // 2
+        worst0, worst1, _ = _die_stats(
+            scheme, population, alive, mid, bounds, config, cells_per_die
+        )
+        raise_knob = worst0 < worst1
+        lo = np.where(raise_knob, np.minimum(mid + 1, config.codes - 1), lo)
+        hi = np.where(raise_knob, hi, np.maximum(mid - 1, 0))
+
+    # The bisection lands next to the balance point; test the immediate
+    # neighbourhood and keep the code with the best k-th binding margin.
+    candidates = np.stack(
+        [
+            np.clip(lo - 1, 0, config.codes - 1),
+            np.clip(lo, 0, config.codes - 1),
+            np.clip(lo + 1, 0, config.codes - 1),
+        ]
+    )
+    kth_margins = np.stack(
+        [
+            _die_stats(
+                scheme, population, alive, candidate, bounds, config,
+                cells_per_die,
+            )[2]
+            for candidate in candidates
+        ]
+    )
+    best = np.argmax(kth_margins, axis=0)
+    codes = candidates[best, np.arange(dies)]
+    binding = kth_margins[best, np.arange(dies)]
+    values = _code_values(codes, bounds[1], bounds[2], config)
+
+    # Read-energy trim: margins shrink with the sense factor, so keep the
+    # smallest factor whose k-th binding margin still clears the bar.
+    descending = sorted(set(config.sense_factors), reverse=True)
+    factors = np.full(dies, descending[0], dtype=float)
+    for factor in descending[1:]:
+        _, _, kth = _die_stats(
+            scheme, population, alive, codes, bounds, config, cells_per_die,
+            sense_factor=factor,
+        )
+        accept = kth > config.required_margin
+        factors = np.where(accept, factor, factors)
+
+    # A die passes when its repairable remainder clears the bar AND its
+    # dead-cell count fits inside the repair/ECC budget (a die that is
+    # mostly dead has an +inf order statistic — that is not a pass).
+    dead_per_die = np.count_nonzero(
+        ~alive.reshape(-1, cells_per_die), axis=1
+    )
+    passes = (binding > config.required_margin) & (
+        dead_per_die <= config.fail_budget
+    )
+
+    # Retry provisioning from the marginal-cell count: cells whose binding
+    # margin clears the bar but sits inside the guardband are the ones a
+    # serving-time retry will occasionally have to rescue.
+    knob_per_cell = np.repeat(values, cells_per_die)
+    sm0, sm1 = _margins_at(scheme, population, knob_per_cell, 1.0)
+    cell_binding = np.where(alive, np.minimum(sm0, sm1), np.inf).reshape(
+        -1, cells_per_die
+    )
+    marginal = np.count_nonzero(
+        (cell_binding > config.required_margin)
+        & (cell_binding <= config.guardband * config.required_margin),
+        axis=1,
+    )
+    retry_budgets = np.minimum(
+        np.ceil(marginal / 8.0).astype(np.int64), config.max_retry_budget
+    )
+
+    return CharacterizeResult(
+        knob=bounds[0],
+        codes=codes,
+        values=values,
+        binding_margins=binding,
+        sense_factors=factors,
+        retry_budgets=retry_budgets,
+        passes=passes,
+        marginal_cells=marginal.astype(np.int64),
+    )

@@ -1,0 +1,211 @@
+"""Wafer-report economics: yield, test time, and cost per good bit.
+
+Production decisions are made in dollars, not millivolts: a scheme that
+needs a longer march (the destructive self-reference read spans erase +
+two reads + write-back) pays for it on every die at test, and a scheme
+that needs heavier ECC provisioning pays in parity area on every shipped
+die.  This module folds a :class:`~repro.prodtest.wafer.WaferResult` into
+those terms, sweeps variation scales across the three sensing schemes,
+and publishes the headline numbers through :mod:`repro.obs` gauges.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.obs import runtime as _obs
+from repro.prodtest.wafer import WaferConfig, WaferResult, build_wafer, run_wafer
+
+__all__ = [
+    "CostModel",
+    "WaferSummary",
+    "summarize",
+    "compare_schemes",
+    "publish_wafer_report",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CostModel:
+    """The two cost sources production test trades between."""
+
+    wafer_dollars: float = 1500.0       #: processed-wafer cost, split per die
+    tester_dollars_per_hour: float = 180.0  #: tester + handler burn rate
+
+    def __post_init__(self) -> None:
+        if self.wafer_dollars < 0.0 or self.tester_dollars_per_hour < 0.0:
+            raise ConfigurationError("costs must be non-negative")
+
+    def die_cost(self, dies: int, test_seconds: float) -> float:
+        """Fully loaded cost of one die given its tester seconds [$]."""
+        if dies < 1:
+            raise ConfigurationError(f"dies must be >= 1, got {dies}")
+        return (
+            self.wafer_dollars / dies
+            + test_seconds * self.tester_dollars_per_hour / 3600.0
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class WaferSummary:
+    """Headline production numbers of one wafer run."""
+
+    scheme: str
+    march: str
+    dies: int
+    shipped: int
+    ship_rate: float
+    gross_fails: int
+    char_fails: int             #: dies failing characterization
+    ecc_uncovered: int          #: dies whose residual exceeds the ECC cap
+    coverage: Dict[str, float]
+    classified: Dict[str, int]
+    mean_test_seconds: float
+    total_test_seconds: float
+    mean_retry_budget: float
+    mean_sense_factor: float
+    mean_parity_bits: float     #: provisioned check bits per shipped word
+    good_bits: float            #: net data bits shipped off the wafer
+    cost_per_die: float
+    cost_per_good_bit: float    #: ∞ when the wafer ships nothing
+
+
+def _good_bits(result: WaferResult) -> float:
+    """Net data bits of the shipped dies: spare words are carved out, and
+    each word's provisioned parity dilutes its share of the array."""
+    config = result.config
+    if not result.shipped:
+        return 0.0
+    parity = result.ecc_parity_bits[result.ships]
+    per_word_data = config.word_cells * config.word_cells / (
+        config.word_cells + parity
+    )
+    data_words = config.words - config.spare_words
+    return float((data_words * per_word_data).sum())
+
+
+def summarize(
+    result: WaferResult, cost: Optional[CostModel] = None
+) -> WaferSummary:
+    """Fold a wafer result into production terms."""
+    cost = cost if cost is not None else CostModel()
+    good_bits = _good_bits(result)
+    wafer_dollars = cost.wafer_dollars + (
+        result.total_test_seconds * cost.tester_dollars_per_hour / 3600.0
+    )
+    shipped = result.shipped
+    return WaferSummary(
+        scheme=result.scheme,
+        march=result.march,
+        dies=result.dies,
+        shipped=shipped,
+        ship_rate=result.ship_rate,
+        gross_fails=int(np.count_nonzero(result.gross_fail)),
+        char_fails=int(np.count_nonzero(~result.char_passes)),
+        ecc_uncovered=int(np.count_nonzero(~result.ecc_covered)),
+        coverage=dict(result.coverage),
+        classified=result.classified_counts(),
+        mean_test_seconds=float(result.test_seconds.mean()),
+        total_test_seconds=result.total_test_seconds,
+        mean_retry_budget=float(result.retry_budgets.mean()),
+        mean_sense_factor=float(result.sense_factors.mean()),
+        mean_parity_bits=(
+            float(result.ecc_parity_bits[result.ships].mean())
+            if shipped
+            else 0.0
+        ),
+        good_bits=good_bits,
+        cost_per_die=cost.die_cost(
+            result.dies, float(result.test_seconds.mean())
+        ),
+        cost_per_good_bit=(
+            wafer_dollars / good_bits if good_bits > 0.0 else float("inf")
+        ),
+    )
+
+
+def compare_schemes(
+    dies: int = 256,
+    variation_scales: Sequence[float] = (1.0, 1.5, 2.0, 2.5),
+    schemes: Sequence[str] = ("conventional", "destructive", "nondestructive"),
+    march: str = "march-1t1j",
+    seed: int = 2010,
+    cost: Optional[CostModel] = None,
+    config: Optional[WaferConfig] = None,
+) -> List[dict]:
+    """Yield / test-time / cost curves per sensing scheme.
+
+    Runs one wafer per (scheme, scale) point — same seed, so every scheme
+    is tested against the same systematic draw sequence — and returns one
+    flat record per point, ready for tabulation or the benchmark JSON.
+    ``config`` (minus its scheme/scale/dies/seed fields) carries any other
+    geometry overrides.
+    """
+    base = config if config is not None else WaferConfig()
+    records = []
+    for scale in variation_scales:
+        for scheme in schemes:
+            wafer_config = dataclasses.replace(
+                base,
+                dies=dies,
+                scheme=scheme,
+                variation_scale=float(scale),
+                seed=seed,
+            )
+            result = run_wafer(build_wafer(wafer_config))
+            summary = summarize(result, cost)
+            records.append(
+                {
+                    "scheme": scheme,
+                    "scale": float(scale),
+                    "dies": dies,
+                    "yield": summary.ship_rate,
+                    "coverage": summary.coverage["overall"],
+                    "test_seconds_per_die": summary.mean_test_seconds,
+                    "cost_per_good_bit": summary.cost_per_good_bit,
+                    "mean_parity_bits": summary.mean_parity_bits,
+                    "mean_retry_budget": summary.mean_retry_budget,
+                }
+            )
+    return records
+
+
+def publish_wafer_report(
+    result: WaferResult, cost: Optional[CostModel] = None
+) -> WaferSummary:
+    """Summarize a wafer and publish the headline numbers as obs gauges.
+
+    With observability disabled this is just :func:`summarize`.  Gauges:
+    ``prodtest.yield`` / ``prodtest.test_seconds_per_die`` /
+    ``prodtest.cost_per_good_bit`` (labelled by scheme),
+    ``prodtest.coverage`` (labelled by fault kind), and the
+    ``prodtest.dies`` counter (labelled by outcome).
+    """
+    summary = summarize(result, cost)
+    if _obs.active():
+        registry = _obs.get_registry()
+        registry.set_gauge(
+            "prodtest.yield", summary.ship_rate, scheme=summary.scheme
+        )
+        registry.set_gauge(
+            "prodtest.test_seconds_per_die",
+            summary.mean_test_seconds,
+            scheme=summary.scheme,
+        )
+        if summary.good_bits > 0.0:
+            registry.set_gauge(
+                "prodtest.cost_per_good_bit",
+                summary.cost_per_good_bit,
+                scheme=summary.scheme,
+            )
+        for kind, fraction in summary.coverage.items():
+            registry.set_gauge("prodtest.coverage", fraction, kind=kind)
+        registry.inc("prodtest.dies", summary.shipped, outcome="shipped")
+        registry.inc(
+            "prodtest.dies", summary.dies - summary.shipped, outcome="scrapped"
+        )
+    return summary

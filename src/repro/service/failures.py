@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, FaultError
 from repro.obs import runtime as _obs
+from repro.streams import FAILURE_STREAM, stream_rng
 
 __all__ = [
     "CONTROLLER_STALL",
@@ -63,10 +64,11 @@ __all__ = [
     "run_chaos_campaign",
 ]
 
-#: Reserved RNG stream for failure-scenario geometry: ``(seed, 7)``.
-#: Streams 0-5 belong to build/fault/read/stats/workload/drift and
-#: stream 6 to the topology seed split — see ``docs/RESILIENCE.md``.
-_FAILURE_STREAM = 7
+#: Reserved RNG stream for failure-scenario geometry: ``(seed, 7)``,
+#: allocated in the central :mod:`repro.streams` registry (streams 0-5
+#: belong to build/fault/read/stats/workload/drift, 6 to the topology
+#: seed split, 8 to prodtest) — see ``docs/RESILIENCE.md``.
+_FAILURE_STREAM = FAILURE_STREAM
 
 CONTROLLER_STALL = "controller-stall"
 BANK_OFFLINE = "bank-offline"
@@ -226,7 +228,7 @@ def build_failure_scenario(
     """
     if span <= 0.0:
         raise ConfigurationError(f"span must be > 0, got {span}")
-    rng = np.random.default_rng((seed, _FAILURE_STREAM))
+    rng = stream_rng(seed, "failures")
     onset = float(rng.uniform(0.25, 0.40)) * span
     duration = float(rng.uniform(0.25, 0.40)) * span
     pool = channels if name == CHANNEL_OUTAGE else banks

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.obs import runtime as _obs
+from repro.streams import SHARD_STREAM, stream_sequence
 from repro.service.cache import ReadCache
 from repro.service.controller import (
     BACKEND_BATCHED,
@@ -85,9 +86,9 @@ CHANNEL_STRIPED = "channel-striped"
 #: The pluggable address-interleaving schemes (see ``docs/TOPOLOGY.md``).
 INTERLEAVINGS: Tuple[str, ...] = (ROW_MAJOR, BANK_XOR, CHANNEL_STRIPED)
 
-#: RNG stream index reserved for the topology seed split (streams 0–5 are
-#: taken by build/fault/read/stats/workload/drift — see ``docs/API.md``).
-_SHARD_STREAM = 6
+#: RNG stream index reserved for the topology seed split — allocated in
+#: the central :mod:`repro.streams` registry (see ``docs/API.md``).
+_SHARD_STREAM = SHARD_STREAM
 
 
 class Coord(NamedTuple):
@@ -468,7 +469,7 @@ def shard_seeds(seed: int, channels: int) -> Tuple[int, ...]:
     """
     if channels < 1:
         raise ConfigurationError(f"channels must be >= 1, got {channels}")
-    sequence = np.random.SeedSequence((seed, _SHARD_STREAM))
+    sequence = stream_sequence(seed, "shards")
     return tuple(
         int(child.generate_state(1, np.uint64)[0])
         for child in sequence.spawn(channels)

@@ -1,0 +1,108 @@
+"""Reserved top-level RNG streams: one registry for every ``(seed, k)`` tuple.
+
+Several subsystems derive their randomness from a *tuple-seeded* generator
+``np.random.default_rng((seed, k))`` so that one user-facing ``--seed``
+fans out into statistically independent, individually replayable streams.
+Historically each subsystem hard-coded its own ``k``; this module is the
+single registry, so a new subsystem cannot silently collide with an
+existing stream and every reserved pair is testable in one place.
+
+Reserved streams (the integer is the second tuple element):
+
+====================  ===  =====================================================
+name                   k   owner
+====================  ===  =====================================================
+``workload``           0   request-stream generation (``repro serve``, benches)
+``drift``              5   mid-trace drift-scenario strikes (``--drift``)
+``shards``             6   topology seed split (``repro.service.topology``)
+``failures``           7   structural failure geometry (``repro.service.failures``)
+``prodtest``           8   wafer Monte-Carlo sampling (``repro.prodtest``)
+====================  ===  =====================================================
+
+Streams 1–4 are *not* centrally named: they are command-local substreams of
+the ``repro faults`` / ``repro stats`` pipelines (fault injection, read,
+recovery, stats workload) predating this registry, and are reserved here
+only in the sense that new subsystems must not reuse them.
+
+The draw order of every pre-existing stream is part of the repo's
+bit-reproducibility contract: ``stream_rng(seed, name)`` must produce the
+byte-identical generator state ``np.random.default_rng((seed, k))`` always
+did (pinned by ``tests/test_streams.py``).
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Mapping, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "WORKLOAD_STREAM",
+    "DRIFT_STREAM",
+    "SHARD_STREAM",
+    "FAILURE_STREAM",
+    "PRODTEST_STREAM",
+    "RESERVED_STREAMS",
+    "stream_key",
+    "stream_rng",
+    "stream_sequence",
+]
+
+WORKLOAD_STREAM = 0   #: request-stream generation
+DRIFT_STREAM = 5      #: drift-scenario strike randomness
+SHARD_STREAM = 6      #: per-channel seed split of the sharded topology
+FAILURE_STREAM = 7    #: structural failure-scenario geometry
+PRODTEST_STREAM = 8   #: wafer-scale production-test Monte-Carlo sampling
+
+#: name → reserved second tuple element (read-only).
+RESERVED_STREAMS: Mapping[str, int] = MappingProxyType(
+    {
+        "workload": WORKLOAD_STREAM,
+        "drift": DRIFT_STREAM,
+        "shards": SHARD_STREAM,
+        "failures": FAILURE_STREAM,
+        "prodtest": PRODTEST_STREAM,
+    }
+)
+
+#: The command-local legacy block (``repro faults`` / ``repro stats``
+#: substreams); new subsystems must allocate above it.
+_LEGACY_BLOCK = range(0, 5)
+
+
+def _resolve(stream: Union[str, int]) -> int:
+    """The reserved stream id for a registry name or a raw integer."""
+    if isinstance(stream, str):
+        try:
+            return RESERVED_STREAMS[stream]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown reserved RNG stream {stream!r}; expected one of "
+                f"{sorted(RESERVED_STREAMS)}"
+            ) from None
+    value = int(stream)
+    if value != stream or value < 0:
+        raise ConfigurationError(
+            f"stream id must be a non-negative integer, got {stream!r}"
+        )
+    return value
+
+
+def stream_key(seed: int, stream: Union[str, int]) -> tuple:
+    """The ``(seed, k)`` tuple feeding ``np.random.default_rng``."""
+    return (int(seed), _resolve(stream))
+
+
+def stream_rng(seed: int, stream: Union[str, int]) -> np.random.Generator:
+    """The reserved stream's generator — byte-identical with the historical
+    ``np.random.default_rng((seed, k))`` construction."""
+    return np.random.default_rng(stream_key(seed, stream))
+
+
+def stream_sequence(seed: int, stream: Union[str, int]) -> np.random.SeedSequence:
+    """The reserved stream's :class:`~numpy.random.SeedSequence` (for
+    subsystems that spawn children, e.g. the topology's shard split)."""
+    return np.random.SeedSequence(stream_key(seed, stream))

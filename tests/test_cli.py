@@ -11,13 +11,13 @@ class TestVersion:
     def test_version_matches_package_metadata(self):
         import repro
 
-        assert package_version() == repro.__version__ == "1.1.0"
+        assert package_version() == repro.__version__ == "1.2.0"
 
     def test_version_flag_prints_and_exits_zero(self, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main(["--version"])
         assert excinfo.value.code == 0
-        assert "1.1.0" in capsys.readouterr().out
+        assert "1.2.0" in capsys.readouterr().out
 
 
 class TestParser:
@@ -254,3 +254,41 @@ class TestServeTopologyCommand:
             main(self.SERVE + ["--topology", "2x1x2", "--adaptive"])
         assert excinfo.value.code == 2
         assert "static policies only" in capsys.readouterr().out
+
+
+class TestProdtestCommand:
+    """`repro prodtest` — the wafer-scale production test & trim flow."""
+
+    PRODTEST = ["prodtest", "--dies", "24", "--seed", "2010"]
+
+    def test_all_schemes_table(self, capsys):
+        assert main(self.PRODTEST) == 0
+        out = capsys.readouterr().out
+        for scheme in ("conventional", "destructive", "nondestructive"):
+            assert scheme in out
+        assert "yield" in out and "$/bit" in out
+
+    def test_single_scheme_diagnosis(self, capsys):
+        assert main(self.PRODTEST + ["--scheme", "nondestructive"]) == 0
+        out = capsys.readouterr().out
+        assert "nondestructive" in out
+        assert "coverage" in out
+
+    def test_check_gate_passes(self, capsys):
+        command = self.PRODTEST + ["--scheme", "conventional", "--check"]
+        assert main(command) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_metrics_out(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        command = self.PRODTEST + [
+            "--scheme", "destructive", "--metrics-out", str(metrics)
+        ]
+        assert main(command) == 0
+        gauges = json.loads(metrics.read_text())["gauges"]
+        assert "prodtest.yield{scheme=destructive}" in gauges
+        assert "prodtest.coverage{kind=overall}" in gauges
+
+    def test_bad_march_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["prodtest", "--march", "march-z"])

@@ -96,9 +96,9 @@ class TestApiReferenceDrift:
             obj = getattr(obj, part)
 
 
-def service_section_tokens():
-    """Every identifier in backticks inside API.md's ``repro.service``
-    sections (tables and prose alike)."""
+def section_tokens(section_module):
+    """Every identifier in backticks inside API.md's sections documenting
+    ``section_module`` (tables and prose alike)."""
     module = None
     tokens = set()
     for line in (REPO / "docs" / "API.md").read_text().splitlines():
@@ -107,11 +107,15 @@ def service_section_tokens():
             module = match.group(1)
         elif line.startswith("## "):
             module = None
-        if module != "repro.service":
+        if module != section_module:
             continue
         for chunk in _CHUNK_RE.findall(line):
             tokens.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", chunk))
     return tokens
+
+
+def service_section_tokens():
+    return section_tokens("repro.service")
 
 
 class TestServiceSectionCompleteness:
@@ -132,6 +136,52 @@ class TestServiceSectionCompleteness:
             f"repro.service exports `{name}` but docs/API.md's service "
             f"section never mentions it — add it to the reference table"
         )
+
+
+class TestProdtestSectionCompleteness:
+    """Code → doc drift for the production-test subsystem: every public
+    ``repro.prodtest`` export must appear in API.md's prodtest section,
+    and PRODTEST.md must name the load-bearing surface it documents."""
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(importlib.import_module("repro.prodtest").__all__),
+    )
+    def test_every_prodtest_export_is_documented(self, name):
+        assert name in section_tokens("repro.prodtest"), (
+            f"repro.prodtest exports `{name}` but docs/API.md's prodtest "
+            f"section never mentions it — add it to the reference table"
+        )
+
+    @pytest.mark.parametrize(
+        "name",
+        sorted(importlib.import_module("repro.streams").__all__),
+    )
+    def test_every_streams_export_is_documented(self, name):
+        assert name in section_tokens("repro.streams"), (
+            f"repro.streams exports `{name}` but docs/API.md's streams "
+            f"section never mentions it"
+        )
+
+    def test_prodtest_doc_names_the_surface(self):
+        text = (REPO / "docs" / "PRODTEST.md").read_text()
+        for needle in (
+            "MARCH_TESTS",
+            "march-1t1j",
+            "DISTURB_THRESHOLD",
+            "run_march_test",
+            "characterize_dies",
+            "knob_bounds",
+            "build_wafer",
+            "run_wafer",
+            "provision_ecc",
+            "compare_schemes",
+            "publish_wafer_report",
+            "(seed, 8)",
+            "BENCH_prodtest.json",
+            "repro prodtest --dies 256 --check",
+        ):
+            assert needle in text, needle
 
 
 class TestResilienceDocDrift:

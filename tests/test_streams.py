@@ -1,0 +1,131 @@
+"""The reserved RNG-stream registry: distinctness and byte-identity.
+
+Every subsystem that fans one user-facing ``--seed`` into its own
+randomness does it through ``repro.streams``.  Two contracts are pinned
+here:
+
+* **distinctness** — no two reserved streams share a ``k``, and new
+  streams sit above the command-local legacy block 0–4, so subsystems
+  cannot silently correlate;
+* **byte-identity** — ``stream_rng(seed, name)`` produces the exact
+  generator the historical hard-coded ``np.random.default_rng((seed, k))``
+  construction did, for every pre-existing stream.  The literal ``k``
+  values are spelled out below on purpose: renumbering a stream is a
+  reproducibility break and must fail this file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.streams import (
+    RESERVED_STREAMS,
+    stream_key,
+    stream_rng,
+    stream_sequence,
+)
+
+#: The historical hard-coded assignments, as literals (not imports), so a
+#: registry renumbering cannot rewrite the expectation it is tested against.
+HISTORICAL = {
+    "workload": 0,
+    "drift": 5,
+    "shards": 6,
+    "failures": 7,
+    "prodtest": 8,
+}
+
+LEGACY_BLOCK = range(0, 5)
+
+
+class TestRegistry:
+    def test_every_reserved_stream_is_distinct(self):
+        values = list(RESERVED_STREAMS.values())
+        assert len(values) == len(set(values))
+
+    def test_registry_matches_historical_assignments(self):
+        assert dict(RESERVED_STREAMS) == HISTORICAL
+
+    def test_post_registry_streams_sit_above_the_legacy_block(self):
+        # workload (k=0) predates the registry; everything added since
+        # must not reuse the command-local faults/stats substreams 1-4.
+        for name, k in RESERVED_STREAMS.items():
+            if name == "workload":
+                continue
+            assert k not in LEGACY_BLOCK or k == 0, (name, k)
+            assert k >= 5, (name, k)
+
+    def test_registry_is_read_only(self):
+        with pytest.raises(TypeError):
+            RESERVED_STREAMS["rogue"] = 99  # type: ignore[index]
+
+    def test_stream_key_resolves_names_and_ints(self):
+        assert stream_key(2010, "prodtest") == (2010, 8)
+        assert stream_key(2010, 8) == (2010, 8)
+        assert stream_key(np.int64(7), "drift") == (7, 5)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stream_key(1, "wafers")
+
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            stream_key(1, -3)
+
+
+class TestByteIdentity:
+    """``stream_rng``/``stream_sequence`` == the historical literals."""
+
+    @pytest.mark.parametrize("name,k", sorted(HISTORICAL.items()))
+    @pytest.mark.parametrize("seed", [0, 7, 2010])
+    def test_stream_rng_matches_hardcoded_tuple_seed(self, name, k, seed):
+        ours = stream_rng(seed, name)
+        historical = np.random.default_rng((seed, k))
+        assert ours.bytes(64) == historical.bytes(64)
+
+    @pytest.mark.parametrize("name,k", sorted(HISTORICAL.items()))
+    def test_stream_sequence_matches_hardcoded_tuple_seed(self, name, k):
+        ours = stream_sequence(2010, name)
+        historical = np.random.SeedSequence((2010, k))
+        np.testing.assert_array_equal(
+            ours.generate_state(4), historical.generate_state(4)
+        )
+
+    def test_independent_streams_draw_differently(self):
+        draws = {
+            name: stream_rng(2010, name).bytes(32) for name in HISTORICAL
+        }
+        assert len(set(draws.values())) == len(draws)
+
+
+class TestCallSitesRouteThroughRegistry:
+    """The subsystems that historically hard-coded their ``k`` must now
+    reproduce the same draws *via* the registry."""
+
+    def test_shard_seed_split_is_the_historical_spawn(self):
+        from repro.service.topology import shard_seeds
+
+        sequence = np.random.SeedSequence((2010, 6))
+        expected = tuple(
+            int(child.generate_state(1, np.uint64)[0])
+            for child in sequence.spawn(4)
+        )
+        assert shard_seeds(2010, 4) == expected
+
+    def test_failure_scenarios_draw_from_stream_seven(self):
+        from repro.service.failures import build_failure_scenario
+
+        one = build_failure_scenario("bank-offline", 1.0, seed=11)
+        two = build_failure_scenario("bank-offline", 1.0, seed=11)
+        assert one == two
+
+    def test_wafer_sampling_draws_from_stream_eight(self):
+        from repro.prodtest import WaferConfig, build_wafer
+
+        config = WaferConfig(dies=4)
+        one = build_wafer(config)
+        two = build_wafer(config)
+        np.testing.assert_array_equal(one.alpha_skew, two.alpha_skew)
+        np.testing.assert_array_equal(
+            one.population.r_low0, two.population.r_low0
+        )

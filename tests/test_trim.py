@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.calibration import calibrate
 from repro.core.margins import population_nondestructive_margins
@@ -110,3 +112,61 @@ class TestPopulationTrim:
     def test_grid_validation(self, calibrated_population):
         with pytest.raises(ConfigurationError):
             trim_population_beta(calibrated_population, grid_points=2)
+
+
+def _skewed_population(alpha_skew: float, size: int = 256) -> CellPopulation:
+    """A fixed-draw lot whose dividers all came out ``alpha_skew`` off."""
+    from repro.calibration import calibrate
+
+    calibration = calibrate()
+    population = CellPopulation.sample(
+        size=size,
+        variation=VariationModel(sigma_alpha_frac=0.003, sigma_beta_frac=0.0),
+        params=calibration.params,
+        rolloff_high=calibration.rolloff_high(),
+        rolloff_low=calibration.rolloff_low(),
+        rng=np.random.default_rng(17),
+    )
+    population.alpha_deviation = population.alpha_deviation + alpha_skew
+    return population
+
+
+class TestTrimProperties:
+    """Hypothesis invariants of the population trim — the contract the
+    prodtest characterizer's binary search builds on."""
+
+    @given(alpha_skew=st.floats(-0.05, 0.05))
+    @settings(max_examples=20, deadline=None)
+    def test_trim_is_idempotent_and_nondestructive(self, alpha_skew):
+        # Trimming reads the population but never mutates it, so running
+        # the trim twice lands on the identical knob and margin.
+        population = _skewed_population(alpha_skew)
+        before = {
+            "alpha": population.alpha_deviation.copy(),
+            "r_low0": population.r_low0.copy(),
+            "r_high0": population.r_high0.copy(),
+        }
+        first = trim_population_beta(population)
+        np.testing.assert_array_equal(population.alpha_deviation, before["alpha"])
+        np.testing.assert_array_equal(population.r_low0, before["r_low0"])
+        np.testing.assert_array_equal(population.r_high0, before["r_high0"])
+        second = trim_population_beta(population)
+        assert second.beta == first.beta
+        assert second.worst_margin == first.worst_margin
+        assert second.yield_fraction == first.yield_fraction
+
+    @given(alpha_skew=st.floats(-0.05, 0.05))
+    @settings(max_examples=20, deadline=None)
+    def test_trim_never_loses_to_the_nominal_beta(self, alpha_skew):
+        # Monotone improvement: whatever systematic divider skew the lot
+        # drew, the trimmed worst-case margin is at least the nominal-β
+        # margin (the trim can always fall back to not moving).
+        from repro.calibration import calibrate
+
+        population = _skewed_population(alpha_skew)
+        sm0, sm1 = population_nondestructive_margins(
+            population, 200e-6, calibrate().beta_nondestructive
+        )
+        nominal_worst = float(np.min(np.minimum(sm0, sm1)))
+        trim = trim_population_beta(population)
+        assert trim.worst_margin >= nominal_worst - 1e-9

@@ -9,8 +9,11 @@ ship an artifact the CI asserts no longer reach:
 
 * the file must parse as a non-empty JSON object;
 * every section must itself be a JSON object;
-* every section must carry the required metadata keys (``requests`` —
-  the workload size that produced it, a positive integer).
+* every section must carry the required metadata keys — the workload
+  size that produced it, a positive integer.  That key is ``requests``
+  for the serving-layer artifacts and ``dies`` for the wafer-scale
+  production-test artifact (``BENCH_prodtest.json``); per-file overrides
+  live in :data:`REQUIRED_KEYS_BY_FILE`.
 
 Exit status is the number of violations (0 = clean), so CI can run it
 directly.  Usage::
@@ -27,8 +30,18 @@ import pathlib
 import sys
 from typing import List
 
-#: Keys every benchmark section must carry.
+#: Keys every benchmark section must carry (the default contract).
 REQUIRED_KEYS = ("requests",)
+
+#: Per-file overrides: artifacts whose sections are sized in something
+#: other than requests.  The wafer-scale production-test artifact is
+#: sized in dies.
+REQUIRED_KEYS_BY_FILE = {
+    "BENCH_prodtest.json": ("dies",),
+}
+
+#: Required keys checked as positive integers.
+_POSITIVE_INT_KEYS = ("requests", "dies")
 
 
 def check_file(path: pathlib.Path) -> List[str]:
@@ -40,26 +53,27 @@ def check_file(path: pathlib.Path) -> List[str]:
         return [f"{path.name}: unreadable ({error})"]
     if not isinstance(data, dict) or not data:
         return [f"{path.name}: expected a non-empty JSON object of sections"]
+    required = REQUIRED_KEYS_BY_FILE.get(path.name, REQUIRED_KEYS)
     for section, payload in data.items():
         if not isinstance(payload, dict):
             violations.append(
                 f"{path.name}: section {section!r} is not an object"
             )
             continue
-        for key in REQUIRED_KEYS:
+        for key in required:
             if key not in payload:
                 violations.append(
                     f"{path.name}: section {section!r} is missing "
                     f"required key {key!r}"
                 )
-            elif key == "requests" and not (
+            elif key in _POSITIVE_INT_KEYS and not (
                 isinstance(payload[key], int)
                 and not isinstance(payload[key], bool)
                 and payload[key] > 0
             ):
                 violations.append(
                     f"{path.name}: section {section!r} has non-positive "
-                    f"or non-integer requests={payload[key]!r}"
+                    f"or non-integer {key}={payload[key]!r}"
                 )
     return violations
 
